@@ -1,0 +1,191 @@
+//! The Lemma 8 adversary: Rotor-Push lacks the working-set property.
+//!
+//! The construction of Lemma 8 restricts requests to the set `S` consisting
+//! of the root and the two leftmost nodes of every level (|S| = 2x − 1 for a
+//! tree of x levels) and always requests the element stored at the deepest
+//! node of `S` that currently lies on the rotor global path. All movement
+//! stays inside `S`, so every working set has size at most `2x − 1`, yet the
+//! access cost periodically reaches `x` — linear in the working-set size
+//! instead of logarithmic.
+
+use crate::working_set::WorkingSetTracker;
+use satn_core::{RotorPush, SelfAdjustingTree};
+use satn_tree::{CompleteTree, ElementId, NodeId, Occupancy, TreeError};
+
+/// The adaptive adversary of Lemma 8.
+#[derive(Debug, Clone)]
+pub struct Lemma8Adversary {
+    /// The restricted node set `S`, grouped for fast lookup.
+    in_s: Vec<bool>,
+    max_level: u32,
+}
+
+impl Lemma8Adversary {
+    /// Creates the adversary for the given tree: `S` is the root plus the two
+    /// leftmost nodes of every deeper level.
+    pub fn new(tree: CompleteTree) -> Self {
+        let mut in_s = vec![false; tree.num_nodes() as usize];
+        in_s[NodeId::ROOT.usize()] = true;
+        for level in 1..tree.num_levels() {
+            for offset in 0..2u32 {
+                in_s[NodeId::from_level_offset(level, offset).usize()] = true;
+            }
+        }
+        Lemma8Adversary {
+            in_s,
+            max_level: tree.max_level(),
+        }
+    }
+
+    /// Number of nodes in the restricted set `S` (= 2x − 1 for x levels).
+    pub fn restricted_set_size(&self) -> usize {
+        self.in_s.iter().filter(|&&b| b).count()
+    }
+
+    /// Returns `true` if `node` belongs to `S`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.in_s[node.usize()]
+    }
+
+    /// Chooses the next request against the current Rotor-Push state: the
+    /// element stored at the deepest global-path node that belongs to `S`.
+    pub fn next_request(&self, algorithm: &RotorPush) -> ElementId {
+        let rotors = algorithm.rotor_state();
+        let mut chosen = NodeId::ROOT;
+        for level in (0..=self.max_level).rev() {
+            let candidate = rotors.global_path_node(level);
+            if self.contains(candidate) {
+                chosen = candidate;
+                break;
+            }
+        }
+        algorithm.occupancy().element_at(chosen)
+    }
+}
+
+/// Result of driving Rotor-Push with the Lemma 8 adversary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lemma8Report {
+    /// Number of requests issued.
+    pub requests: usize,
+    /// Size of the restricted node set `S` (an upper bound on every working
+    /// set).
+    pub restricted_set_size: usize,
+    /// The highest access cost observed.
+    pub max_access_cost: u64,
+    /// The working-set rank of the request that achieved the highest access
+    /// cost.
+    pub rank_at_max: u64,
+    /// The largest working-set rank observed over the whole run.
+    pub max_rank: u64,
+    /// Access cost and working-set rank of every request (for plotting).
+    pub trace: Vec<(u64, u64)>,
+}
+
+impl Lemma8Report {
+    /// The headline figure of Lemma 8: the ratio between the worst access
+    /// cost and the logarithm of the working-set bound at that moment. For an
+    /// algorithm with the working-set property this stays O(1); for
+    /// Rotor-Push under this adversary it grows linearly with the tree depth.
+    pub fn violation_factor(&self) -> f64 {
+        self.max_access_cost as f64 / (self.rank_at_max.max(2) as f64).log2().max(1.0)
+    }
+}
+
+/// Runs the Lemma 8 adversary against a fresh Rotor-Push instance on a tree
+/// with `levels` levels for `rounds` requests.
+///
+/// # Errors
+///
+/// Propagates tree-construction errors (invalid `levels`).
+pub fn run_lemma8(levels: u32, rounds: usize) -> Result<Lemma8Report, TreeError> {
+    let tree = CompleteTree::with_levels(levels)?;
+    let mut algorithm = RotorPush::new(Occupancy::identity(tree));
+    let adversary = Lemma8Adversary::new(tree);
+    let mut tracker = WorkingSetTracker::new(tree.num_nodes(), rounds);
+    let mut trace = Vec::with_capacity(rounds);
+    let mut max_access_cost = 0u64;
+    let mut rank_at_max = 0u64;
+    let mut max_rank = 0u64;
+    for _ in 0..rounds {
+        let request = adversary.next_request(&algorithm);
+        let rank = tracker.access(request);
+        let cost = algorithm.serve(request)?;
+        if cost.access > max_access_cost {
+            max_access_cost = cost.access;
+            rank_at_max = rank;
+        }
+        max_rank = max_rank.max(rank);
+        trace.push((cost.access, rank));
+    }
+    Ok(Lemma8Report {
+        requests: rounds,
+        restricted_set_size: adversary.restricted_set_size(),
+        max_access_cost,
+        rank_at_max,
+        max_rank,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restricted_set_has_size_2x_minus_1() {
+        for levels in 2..=8u32 {
+            let tree = CompleteTree::with_levels(levels).unwrap();
+            let adversary = Lemma8Adversary::new(tree);
+            assert_eq!(adversary.restricted_set_size(), (2 * levels - 1) as usize);
+            assert!(adversary.contains(NodeId::ROOT));
+            assert!(adversary.contains(NodeId::from_level_offset(levels - 1, 0)));
+            assert!(adversary.contains(NodeId::from_level_offset(levels - 1, 1)));
+            if levels >= 3 {
+                assert!(!adversary.contains(NodeId::from_level_offset(levels - 1, 2)));
+            }
+        }
+    }
+
+    #[test]
+    fn requests_stay_inside_the_restricted_element_set() {
+        // With the identity initial placement the elements stored at S never
+        // leave S (the push-down cycle only touches S nodes), so the number
+        // of distinct requested elements is at most |S|.
+        let report = run_lemma8(6, 400).unwrap();
+        assert!(report.max_rank <= report.restricted_set_size as u64);
+    }
+
+    #[test]
+    fn access_cost_reaches_the_full_depth() {
+        // Lemma 8: the adversary forces an access of cost x (the number of
+        // levels) even though the working set never exceeds 2x - 1.
+        for levels in [5u32, 7, 9] {
+            let report = run_lemma8(levels, 4_000).unwrap();
+            assert_eq!(
+                report.max_access_cost, levels as u64,
+                "levels {levels}: {report:?}"
+            );
+            assert!(report.max_rank <= (2 * levels - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn violation_factor_grows_with_depth() {
+        let small = run_lemma8(5, 2_000).unwrap().violation_factor();
+        let large = run_lemma8(10, 8_000).unwrap().violation_factor();
+        assert!(
+            large > small,
+            "violation factor should grow with depth: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn report_trace_is_complete() {
+        let report = run_lemma8(4, 100).unwrap();
+        assert_eq!(report.trace.len(), 100);
+        assert_eq!(report.requests, 100);
+        let observed_max = report.trace.iter().map(|&(c, _)| c).max().unwrap();
+        assert_eq!(observed_max, report.max_access_cost);
+    }
+}

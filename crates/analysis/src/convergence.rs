@@ -1,0 +1,244 @@
+//! Convergence of a self-adjusting tree towards its reference layouts.
+//!
+//! The paper's analysis compares the online tree against two idealized
+//! layouts: the *MRU tree* (more recently used elements closer to the root;
+//! Section 1.1 and [11]) and the *frequency-optimal static tree* that
+//! Static-Opt uses in the evaluation. The helpers in this module measure how
+//! far a concrete occupancy is from those references and track the distance
+//! while an algorithm serves a request sequence, which quantifies *how fast*
+//! the self-adjustment exploits locality — a view the paper's aggregate plots
+//! do not show directly.
+
+use satn_core::SelfAdjustingTree;
+use satn_tree::{ElementId, Occupancy, TreeError};
+
+/// The ideal level of an element whose rank (by recency or frequency) is
+/// `rank`, counted from 1: the most important element sits at level 0, the
+/// next two at level 1, and so on.
+fn ideal_level(rank: u64) -> u32 {
+    debug_assert!(rank >= 1);
+    63 - (rank.min(u64::MAX / 2)).leading_zeros() // floor(log2(rank))
+}
+
+/// The average (per accessed element) absolute difference between the current
+/// level of each element and its ideal MRU level.
+///
+/// `last_access[i]` is the time of the last access of element `i` (larger =
+/// more recent) or `None` if the element has not been accessed yet;
+/// unaccessed elements are ignored.
+pub fn mru_displacement(occupancy: &Occupancy, last_access: &[Option<u64>]) -> f64 {
+    let mut accessed: Vec<(u64, ElementId)> = last_access
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &t)| t.map(|t| (t, ElementId::new(i as u32))))
+        .collect();
+    if accessed.is_empty() {
+        return 0.0;
+    }
+    // Most recent first.
+    accessed.sort_by(|a, b| b.0.cmp(&a.0));
+    let total: u64 = accessed
+        .iter()
+        .enumerate()
+        .map(|(index, &(_, element))| {
+            let ideal = ideal_level(index as u64 + 1);
+            let actual = occupancy.level_of(element);
+            u64::from(actual.abs_diff(ideal))
+        })
+        .sum();
+    total as f64 / accessed.len() as f64
+}
+
+/// The average absolute difference between each element's current level and
+/// its level in the frequency-optimal static placement for `weights`
+/// (the placement Static-Opt uses). Elements with zero weight are ignored.
+pub fn frequency_displacement(occupancy: &Occupancy, weights: &[f64]) -> f64 {
+    let mut weighted: Vec<(f64, ElementId)> = weights
+        .iter()
+        .enumerate()
+        .filter(|&(_, &w)| w > 0.0)
+        .map(|(i, &w)| (w, ElementId::new(i as u32)))
+        .collect();
+    if weighted.is_empty() {
+        return 0.0;
+    }
+    weighted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total: u64 = weighted
+        .iter()
+        .enumerate()
+        .map(|(index, &(_, element))| {
+            let ideal = ideal_level(index as u64 + 1);
+            let actual = occupancy.level_of(element);
+            u64::from(actual.abs_diff(ideal))
+        })
+        .sum();
+    total as f64 / weighted.len() as f64
+}
+
+/// One checkpoint of a convergence run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergencePoint {
+    /// How many requests had been served when the snapshot was taken.
+    pub requests_served: usize,
+    /// Average distance (in levels) from the ideal MRU layout.
+    pub mru_displacement: f64,
+    /// Average distance (in levels) from the frequency-optimal static layout
+    /// of the whole sequence.
+    pub frequency_displacement: f64,
+    /// Mean total cost per request over the window since the previous
+    /// checkpoint.
+    pub window_mean_cost: f64,
+}
+
+/// Serves `requests` on `algorithm`, taking `num_checkpoints` evenly spaced
+/// snapshots of the convergence metrics.
+///
+/// # Errors
+///
+/// Propagates the first error returned by the algorithm (e.g. a request to an
+/// element outside the tree).
+///
+/// # Panics
+///
+/// Panics if `num_checkpoints` is zero or `requests` is empty.
+pub fn track_convergence<A: SelfAdjustingTree + ?Sized>(
+    algorithm: &mut A,
+    requests: &[ElementId],
+    num_checkpoints: usize,
+) -> Result<Vec<ConvergencePoint>, TreeError> {
+    assert!(num_checkpoints > 0, "need at least one checkpoint");
+    assert!(!requests.is_empty(), "need at least one request");
+    let num_elements = algorithm.occupancy().num_elements();
+    // Frequencies of the full sequence define the static reference layout.
+    let mut frequencies = vec![0u64; num_elements as usize];
+    for &request in requests {
+        if request.index() < num_elements {
+            frequencies[request.usize()] += 1;
+        }
+    }
+    let total: u64 = frequencies.iter().sum();
+    let weights: Vec<f64> = frequencies
+        .iter()
+        .map(|&f| f as f64 / total.max(1) as f64)
+        .collect();
+
+    let window = requests.len().div_ceil(num_checkpoints);
+    let mut last_access: Vec<Option<u64>> = vec![None; num_elements as usize];
+    let mut points = Vec::with_capacity(num_checkpoints);
+    let mut window_cost = 0u64;
+    let mut window_len = 0usize;
+    for (t, &request) in requests.iter().enumerate() {
+        let cost = algorithm.serve(request)?;
+        window_cost += cost.total();
+        window_len += 1;
+        if request.index() < num_elements {
+            last_access[request.usize()] = Some(t as u64 + 1);
+        }
+        if (t + 1) % window == 0 || t + 1 == requests.len() {
+            points.push(ConvergencePoint {
+                requests_served: t + 1,
+                mru_displacement: mru_displacement(algorithm.occupancy(), &last_access),
+                frequency_displacement: frequency_displacement(algorithm.occupancy(), &weights),
+                window_mean_cost: window_cost as f64 / window_len.max(1) as f64,
+            });
+            window_cost = 0;
+            window_len = 0;
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satn_core::{RotorPush, StaticOblivious};
+    use satn_tree::CompleteTree;
+
+    fn identity(levels: u32) -> Occupancy {
+        Occupancy::identity(CompleteTree::with_levels(levels).unwrap())
+    }
+
+    #[test]
+    fn ideal_levels_follow_the_bfs_layout() {
+        assert_eq!(ideal_level(1), 0);
+        assert_eq!(ideal_level(2), 1);
+        assert_eq!(ideal_level(3), 1);
+        assert_eq!(ideal_level(4), 2);
+        assert_eq!(ideal_level(7), 2);
+        assert_eq!(ideal_level(8), 3);
+    }
+
+    #[test]
+    fn displacement_is_zero_for_a_perfectly_converged_tree() {
+        // Identity occupancy: element i at node i. Give element i the weight
+        // of its own BFS position, so the identity layout *is* the
+        // frequency-optimal layout.
+        let occ = identity(4);
+        let weights: Vec<f64> = (0..15).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        assert_eq!(frequency_displacement(&occ, &weights), 0.0);
+        // MRU: access elements in reverse BFS order so element 0 is most
+        // recent ⇒ identity is also the ideal MRU layout.
+        let last_access: Vec<Option<u64>> = (0..15u64).map(|i| Some(100 - i)).collect();
+        assert_eq!(mru_displacement(&occ, &last_access), 0.0);
+    }
+
+    #[test]
+    fn displacement_detects_a_maximally_wrong_layout() {
+        // Element 0 is the hottest but sits at a leaf.
+        let occ = identity(4);
+        let mut weights = vec![0.0; 15];
+        weights[14] = 0.9; // element 14 (a leaf in identity layout) is hottest
+        weights[0] = 0.1;
+        let displacement = frequency_displacement(&occ, &weights);
+        // Ideal: element 14 at level 0 (actual 3), element 0 at level 1
+        // (actual 0): mean = (3 + 1) / 2.
+        assert!((displacement - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unaccessed_elements_do_not_contribute() {
+        let occ = identity(3);
+        assert_eq!(mru_displacement(&occ, &[None; 7]), 0.0);
+        assert_eq!(frequency_displacement(&occ, &[0.0; 7]), 0.0);
+    }
+
+    #[test]
+    fn rotor_push_converges_on_a_skewed_sequence() {
+        // Keep requesting a small hot set that initially lives at the leaves;
+        // the tree should end up much closer to the frequency layout than the
+        // static tree that never adapts.
+        let levels = 7u32;
+        let hot: Vec<ElementId> = (120..127u32).map(ElementId::new).collect();
+        let requests: Vec<ElementId> = (0..2_000).map(|i| hot[i % hot.len()]).collect();
+        let mut rotor = RotorPush::new(identity(levels));
+        let mut frozen = StaticOblivious::new(identity(levels));
+        let rotor_points = track_convergence(&mut rotor, &requests, 4).unwrap();
+        let static_points = track_convergence(&mut frozen, &requests, 4).unwrap();
+        assert_eq!(rotor_points.len(), 4);
+        let rotor_final = rotor_points.last().unwrap();
+        let static_final = static_points.last().unwrap();
+        assert!(rotor_final.frequency_displacement < static_final.frequency_displacement);
+        assert!(rotor_final.window_mean_cost < static_final.window_mean_cost);
+        // Cost improves over time for the self-adjusting tree.
+        assert!(rotor_points[0].window_mean_cost > rotor_final.window_mean_cost);
+    }
+
+    #[test]
+    fn checkpoints_cover_the_whole_sequence() {
+        let requests: Vec<ElementId> = (0..100u32).map(|i| ElementId::new(i % 15)).collect();
+        let mut alg = RotorPush::new(identity(4));
+        let points = track_convergence(&mut alg, &requests, 7).unwrap();
+        assert_eq!(points.last().unwrap().requests_served, 100);
+        assert!(points.len() <= 7);
+        for pair in points.windows(2) {
+            assert!(pair[0].requests_served < pair[1].requests_served);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint")]
+    fn zero_checkpoints_are_rejected() {
+        let mut alg = RotorPush::new(identity(3));
+        let _ = track_convergence(&mut alg, &[ElementId::new(0)], 0);
+    }
+}

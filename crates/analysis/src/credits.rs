@@ -1,0 +1,349 @@
+//! Empirical verification of the amortized analyses (Theorems 7 and 11).
+//!
+//! The competitive proofs assign every element a *credit* based on its level
+//! in the algorithm's tree, its level in the optimum's tree and (for
+//! Rotor-Push) the flip-rank of its node, and show that per round the actual
+//! cost plus the change of total credit is at most `12 · Opt`
+//! (resp. `16 · Opt` in expectation). These auditors recompute the credits
+//! after every round against a *static* optimum proxy and check the
+//! inequality, turning the proof into an executable test.
+
+use satn_core::{RandomPush, RotorPush, SelfAdjustingTree};
+use satn_tree::{ElementId, Occupancy, TreeError};
+
+/// The credit scaling factor `f = 4` of the Rotor-Push analysis.
+pub const ROTOR_CREDIT_FACTOR: f64 = 4.0;
+/// The credit scaling factor `f_R = 8` of the Random-Push analysis.
+pub const RANDOM_CREDIT_FACTOR: f64 = 8.0;
+/// The competitive ratio proven for Rotor-Push (Theorem 7).
+pub const ROTOR_COMPETITIVE_RATIO: f64 = 12.0;
+/// The competitive ratio proven for Random-Push (Theorem 11).
+pub const RANDOM_COMPETITIVE_RATIO: f64 = 16.0;
+
+/// The level-weight of an element (equation (1) of the paper):
+/// `ℓ(e) − 2·ℓopt(e) − 1` when `ℓ(e) ≥ 2·ℓopt(e) + 2`, otherwise 0.
+pub fn level_weight(alg_level: u32, opt_level: u32) -> f64 {
+    if alg_level >= 2 * opt_level + 2 {
+        f64::from(alg_level) - 2.0 * f64::from(opt_level) - 1.0
+    } else {
+        0.0
+    }
+}
+
+/// The flip-rank-weight of an element (equation (2) of the paper):
+/// `1 − frnk(e) / 2^{ℓ(e)}` when `ℓ(e) ≥ 2·ℓopt(e) + 1`, otherwise 0.
+pub fn flip_rank_weight(alg_level: u32, opt_level: u32, flip_rank: u64) -> f64 {
+    if alg_level >= 2 * opt_level + 1 {
+        1.0 - flip_rank as f64 / (1u64 << alg_level) as f64
+    } else {
+        0.0
+    }
+}
+
+/// The per-round outcome of an amortized-cost audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditRound {
+    /// Actual cost paid by the algorithm in this round.
+    pub cost: u64,
+    /// Change of the total credit during the round.
+    pub credit_delta: f64,
+    /// The optimum proxy's cost for this round (its static access cost).
+    pub opt_cost: u64,
+    /// `cost + credit_delta − ratio · opt_cost`; non-positive when the
+    /// theorem's inequality holds for the round.
+    pub slack: f64,
+}
+
+/// Aggregated result of auditing a request sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// Per-round results.
+    pub rounds: Vec<AuditRound>,
+    /// The largest (worst) per-round slack.
+    pub max_slack: f64,
+    /// Total algorithm cost over the sequence.
+    pub total_cost: u64,
+    /// Total optimum-proxy cost over the sequence.
+    pub total_opt_cost: u64,
+    /// Amortized-to-optimal ratio over the whole sequence:
+    /// `(total cost + final credit − initial credit) / total opt cost`.
+    pub amortized_ratio: f64,
+}
+
+impl AuditReport {
+    /// Returns `true` if the per-round inequality held in every round (up to
+    /// a tiny floating-point tolerance).
+    pub fn holds_per_round(&self) -> bool {
+        self.max_slack <= 1e-6
+    }
+}
+
+/// Auditor for the Rotor-Push analysis (Theorem 7).
+#[derive(Debug, Clone)]
+pub struct RotorPushAuditor {
+    opt: Occupancy,
+}
+
+impl RotorPushAuditor {
+    /// Creates an auditor whose optimum proxy is the given *static*
+    /// occupancy (typically the frequency-ordered Static-Opt placement).
+    pub fn new(opt: Occupancy) -> Self {
+        RotorPushAuditor { opt }
+    }
+
+    /// Total credit `Σ_e 4·(wLEV(e) + wFRNK(e))` of the algorithm state.
+    pub fn total_credit(&self, algorithm: &RotorPush) -> f64 {
+        let occupancy = algorithm.occupancy();
+        let rotors = algorithm.rotor_state();
+        occupancy
+            .iter()
+            .map(|(node, element)| {
+                let alg_level = node.level();
+                let opt_level = self.opt.level_of(element);
+                let frnk = rotors.flip_rank(node);
+                ROTOR_CREDIT_FACTOR
+                    * (level_weight(alg_level, opt_level)
+                        + flip_rank_weight(alg_level, opt_level, frnk))
+            })
+            .sum()
+    }
+
+    /// Runs `algorithm` on `requests`, checking the per-round amortized
+    /// inequality `cost + Δcredit ≤ 12 · (ℓopt(e*) + 1)` after every round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serving errors (unknown elements).
+    pub fn audit(
+        &self,
+        algorithm: &mut RotorPush,
+        requests: &[ElementId],
+    ) -> Result<AuditReport, TreeError> {
+        let initial_credit = self.total_credit(algorithm);
+        let mut credit_before = initial_credit;
+        let mut rounds = Vec::with_capacity(requests.len());
+        let mut max_slack = f64::NEG_INFINITY;
+        let mut total_cost = 0u64;
+        let mut total_opt = 0u64;
+        for &request in requests {
+            let opt_cost = self.opt.access_cost(request);
+            let cost = algorithm.serve(request)?.total();
+            let credit_after = self.total_credit(algorithm);
+            let credit_delta = credit_after - credit_before;
+            let slack = cost as f64 + credit_delta - ROTOR_COMPETITIVE_RATIO * opt_cost as f64;
+            max_slack = max_slack.max(slack);
+            rounds.push(AuditRound {
+                cost,
+                credit_delta,
+                opt_cost,
+                slack,
+            });
+            credit_before = credit_after;
+            total_cost += cost;
+            total_opt += opt_cost;
+        }
+        let amortized_ratio = if total_opt == 0 {
+            0.0
+        } else {
+            (total_cost as f64 + credit_before - initial_credit) / total_opt as f64
+        };
+        Ok(AuditReport {
+            rounds,
+            max_slack: if max_slack.is_finite() { max_slack } else { 0.0 },
+            total_cost,
+            total_opt_cost: total_opt,
+            amortized_ratio,
+        })
+    }
+}
+
+/// Auditor for the Random-Push analysis (Theorem 11). The guarantee is in
+/// expectation, so only the aggregate ratio is meaningful; per-round slacks
+/// are still reported for inspection.
+#[derive(Debug, Clone)]
+pub struct RandomPushAuditor {
+    opt: Occupancy,
+}
+
+impl RandomPushAuditor {
+    /// Creates an auditor with the given static optimum proxy.
+    pub fn new(opt: Occupancy) -> Self {
+        RandomPushAuditor { opt }
+    }
+
+    /// Total credit `Σ_e 8·wLEV(e)` of the algorithm state.
+    pub fn total_credit<R: rand::Rng>(&self, algorithm: &RandomPush<R>) -> f64 {
+        algorithm
+            .occupancy()
+            .iter()
+            .map(|(node, element)| {
+                RANDOM_CREDIT_FACTOR * level_weight(node.level(), self.opt.level_of(element))
+            })
+            .sum()
+    }
+
+    /// Runs the algorithm over `requests` and reports amortized costs against
+    /// `16 · Opt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serving errors (unknown elements).
+    pub fn audit<R: rand::Rng>(
+        &self,
+        algorithm: &mut RandomPush<R>,
+        requests: &[ElementId],
+    ) -> Result<AuditReport, TreeError> {
+        let initial_credit = self.total_credit(algorithm);
+        let mut credit_before = initial_credit;
+        let mut rounds = Vec::with_capacity(requests.len());
+        let mut max_slack = f64::NEG_INFINITY;
+        let mut total_cost = 0u64;
+        let mut total_opt = 0u64;
+        for &request in requests {
+            let opt_cost = self.opt.access_cost(request);
+            let cost = algorithm.serve(request)?.total();
+            let credit_after = self.total_credit(algorithm);
+            let credit_delta = credit_after - credit_before;
+            let slack = cost as f64 + credit_delta - RANDOM_COMPETITIVE_RATIO * opt_cost as f64;
+            max_slack = max_slack.max(slack);
+            rounds.push(AuditRound {
+                cost,
+                credit_delta,
+                opt_cost,
+                slack,
+            });
+            credit_before = credit_after;
+            total_cost += cost;
+            total_opt += opt_cost;
+        }
+        let amortized_ratio = if total_opt == 0 {
+            0.0
+        } else {
+            (total_cost as f64 + credit_before - initial_credit) / total_opt as f64
+        };
+        Ok(AuditReport {
+            rounds,
+            max_slack: if max_slack.is_finite() { max_slack } else { 0.0 },
+            total_cost,
+            total_opt_cost: total_opt,
+            amortized_ratio,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use satn_tree::{placement, CompleteTree};
+
+    fn opt_for_sequence(tree: CompleteTree, requests: &[ElementId]) -> Occupancy {
+        let mut weights = vec![0.0; tree.num_nodes() as usize];
+        for r in requests {
+            weights[r.usize()] += 1.0;
+        }
+        placement::frequency_occupancy(tree, &weights)
+    }
+
+    fn random_requests(tree: CompleteTree, len: usize, seed: u64) -> Vec<ElementId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| ElementId::new(rng.gen_range(0..tree.num_nodes())))
+            .collect()
+    }
+
+    fn skewed_requests(tree: CompleteTree, len: usize, seed: u64) -> Vec<ElementId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                let hot = rng.gen_bool(0.8);
+                let range = if hot { 4 } else { tree.num_nodes() };
+                ElementId::new(rng.gen_range(0..range))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn weights_match_the_paper_definitions() {
+        assert_eq!(level_weight(5, 1), 2.0); // 5 >= 2*1+2 -> 5-2-1
+        assert_eq!(level_weight(4, 1), 1.0);
+        assert_eq!(level_weight(3, 1), 0.0); // 3 < 4
+        assert_eq!(level_weight(0, 0), 0.0);
+        assert!((flip_rank_weight(3, 1, 3) - (1.0 - 3.0 / 8.0)).abs() < 1e-12);
+        assert_eq!(flip_rank_weight(2, 1, 0), 0.0); // 2 < 2*1+1
+        assert_eq!(flip_rank_weight(1, 0, 1), 0.5);
+    }
+
+    #[test]
+    fn identical_trees_have_zero_credit() {
+        let tree = CompleteTree::with_levels(5).unwrap();
+        let alg = RotorPush::new(Occupancy::identity(tree));
+        let auditor = RotorPushAuditor::new(Occupancy::identity(tree));
+        assert_eq!(auditor.total_credit(&alg), 0.0);
+    }
+
+    #[test]
+    fn theorem7_inequality_holds_per_round_on_random_sequences() {
+        let tree = CompleteTree::with_levels(6).unwrap();
+        let requests = random_requests(tree, 2_000, 11);
+        let opt = opt_for_sequence(tree, &requests);
+        let mut alg = RotorPush::new(placement::random_occupancy(
+            tree,
+            &mut StdRng::seed_from_u64(1),
+        ));
+        let report = RotorPushAuditor::new(opt).audit(&mut alg, &requests).unwrap();
+        assert!(
+            report.holds_per_round(),
+            "max slack {} must be non-positive",
+            report.max_slack
+        );
+        assert!(report.amortized_ratio <= ROTOR_COMPETITIVE_RATIO + 1e-9);
+    }
+
+    #[test]
+    fn theorem7_inequality_holds_on_skewed_sequences() {
+        let tree = CompleteTree::with_levels(7).unwrap();
+        let requests = skewed_requests(tree, 3_000, 5);
+        let opt = opt_for_sequence(tree, &requests);
+        let mut alg = RotorPush::new(Occupancy::identity(tree));
+        let report = RotorPushAuditor::new(opt).audit(&mut alg, &requests).unwrap();
+        assert!(report.holds_per_round(), "max slack {}", report.max_slack);
+    }
+
+    #[test]
+    fn theorem11_ratio_holds_in_aggregate() {
+        let tree = CompleteTree::with_levels(6).unwrap();
+        let requests = skewed_requests(tree, 4_000, 23);
+        let opt = opt_for_sequence(tree, &requests);
+        let mut alg = RandomPush::with_seed(Occupancy::identity(tree), 3);
+        let report = RandomPushAuditor::new(opt).audit(&mut alg, &requests).unwrap();
+        assert!(
+            report.amortized_ratio <= RANDOM_COMPETITIVE_RATIO + 1e-9,
+            "ratio {}",
+            report.amortized_ratio
+        );
+        assert_eq!(report.rounds.len(), requests.len());
+        assert!(report.total_cost > 0);
+        assert!(report.total_opt_cost > 0);
+    }
+
+    #[test]
+    fn audit_report_round_bookkeeping_is_consistent() {
+        let tree = CompleteTree::with_levels(4).unwrap();
+        let requests = random_requests(tree, 50, 2);
+        let opt = opt_for_sequence(tree, &requests);
+        let mut alg = RotorPush::new(Occupancy::identity(tree));
+        let report = RotorPushAuditor::new(opt).audit(&mut alg, &requests).unwrap();
+        let cost_sum: u64 = report.rounds.iter().map(|r| r.cost).sum();
+        let opt_sum: u64 = report.rounds.iter().map(|r| r.opt_cost).sum();
+        assert_eq!(cost_sum, report.total_cost);
+        assert_eq!(opt_sum, report.total_opt_cost);
+        let worst = report
+            .rounds
+            .iter()
+            .map(|r| r.slack)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((worst - report.max_slack).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! A Fenwick (binary indexed) tree over request time slots, the indexing
+//! structure behind the O(log m) working-set rank queries.
+
+/// A Fenwick tree holding 0/1 marks over `len` positions with prefix-sum
+/// queries.
+#[derive(Debug, Clone)]
+pub struct FenwickTree {
+    tree: Vec<u32>,
+}
+
+impl FenwickTree {
+    /// Creates a tree over `len` positions, all unmarked.
+    pub fn new(len: usize) -> Self {
+        FenwickTree {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Returns `true` if the tree has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` at `position` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    pub fn add(&mut self, position: usize, delta: i32) {
+        assert!(position < self.len(), "position {position} out of range");
+        let mut index = position + 1;
+        while index < self.tree.len() {
+            self.tree[index] = (self.tree[index] as i64 + delta as i64) as u32;
+            index += index & index.wrapping_neg();
+        }
+    }
+
+    /// Sum of the values at positions `0..=position`.
+    pub fn prefix_sum(&self, position: usize) -> u32 {
+        let mut index = (position + 1).min(self.len());
+        let mut sum = 0;
+        while index > 0 {
+            sum += self.tree[index];
+            index -= index & index.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Sum of the values over the whole range.
+    pub fn total(&self) -> u32 {
+        if self.is_empty() {
+            0
+        } else {
+            self.prefix_sum(self.len() - 1)
+        }
+    }
+
+    /// Sum of the values at positions `from..len` (suffix sum).
+    pub fn suffix_sum(&self, from: usize) -> u32 {
+        if from == 0 {
+            self.total()
+        } else {
+            self.total() - self.prefix_sum(from - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_and_suffix_sums() {
+        let mut fenwick = FenwickTree::new(10);
+        fenwick.add(0, 1);
+        fenwick.add(3, 1);
+        fenwick.add(9, 1);
+        assert_eq!(fenwick.prefix_sum(0), 1);
+        assert_eq!(fenwick.prefix_sum(2), 1);
+        assert_eq!(fenwick.prefix_sum(3), 2);
+        assert_eq!(fenwick.prefix_sum(9), 3);
+        assert_eq!(fenwick.total(), 3);
+        assert_eq!(fenwick.suffix_sum(0), 3);
+        assert_eq!(fenwick.suffix_sum(4), 1);
+        assert_eq!(fenwick.suffix_sum(9), 1);
+    }
+
+    #[test]
+    fn add_and_remove() {
+        let mut fenwick = FenwickTree::new(5);
+        fenwick.add(2, 1);
+        fenwick.add(2, -1);
+        assert_eq!(fenwick.total(), 0);
+        assert!(!fenwick.is_empty());
+        assert_eq!(fenwick.len(), 5);
+    }
+
+    #[test]
+    fn matches_naive_prefix_sums() {
+        let mut fenwick = FenwickTree::new(64);
+        let mut naive = vec![0i64; 64];
+        let updates = [(3usize, 1i32), (7, 1), (3, -1), (63, 1), (0, 1), (31, 1)];
+        for (pos, delta) in updates {
+            fenwick.add(pos, delta);
+            naive[pos] += i64::from(delta);
+        }
+        for position in 0..64 {
+            let expected: i64 = naive[..=position].iter().sum();
+            assert_eq!(i64::from(fenwick.prefix_sum(position)), expected, "{position}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_rejects_out_of_range() {
+        FenwickTree::new(3).add(3, 1);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let fenwick = FenwickTree::new(0);
+        assert!(fenwick.is_empty());
+        assert_eq!(fenwick.total(), 0);
+    }
+}

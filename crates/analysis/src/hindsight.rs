@@ -1,0 +1,194 @@
+//! Windowed static-optimal ("best layout in hindsight") comparators.
+//!
+//! The paper's evaluation uses one global `Static-Opt` tree as the static
+//! reference. On non-stationary workloads that reference is weak: a layout
+//! that is optimal for the *whole* trace can be far from optimal inside every
+//! individual phase. The helpers here compute, for each window of the trace,
+//! the expected access cost of the best static layout *for that window* —
+//! a stronger (still offline) comparator that the convergence experiments use
+//! to judge how well the online trees track a moving demand distribution.
+
+use crate::entropy::static_optimal_expected_cost;
+use satn_core::SelfAdjustingTree;
+use satn_tree::{ElementId, TreeError};
+
+/// The per-window comparison of an online algorithm against the best static
+/// layout chosen in hindsight for that window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HindsightWindow {
+    /// Index of the first request of the window.
+    pub start: usize,
+    /// Number of requests in the window.
+    pub length: usize,
+    /// Mean total cost per request paid by the online algorithm.
+    pub online_mean_cost: f64,
+    /// Mean access cost per request of the best static layout for this
+    /// window's frequencies.
+    pub hindsight_mean_cost: f64,
+}
+
+/// The aggregate result of [`hindsight_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HindsightReport {
+    /// One entry per window, in order.
+    pub windows: Vec<HindsightWindow>,
+}
+
+impl HindsightReport {
+    /// Total online cost over all windows.
+    pub fn online_total(&self) -> f64 {
+        self.windows
+            .iter()
+            .map(|w| w.online_mean_cost * w.length as f64)
+            .sum()
+    }
+
+    /// Total hindsight-static cost over all windows.
+    pub fn hindsight_total(&self) -> f64 {
+        self.windows
+            .iter()
+            .map(|w| w.hindsight_mean_cost * w.length as f64)
+            .sum()
+    }
+
+    /// The ratio of the online cost to the windowed hindsight-optimal cost
+    /// (≥ some constant < 1 is impossible only up to adjustment costs; the
+    /// interesting question is how small the ratio stays).
+    pub fn ratio(&self) -> f64 {
+        let hindsight = self.hindsight_total();
+        if hindsight <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.online_total() / hindsight
+    }
+}
+
+/// The expected access cost per request of the best static layout for the
+/// given requests (frequencies measured on exactly these requests).
+pub fn static_hindsight_mean_cost(num_elements: u32, requests: &[ElementId]) -> f64 {
+    if requests.is_empty() {
+        return 0.0;
+    }
+    let mut frequencies = vec![0.0f64; num_elements as usize];
+    for request in requests {
+        if request.index() < num_elements {
+            frequencies[request.usize()] += 1.0;
+        }
+    }
+    static_optimal_expected_cost(&frequencies)
+}
+
+/// Serves `requests` on `algorithm` and compares each window of
+/// `window_length` requests against the best static layout for that window.
+///
+/// # Errors
+///
+/// Propagates the first error returned by the algorithm.
+///
+/// # Panics
+///
+/// Panics if `window_length` is zero.
+pub fn hindsight_report<A: SelfAdjustingTree + ?Sized>(
+    algorithm: &mut A,
+    requests: &[ElementId],
+    window_length: usize,
+) -> Result<HindsightReport, TreeError> {
+    assert!(window_length > 0, "the window length must be positive");
+    let num_elements = algorithm.occupancy().num_elements();
+    let mut windows = Vec::new();
+    let mut start = 0usize;
+    while start < requests.len() {
+        let end = (start + window_length).min(requests.len());
+        let window = &requests[start..end];
+        let summary = algorithm.serve_sequence(window)?;
+        windows.push(HindsightWindow {
+            start,
+            length: window.len(),
+            online_mean_cost: summary.mean_total(),
+            hindsight_mean_cost: static_hindsight_mean_cost(num_elements, window),
+        });
+        start = end;
+    }
+    Ok(HindsightReport { windows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satn_core::{RotorPush, StaticOblivious};
+    use satn_tree::{CompleteTree, Occupancy};
+
+    fn identity(levels: u32) -> Occupancy {
+        Occupancy::identity(CompleteTree::with_levels(levels).unwrap())
+    }
+
+    fn ids(raw: &[u32]) -> Vec<ElementId> {
+        raw.iter().map(|&i| ElementId::new(i)).collect()
+    }
+
+    #[test]
+    fn hindsight_cost_of_a_constant_window_is_one() {
+        let requests = ids(&[5; 100]);
+        assert!((static_hindsight_mean_cost(15, &requests) - 1.0).abs() < 1e-12);
+        assert_eq!(static_hindsight_mean_cost(15, &[]), 0.0);
+    }
+
+    #[test]
+    fn report_covers_the_whole_trace_in_order() {
+        let requests: Vec<ElementId> = (0..250u32).map(|i| ElementId::new(i % 31)).collect();
+        let mut algorithm = RotorPush::new(identity(5));
+        let report = hindsight_report(&mut algorithm, &requests, 100).unwrap();
+        assert_eq!(report.windows.len(), 3);
+        assert_eq!(report.windows[0].length, 100);
+        assert_eq!(report.windows[2].length, 50);
+        assert_eq!(report.windows[2].start, 200);
+        let covered: usize = report.windows.iter().map(|w| w.length).sum();
+        assert_eq!(covered, 250);
+    }
+
+    #[test]
+    fn online_cost_never_beats_the_hindsight_static_layout_by_definition() {
+        // The hindsight layout minimises the expected access cost, and the
+        // online algorithm additionally pays adjustment costs; its per-window
+        // cost can dip below the hindsight access cost only if the window is
+        // so short that the online tree inherits a better layout from the
+        // previous window — so over the whole trace the ratio stays >= ~1.
+        let mut rotor = RotorPush::new(identity(8));
+        let requests: Vec<ElementId> = (0..20_000u32)
+            .map(|i| ElementId::new((i * i + i / 7) % 255))
+            .collect();
+        let report = hindsight_report(&mut rotor, &requests, 2_000).unwrap();
+        assert!(report.ratio() >= 0.9, "ratio {}", report.ratio());
+        assert!(report.online_total() > 0.0);
+        assert!(report.hindsight_total() > 0.0);
+    }
+
+    #[test]
+    fn self_adjustment_closes_most_of_the_gap_on_shifting_hot_sets() {
+        // Two phases with disjoint hot sets: a single global static tree must
+        // sacrifice one phase, the windowed hindsight bound does not, and the
+        // online tree tracks the shift.
+        let mut requests = Vec::new();
+        for i in 0..10_000u32 {
+            requests.push(ElementId::new(200 + (i % 5)));
+        }
+        for i in 0..10_000u32 {
+            requests.push(ElementId::new(300 + (i % 5)));
+        }
+        let mut rotor = RotorPush::new(identity(9));
+        let mut oblivious = StaticOblivious::new(identity(9));
+        let rotor_report = hindsight_report(&mut rotor, &requests, 5_000).unwrap();
+        let oblivious_report = hindsight_report(&mut oblivious, &requests, 5_000).unwrap();
+        assert!(rotor_report.ratio() < oblivious_report.ratio());
+        // The online tree stays within a small constant of the per-window
+        // optimum on this highly local workload.
+        assert!(rotor_report.ratio() < 4.0, "ratio {}", rotor_report.ratio());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_length_is_rejected() {
+        let mut algorithm = RotorPush::new(identity(3));
+        let _ = hindsight_report(&mut algorithm, &ids(&[0, 1]), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! The MRU (most-recently-used) reference tree of the paper's analysis.
+//!
+//! An MRU tree stores more recently accessed elements no deeper than less
+//! recently accessed ones, which gives it the working-set property: the
+//! access cost of an element is `O(log rank)`. Random-Push approximates an
+//! MRU tree in expectation; Rotor-Push does not (Lemma 8). This module
+//! provides the ideal MRU cost for comparison and a checker that decides
+//! whether an occupancy is in MRU order.
+
+use satn_core::RecencyTracker;
+use satn_tree::{ElementId, Occupancy};
+
+/// The access cost an ideal MRU tree would pay for an element of a given
+/// working-set rank: the element with rank `r` can be kept at level
+/// `⌊log2 r⌋`, so the cost is `⌊log2 r⌋ + 1`.
+pub fn mru_access_cost(rank: u64) -> u64 {
+    debug_assert!(rank >= 1, "ranks are positive");
+    64 - rank.leading_zeros() as u64
+}
+
+/// Checks whether `occupancy` is in MRU order with respect to the recency
+/// information in `recency`: no element may be strictly deeper than a less
+/// recently used element. Elements that were never accessed are ignored.
+pub fn is_mru_ordered(occupancy: &Occupancy, recency: &RecencyTracker) -> bool {
+    // For every level, the most recent access time of the level below must
+    // not exceed ... precisely: for any accessed elements a, b with
+    // last(a) > last(b), level(a) <= level(b). Equivalently, for every pair
+    // of levels l < l', the *minimum* recency at level l (among accessed
+    // elements) must be at least the *maximum* recency at level l'.
+    let tree = occupancy.tree();
+    let mut min_per_level: Vec<Option<u64>> = vec![None; tree.num_levels() as usize];
+    let mut max_per_level: Vec<Option<u64>> = vec![None; tree.num_levels() as usize];
+    for (node, element) in occupancy.iter() {
+        let last = recency.last_access(element);
+        if last == 0 {
+            continue;
+        }
+        let level = node.level() as usize;
+        min_per_level[level] = Some(min_per_level[level].map_or(last, |m: u64| m.min(last)));
+        max_per_level[level] = Some(max_per_level[level].map_or(last, |m: u64| m.max(last)));
+    }
+    let mut deepest_max_so_far: Option<u64> = None;
+    for level in (0..tree.num_levels() as usize).rev() {
+        if let Some(max_below) = deepest_max_so_far {
+            if let Some(min_here) = min_per_level[level] {
+                if min_here < max_below {
+                    return false;
+                }
+            }
+        }
+        if let Some(max_here) = max_per_level[level] {
+            deepest_max_so_far = Some(deepest_max_so_far.map_or(max_here, |m| m.max(max_here)));
+        }
+    }
+    true
+}
+
+/// Total cost an ideal MRU tree (Strict-MRU with free reorganisation) would
+/// pay for a request sequence: `Σ_t (⌊log2 rank_t⌋ + 1)`.
+pub fn mru_reference_cost(num_elements: u32, requests: &[ElementId]) -> u64 {
+    crate::working_set::working_set_ranks(num_elements, requests)
+        .into_iter()
+        .map(mru_access_cost)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satn_core::{MaxPush, SelfAdjustingTree};
+    use satn_tree::{CompleteTree, Occupancy};
+
+    #[test]
+    fn mru_access_cost_is_floor_log_plus_one() {
+        assert_eq!(mru_access_cost(1), 1);
+        assert_eq!(mru_access_cost(2), 2);
+        assert_eq!(mru_access_cost(3), 2);
+        assert_eq!(mru_access_cost(4), 3);
+        assert_eq!(mru_access_cost(7), 3);
+        assert_eq!(mru_access_cost(8), 4);
+        assert_eq!(mru_access_cost(1023), 10);
+        assert_eq!(mru_access_cost(1024), 11);
+    }
+
+    #[test]
+    fn identity_with_no_accesses_is_trivially_mru() {
+        let tree = CompleteTree::with_levels(4).unwrap();
+        let occupancy = Occupancy::identity(tree);
+        let recency = RecencyTracker::new(tree.num_nodes());
+        assert!(is_mru_ordered(&occupancy, &recency));
+    }
+
+    #[test]
+    fn max_push_maintains_mru_order_but_a_counterexample_fails() {
+        let tree = CompleteTree::with_levels(5).unwrap();
+        let mut alg = MaxPush::new(Occupancy::identity(tree));
+        let requests: Vec<ElementId> =
+            [20u32, 7, 29, 3, 11, 7, 23].iter().map(|&i| ElementId::new(i)).collect();
+        for &request in &requests {
+            alg.serve(request).unwrap();
+        }
+        assert!(is_mru_ordered(alg.occupancy(), alg.recency()));
+
+        // Build a broken configuration: most recent element forced to a leaf.
+        let mut recency = RecencyTracker::new(tree.num_nodes());
+        recency.touch(ElementId::new(0)); // element 0 sits at the root (identity)
+        recency.touch(ElementId::new(30)); // element 30 sits at a leaf but is most recent
+        let occupancy = Occupancy::identity(tree);
+        assert!(!is_mru_ordered(&occupancy, &recency));
+    }
+
+    #[test]
+    fn reference_cost_tracks_working_set_sizes() {
+        // Round-robin over 4 elements: after warm-up each access has rank 4,
+        // so the ideal MRU cost is 3 per request.
+        let requests: Vec<ElementId> = (0..40u32).map(|i| ElementId::new(i % 4)).collect();
+        let cost = mru_reference_cost(8, &requests);
+        // warm-up: ranks 1,2,3,4 -> costs 1,2,2,3 = 8; then 36 requests of rank 4 -> 3 each.
+        assert_eq!(cost, 8 + 36 * 3);
+    }
+}

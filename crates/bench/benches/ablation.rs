@@ -1,0 +1,54 @@
+//! Ablation benchmark: how much of Rotor-Push's quality comes from actually
+//! toggling the rotor pointers?
+//!
+//! The variants (see `satn_core::ablation`) are run on three workloads — the
+//! combined-locality workload of Q4, a uniform workload, and the adversarial
+//! round-robin path of Section 1.1 — and Criterion reports the wall-clock
+//! time of serving the whole trace. The per-request *cost* comparison (the
+//! interesting metric) is produced by
+//! `cargo run -p satn-bench --bin experiments -- ablation`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn_core::ablation::AblationKind;
+use satn_tree::{CompleteTree, Occupancy};
+use satn_workloads::synthetic;
+
+const LEVELS: u32 = 10; // 1023 nodes
+const REQUESTS: usize = 10_000;
+
+fn bench_ablation_variants(c: &mut Criterion) {
+    let tree = CompleteTree::with_levels(LEVELS).unwrap();
+    let nodes = tree.num_nodes();
+    let mut rng = StdRng::seed_from_u64(2022);
+    let workloads = [
+        ("combined", synthetic::combined(nodes, REQUESTS, 1.6, 0.75, &mut rng)),
+        ("uniform", synthetic::uniform(nodes, REQUESTS, &mut rng)),
+        (
+            "round-robin-path",
+            synthetic::round_robin_path(nodes, nodes / 2, REQUESTS / LEVELS as usize),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("rotor-ablation");
+    group.sample_size(20);
+    for (workload_name, workload) in &workloads {
+        for variant in AblationKind::SWEEP {
+            group.bench_with_input(
+                BenchmarkId::new(*workload_name, variant.label()),
+                &variant,
+                |b, &variant| {
+                    b.iter(|| {
+                        let mut algorithm = variant.instantiate(Occupancy::identity(tree), 7);
+                        black_box(algorithm.serve_sequence(workload.requests()).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_variants);
+criterion_main!(benches);

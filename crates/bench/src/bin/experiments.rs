@@ -1,0 +1,101 @@
+//! Command-line entry point reproducing the paper's evaluation.
+//!
+//! ```text
+//! experiments [--quick | --paper] [--out DIR] [EXPERIMENT ...]
+//!
+//! EXPERIMENT: all (default), table1, q1, q2, q3, q4, q4b, q5, q5map,
+//!             lemma8, audit, mtf,
+//!             extensions (= ablation, convergence, entropy, network)
+//! ```
+
+use satn_bench::{experiments, extensions, ExperimentConfig, FigureResult};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: experiments [--quick | --paper] [--out DIR] [all|table1|q1|q2|q3|q4|q4b|q5|q5map|lemma8|audit|mtf|extensions|ablation|convergence|entropy|network ...]"
+}
+
+fn main() -> ExitCode {
+    let mut config = ExperimentConfig::standard();
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(argument) = args.next() {
+        match argument.as_str() {
+            "--quick" => {
+                let output = config.output_dir.clone();
+                config = ExperimentConfig::quick();
+                config.output_dir = output;
+            }
+            "--paper" => {
+                let output = config.output_dir.clone();
+                config = ExperimentConfig::paper();
+                config.output_dir = output;
+            }
+            "--out" => match args.next() {
+                Some(dir) => config.output_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--out requires a directory argument\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => selected.push(other.to_ascii_lowercase()),
+        }
+    }
+    if selected.is_empty() {
+        selected.push("all".to_owned());
+    }
+
+    println!(
+        "# satn experiments — {} nodes, {} requests, {} repetitions (seed {})\n",
+        config.nodes, config.requests, config.repetitions, config.seed
+    );
+
+    let mut results: Vec<FigureResult> = Vec::new();
+    for name in &selected {
+        match name.as_str() {
+            "all" => results.extend(experiments::run_all(&config)),
+            "table1" => results.push(experiments::table1_properties(&config)),
+            "q1" => results.extend(experiments::q1_size_sweep(&config)),
+            "q2" => results.push(experiments::q2_temporal(&config)),
+            "q3" => results.push(experiments::q3_spatial(&config)),
+            "q4" => results.push(experiments::q4_combined_grid(&config)),
+            "q4b" => results.push(experiments::q4_rotor_vs_random_histogram(&config)),
+            "q5" => results.push(experiments::q5_corpus(&config)),
+            "q5map" => results.push(experiments::q5_complexity_map(&config)),
+            "lemma8" => results.push(experiments::lemma8_experiment()),
+            "audit" => results.push(experiments::audit_experiment(&config)),
+            "mtf" => results.push(experiments::mtf_experiment(&config)),
+            "extensions" | "ext" => results.extend(extensions::run_extensions(&config)),
+            "ablation" => results.push(extensions::ablation_experiment(&config)),
+            "convergence" => results.push(extensions::convergence_experiment(&config)),
+            "entropy" => results.push(extensions::entropy_experiment(&config)),
+            "network" => results.push(extensions::network_experiment(&config)),
+            other => {
+                eprintln!("unknown experiment {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for figure in &results {
+        println!("{}", figure.render());
+        if let Some(directory) = &config.output_dir {
+            if let Err(error) = figure.write_csv(directory) {
+                eprintln!("failed to write {}.csv: {error}", figure.id);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(directory) = &config.output_dir {
+        println!("CSV files written to {}", directory.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,174 @@
+//! Measuring algorithm costs on workloads, with repetitions and averaging.
+
+use crate::config::ExperimentConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn_core::{AlgorithmKind, SelfAdjustingTree};
+use satn_tree::{placement, CompleteTree, CostSummary};
+use satn_workloads::Workload;
+
+/// The averaged per-request cost of one algorithm on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmCost {
+    /// Which algorithm was measured.
+    pub algorithm: AlgorithmKind,
+    /// Mean access cost per request, averaged over repetitions.
+    pub mean_access: f64,
+    /// Mean adjustment (swap) cost per request, averaged over repetitions.
+    pub mean_adjustment: f64,
+}
+
+impl AlgorithmCost {
+    /// Mean total cost per request.
+    pub fn mean_total(&self) -> f64 {
+        self.mean_access + self.mean_adjustment
+    }
+}
+
+/// Measures one algorithm on one workload for a single repetition, starting
+/// from the given initial placement seed.
+///
+/// # Panics
+///
+/// Panics if the workload does not fit the tree or an element id is invalid
+/// (both indicate a configuration bug in the caller).
+pub fn measure_once(
+    kind: AlgorithmKind,
+    tree: CompleteTree,
+    workload: &Workload,
+    placement_seed: u64,
+    algorithm_seed: u64,
+) -> CostSummary {
+    assert!(
+        u64::from(workload.num_elements()) <= u64::from(tree.num_nodes()),
+        "workload universe larger than the tree"
+    );
+    let mut rng = StdRng::seed_from_u64(placement_seed);
+    let initial = placement::random_occupancy(tree, &mut rng);
+    let mut algorithm = kind
+        .instantiate(initial, algorithm_seed, workload.requests())
+        .expect("workload elements must fit the tree");
+    algorithm
+        .serve_sequence(workload.requests())
+        .expect("workload elements must fit the tree")
+}
+
+/// Measures a set of algorithms on one workload, averaging per-request costs
+/// over `config.repetitions` repetitions (each with its own random initial
+/// placement and algorithm seed), exactly as the paper's methodology
+/// prescribes.
+pub fn measure_algorithms(
+    kinds: &[AlgorithmKind],
+    tree: CompleteTree,
+    workload: &Workload,
+    config: &ExperimentConfig,
+) -> Vec<AlgorithmCost> {
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut access = 0.0;
+            let mut adjustment = 0.0;
+            for repetition in 0..config.repetitions.max(1) {
+                let seed = config.seed_for(repetition);
+                let summary = measure_once(kind, tree, workload, seed, seed ^ 0x5DEECE66D);
+                access += summary.mean_access();
+                adjustment += summary.mean_adjustment();
+            }
+            let reps = config.repetitions.max(1) as f64;
+            AlgorithmCost {
+                algorithm: kind,
+                mean_access: access / reps,
+                mean_adjustment: adjustment / reps,
+            }
+        })
+        .collect()
+}
+
+/// Convenience lookup in a measurement result.
+pub fn cost_of(costs: &[AlgorithmCost], kind: AlgorithmKind) -> &AlgorithmCost {
+    costs
+        .iter()
+        .find(|c| c.algorithm == kind)
+        .expect("algorithm was measured")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use satn_workloads::synthetic;
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig {
+            nodes: 255,
+            requests: 2_000,
+            repetitions: 2,
+            seed: 7,
+            corpus_scale: 0.05,
+            output_dir: None,
+        }
+    }
+
+    #[test]
+    fn measurement_is_reproducible() {
+        let config = quick_config();
+        let tree = CompleteTree::with_nodes(config.nodes as u64).unwrap();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let workload = synthetic::temporal(config.nodes, config.requests, 0.8, &mut rng);
+        let a = measure_algorithms(&AlgorithmKind::EVALUATED, tree, &workload, &config);
+        let b = measure_algorithms(&AlgorithmKind::EVALUATED, tree, &workload, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn static_algorithms_report_zero_adjustment() {
+        let config = quick_config();
+        let tree = CompleteTree::with_nodes(config.nodes as u64).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let workload = synthetic::uniform(config.nodes, 1_000, &mut rng);
+        let costs = measure_algorithms(&AlgorithmKind::EVALUATED, tree, &workload, &config);
+        assert_eq!(cost_of(&costs, AlgorithmKind::StaticOpt).mean_adjustment, 0.0);
+        assert_eq!(
+            cost_of(&costs, AlgorithmKind::StaticOblivious).mean_adjustment,
+            0.0
+        );
+        for cost in &costs {
+            assert!(cost.mean_access >= 1.0, "{cost:?}");
+            assert!(cost.mean_total() >= cost.mean_access);
+        }
+    }
+
+    #[test]
+    fn high_locality_favours_self_adjusting_algorithms() {
+        // With strong temporal locality the push algorithms beat the
+        // oblivious static tree — the central observation of the paper.
+        let config = quick_config();
+        let tree = CompleteTree::with_nodes(config.nodes as u64).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let workload = synthetic::temporal(config.nodes, 8_000, 0.95, &mut rng);
+        let costs = measure_algorithms(
+            &[AlgorithmKind::RotorPush, AlgorithmKind::StaticOblivious],
+            tree,
+            &workload,
+            &config,
+        );
+        let rotor = cost_of(&costs, AlgorithmKind::RotorPush).mean_total();
+        let oblivious = cost_of(&costs, AlgorithmKind::StaticOblivious).mean_total();
+        assert!(rotor < oblivious, "rotor {rotor} vs oblivious {oblivious}");
+    }
+
+    #[test]
+    fn workloads_larger_than_the_tree_are_rejected() {
+        let tree = CompleteTree::with_nodes(15).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let requests = (0..10)
+            .map(|_| satn_tree::ElementId::new(rng.gen_range(0..100)))
+            .collect();
+        let workload = Workload::new("too-big", 100, requests);
+        let result = std::panic::catch_unwind(|| {
+            measure_once(AlgorithmKind::RotorPush, tree, &workload, 1, 1)
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! A dependency-free Huffman coder.
+//!
+//! The complexity map of Figure 6 only needs *relative* compressed sizes, so
+//! any universal compressor works. Having a second, entropy-optimal coder
+//! next to LZW lets the experiments cross-check that the map does not depend
+//! on the compressor choice: Huffman measures pure symbol-frequency structure
+//! (non-temporal complexity), LZW additionally captures repeated substrings
+//! (temporal structure).
+
+use std::collections::BinaryHeap;
+
+/// A canonical Huffman code for byte symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanCode {
+    /// Code length in bits per symbol; 0 for symbols that never occur.
+    lengths: [u8; 256],
+    /// Code words (low `lengths[i]` bits are the code, most significant bit
+    /// first when emitted).
+    codes: [u32; 256],
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    weight: u64,
+    // Tie-break deterministically on the smallest contained symbol so the
+    // code does not depend on heap iteration order.
+    symbol: u16,
+    node: usize,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert to get the two lightest nodes.
+        other
+            .weight
+            .cmp(&self.weight)
+            .then_with(|| other.symbol.cmp(&self.symbol))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl HuffmanCode {
+    /// Builds a code from symbol frequencies (index = byte value).
+    ///
+    /// Symbols with zero frequency get no code. If only one distinct symbol
+    /// occurs it is assigned a 1-bit code so that encoding still produces
+    /// output.
+    pub fn from_frequencies(frequencies: &[u64; 256]) -> Self {
+        #[derive(Clone, Copy)]
+        struct Node {
+            children: Option<(usize, usize)>,
+            symbol: Option<u8>,
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut heap = BinaryHeap::new();
+        for (symbol, &weight) in frequencies.iter().enumerate() {
+            if weight > 0 {
+                nodes.push(Node {
+                    children: None,
+                    symbol: Some(symbol as u8),
+                });
+                heap.push(HeapEntry {
+                    weight,
+                    symbol: symbol as u16,
+                    node: nodes.len() - 1,
+                });
+            }
+        }
+        let mut lengths = [0u8; 256];
+        let mut codes = [0u32; 256];
+        if heap.is_empty() {
+            return HuffmanCode { lengths, codes };
+        }
+        if heap.len() == 1 {
+            let only = heap.pop().unwrap();
+            let symbol = nodes[only.node].symbol.unwrap();
+            lengths[symbol as usize] = 1;
+            codes[symbol as usize] = 0;
+            return HuffmanCode { lengths, codes };
+        }
+        while heap.len() > 1 {
+            let a = heap.pop().unwrap();
+            let b = heap.pop().unwrap();
+            nodes.push(Node {
+                children: Some((a.node, b.node)),
+                symbol: None,
+            });
+            heap.push(HeapEntry {
+                weight: a.weight + b.weight,
+                symbol: a.symbol.min(b.symbol),
+                node: nodes.len() - 1,
+            });
+        }
+        // Assign lengths by walking the tree, then build canonical codes.
+        let root = heap.pop().unwrap().node;
+        let mut stack = vec![(root, 0u8)];
+        while let Some((node, depth)) = stack.pop() {
+            match nodes[node].children {
+                Some((left, right)) => {
+                    stack.push((left, depth + 1));
+                    stack.push((right, depth + 1));
+                }
+                None => {
+                    let symbol = nodes[node].symbol.unwrap();
+                    lengths[symbol as usize] = depth.max(1);
+                }
+            }
+        }
+        // Canonical code assignment: sort by (length, symbol).
+        let mut symbols: Vec<u8> = (0u16..256)
+            .filter(|&s| lengths[s as usize] > 0)
+            .map(|s| s as u8)
+            .collect();
+        symbols.sort_by_key(|&s| (lengths[s as usize], s));
+        let mut code = 0u32;
+        let mut previous_length = 0u8;
+        for &symbol in &symbols {
+            let length = lengths[symbol as usize];
+            code <<= length - previous_length;
+            codes[symbol as usize] = code;
+            code += 1;
+            previous_length = length;
+        }
+        HuffmanCode { lengths, codes }
+    }
+
+    /// Builds a code for the byte frequencies of `input`.
+    pub fn from_input(input: &[u8]) -> Self {
+        let mut frequencies = [0u64; 256];
+        for &byte in input {
+            frequencies[byte as usize] += 1;
+        }
+        HuffmanCode::from_frequencies(&frequencies)
+    }
+
+    /// The code length of `symbol` in bits (0 if the symbol has no code).
+    pub fn length(&self, symbol: u8) -> u8 {
+        self.lengths[symbol as usize]
+    }
+
+    /// The total number of bits needed to encode `input` with this code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` contains a symbol without a code.
+    pub fn encoded_bits(&self, input: &[u8]) -> u64 {
+        input
+            .iter()
+            .map(|&byte| {
+                let length = self.lengths[byte as usize];
+                assert!(length > 0, "symbol {byte} has no code");
+                u64::from(length)
+            })
+            .sum()
+    }
+
+    /// Encodes `input` into a bit stream (most significant bit of each output
+    /// byte first) and returns the stream plus its exact bit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` contains a symbol without a code.
+    pub fn encode(&self, input: &[u8]) -> (Vec<u8>, u64) {
+        let mut output = Vec::new();
+        let mut bit_buffer = 0u64;
+        let mut bits_in_buffer = 0u32;
+        let mut total_bits = 0u64;
+        for &byte in input {
+            let length = u32::from(self.lengths[byte as usize]);
+            assert!(length > 0, "symbol {byte} has no code");
+            bit_buffer = (bit_buffer << length) | u64::from(self.codes[byte as usize]);
+            bits_in_buffer += length;
+            total_bits += u64::from(length);
+            while bits_in_buffer >= 8 {
+                bits_in_buffer -= 8;
+                output.push(((bit_buffer >> bits_in_buffer) & 0xFF) as u8);
+            }
+        }
+        if bits_in_buffer > 0 {
+            output.push(((bit_buffer << (8 - bits_in_buffer)) & 0xFF) as u8);
+        }
+        (output, total_bits)
+    }
+
+    /// Decodes `bits` bits of the stream produced by [`HuffmanCode::encode`].
+    ///
+    /// Decoding walks the canonical code table; it is linear in the output
+    /// size times the maximum code length, which is plenty for the trace
+    /// sizes used here.
+    pub fn decode(&self, stream: &[u8], bits: u64) -> Vec<u8> {
+        // Invert the code table: (length, code) -> symbol. A prefix code never
+        // has two symbols with the same (length, code) pair.
+        let table: Vec<(u8, u32, u8)> = (0u16..256)
+            .filter(|&s| self.lengths[s as usize] > 0)
+            .map(|s| (self.lengths[s as usize], self.codes[s as usize], s as u8))
+            .collect();
+        let mut output = Vec::new();
+        let mut code = 0u32;
+        let mut code_length = 0u8;
+        for bit_index in 0..bits {
+            let byte = stream[(bit_index / 8) as usize];
+            let bit = (byte >> (7 - (bit_index % 8))) & 1;
+            code = (code << 1) | u32::from(bit);
+            code_length += 1;
+            if let Some(&(_, _, symbol)) = table
+                .iter()
+                .find(|&&(length, c, _)| length == code_length && c == code)
+            {
+                output.push(symbol);
+                code = 0;
+                code_length = 0;
+            }
+        }
+        output
+    }
+}
+
+/// The number of bits an optimal prefix code needs for `input`, divided by
+/// the number of input bytes (i.e. the Huffman-compressed size in bits per
+/// symbol). Returns 0 for empty input.
+pub fn huffman_bits_per_symbol(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 0.0;
+    }
+    let code = HuffmanCode::from_input(input);
+    code.encoded_bits(input) as f64 / input.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shannon_entropy(input: &[u8]) -> f64 {
+        let mut counts = [0u64; 256];
+        for &byte in input {
+            counts[byte as usize] += 1;
+        }
+        let total = input.len() as f64;
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn roundtrip_on_text() {
+        let input = b"rotor walks derandomize random walks; rotor pushes derandomize random pushes";
+        let code = HuffmanCode::from_input(input);
+        let (stream, bits) = code.encode(input);
+        assert_eq!(code.encoded_bits(input), bits);
+        assert!(stream.len() as u64 * 8 >= bits);
+        let decoded = code.decode(&stream, bits);
+        assert_eq!(decoded, input);
+    }
+
+    #[test]
+    fn roundtrip_on_binary_data() {
+        let input: Vec<u8> = (0..4096u32).map(|i| (i * i % 251) as u8).collect();
+        let code = HuffmanCode::from_input(&input);
+        let (stream, bits) = code.encode(&input);
+        assert_eq!(code.decode(&stream, bits), input);
+    }
+
+    #[test]
+    fn single_symbol_inputs_still_encode() {
+        let input = vec![42u8; 1000];
+        let code = HuffmanCode::from_input(&input);
+        assert_eq!(code.length(42), 1);
+        let (stream, bits) = code.encode(&input);
+        assert_eq!(bits, 1000);
+        assert_eq!(code.decode(&stream, bits), input);
+    }
+
+    #[test]
+    fn empty_input_produces_an_empty_code() {
+        let code = HuffmanCode::from_frequencies(&[0u64; 256]);
+        assert_eq!(code.encode(&[]), (Vec::new(), 0));
+        assert_eq!(huffman_bits_per_symbol(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_code_length_is_within_one_bit_of_the_entropy() {
+        let samples: Vec<Vec<u8>> = vec![
+            b"abracadabra abracadabra abracadabra".to_vec(),
+            (0..10_000u32).map(|i| (i % 7) as u8).collect(),
+            (0..10_000u32).map(|i| (i.wrapping_mul(2_654_435_761) % 256) as u8).collect(),
+        ];
+        for input in samples {
+            let h = shannon_entropy(&input);
+            let bits = huffman_bits_per_symbol(&input);
+            assert!(bits + 1e-9 >= h, "optimality violated: {bits} < {h}");
+            assert!(bits <= h + 1.0 + 1e-9, "{bits} exceeds H+1 = {}", h + 1.0);
+        }
+    }
+
+    #[test]
+    fn skewed_inputs_compress_better_than_uniform_ones() {
+        let skewed: Vec<u8> = (0..8_000usize)
+            .map(|i| if i % 10 == 0 { (i % 50) as u8 } else { 7 })
+            .collect();
+        let uniform: Vec<u8> = (0..8_000u32).map(|i| (i % 256) as u8).collect();
+        assert!(huffman_bits_per_symbol(&skewed) < huffman_bits_per_symbol(&uniform));
+    }
+
+    #[test]
+    fn lzw_beats_huffman_on_repetitive_sequences() {
+        // LZW exploits repeated substrings, Huffman only symbol frequencies.
+        let repetitive = b"rotor-push ".repeat(500);
+        let huffman_bits = huffman_bits_per_symbol(&repetitive) * repetitive.len() as f64;
+        let lzw_bits = (crate::compressed_size(&repetitive) * 8) as f64;
+        assert!(lzw_bits < huffman_bits);
+    }
+}

@@ -1,0 +1,32 @@
+//! # satn-compress
+//!
+//! A dependency-free LZW compressor and the trace *complexity map* built on
+//! top of it, used to characterise request workloads the way the paper's Q5
+//! experiment does (Figure 6): every trace is placed on a two-dimensional map
+//! whose axes are temporal complexity (how much of its compressibility stems
+//! from request ordering) and non-temporal complexity (how much stems from
+//! frequency skew).
+//!
+//! ```
+//! use satn_compress::{complexity_point, compress, decompress};
+//! use rand::SeedableRng;
+//!
+//! let data = b"self adjusting trees adjust to demand".repeat(20);
+//! assert_eq!(decompress(&compress(&data)), data);
+//!
+//! let trace: Vec<u32> = (0..5000u32).map(|i| i % 7).collect();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let point = complexity_point(&trace, &mut rng);
+//! assert!(point.temporal < 1.0); // a strictly periodic trace has temporal structure
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod complexity;
+mod huffman;
+mod lzw;
+
+pub use complexity::{complexity_point, ComplexityPoint};
+pub use huffman::{huffman_bits_per_symbol, HuffmanCode};
+pub use lzw::{compress, compressed_size, compression_ratio, decompress};

@@ -1,0 +1,27 @@
+//! The self-adjusting single-source tree network algorithms.
+//!
+//! | Algorithm | Type | Competitive ratio | Working-set property |
+//! |-----------|------|-------------------|----------------------|
+//! | [`RotorPush`] | deterministic | 12 (Theorem 7) | no (Lemma 8) |
+//! | [`RandomPush`] | randomized | 16 (Theorem 11) | yes |
+//! | [`MoveHalf`] | deterministic | 64 | no |
+//! | [`MaxPush`] (Strict-MRU) | deterministic | unknown swap cost | yes (access cost) |
+//! | [`StaticOpt`] | offline static | — | no |
+//! | [`StaticOblivious`] | static | — | no |
+//! | [`MoveToFront`] | deterministic | Ω(log n / log log n) | no |
+
+pub mod ablation;
+mod max_push;
+mod move_half;
+mod move_to_front;
+mod random_push;
+mod rotor_push;
+mod static_tree;
+
+pub use ablation::{AblationKind, LazyRotorPush, ScrambledRotorPush};
+pub use max_push::MaxPush;
+pub use move_half::MoveHalf;
+pub use move_to_front::MoveToFront;
+pub use random_push::RandomPush;
+pub use rotor_push::RotorPush;
+pub use static_tree::{StaticOblivious, StaticOpt};

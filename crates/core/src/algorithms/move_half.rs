@@ -1,0 +1,170 @@
+//! **Move-Half** — the deterministic baseline of Avin et al. (Algorithm 1).
+
+use crate::ops::exchange_elements;
+use crate::recency::RecencyTracker;
+use crate::traits::SelfAdjustingTree;
+use satn_tree::{ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
+
+/// The Move-Half algorithm (Algorithm 1 of the paper).
+///
+/// Upon a request to an element `e_i` at level `ℓ`, it exchanges `e_i` with
+/// the element of highest working-set rank (the least recently used element)
+/// at level `⌊ℓ/2⌋`: the accessed element moves halfway towards the root and
+/// the stale element takes its former place. Move-Half is 64-competitive
+/// [Avin et al., LATIN 2020]; in the paper's experiments it is slightly more
+/// costly than the push-based algorithms.
+#[derive(Debug, Clone)]
+pub struct MoveHalf {
+    occupancy: Occupancy,
+    recency: RecencyTracker,
+}
+
+impl MoveHalf {
+    /// Creates a Move-Half network starting from the given occupancy.
+    pub fn new(occupancy: Occupancy) -> Self {
+        let recency = RecencyTracker::new(occupancy.num_elements());
+        MoveHalf { occupancy, recency }
+    }
+
+    /// Returns the recency tracker (exposed for analysis and tests).
+    pub fn recency(&self) -> &RecencyTracker {
+        &self.recency
+    }
+
+    /// Returns the least recently used element currently stored at `level`.
+    fn least_recently_used_at_level(&self, level: u32) -> ElementId {
+        self.recency
+            .least_recently_used(
+                self.occupancy
+                    .tree()
+                    .level_nodes(level)
+                    .map(|node| self.occupancy.element_at(node)),
+            )
+            .expect("every level of a complete tree is non-empty")
+    }
+}
+
+impl SelfAdjustingTree for MoveHalf {
+    fn name(&self) -> &'static str {
+        "move-half"
+    }
+
+    fn occupancy(&self) -> &Occupancy {
+        &self.occupancy
+    }
+
+    fn serve(&mut self, element: ElementId) -> Result<ServeCost, TreeError> {
+        self.occupancy.check_element(element)?;
+        let level = self.occupancy.level_of(element);
+        let cost = if level == 0 {
+            let round = MarkedRound::access(&mut self.occupancy, element)?;
+            round.finish()
+        } else {
+            let halfway = level / 2;
+            let partner = self.least_recently_used_at_level(halfway);
+            let mut round = MarkedRound::access(&mut self.occupancy, element)?;
+            exchange_elements(&mut round, element, partner)?;
+            round.finish()
+        };
+        self.recency.touch(element);
+        Ok(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satn_tree::{CompleteTree, NodeId};
+
+    fn identity(levels: u32) -> Occupancy {
+        Occupancy::identity(CompleteTree::with_levels(levels).unwrap())
+    }
+
+    #[test]
+    fn accessed_element_moves_to_half_depth() {
+        let mut alg = MoveHalf::new(identity(5));
+        // Element 30 is at node 30, level 4; it must move to level 2.
+        alg.serve(ElementId::new(30)).unwrap();
+        assert_eq!(alg.occupancy().level_of(ElementId::new(30)), 2);
+        assert!(alg.occupancy().is_consistent());
+    }
+
+    #[test]
+    fn displaced_partner_takes_the_old_node() {
+        let mut alg = MoveHalf::new(identity(5));
+        // The LRU element at level 2 with nothing accessed yet is element 3
+        // (the smallest id on that level in the identity placement).
+        alg.serve(ElementId::new(30)).unwrap();
+        assert_eq!(alg.occupancy().node_of(ElementId::new(3)), NodeId::new(30));
+        assert_eq!(alg.occupancy().node_of(ElementId::new(30)), NodeId::new(3));
+    }
+
+    #[test]
+    fn root_and_level_one_requests() {
+        let mut alg = MoveHalf::new(identity(4));
+        let cost = alg.serve(ElementId::new(0)).unwrap();
+        assert_eq!(cost, ServeCost::new(1, 0));
+        // A level-1 element exchanges with the root element (1 swap).
+        let cost = alg.serve(ElementId::new(2)).unwrap();
+        assert_eq!(cost.access, 2);
+        assert_eq!(cost.adjustment, 1);
+        assert_eq!(alg.occupancy().element_at(NodeId::ROOT), ElementId::new(2));
+    }
+
+    #[test]
+    fn recently_accessed_elements_are_not_chosen_as_partners() {
+        let mut alg = MoveHalf::new(identity(5));
+        // Access element 3 (level 2) so that it becomes most recently used;
+        // it first swaps with the root element (level 1 target = level 2/2).
+        alg.serve(ElementId::new(3)).unwrap();
+        // Now request a deep element; the level-2 partner must not be the
+        // recently accessed element 3 (wherever it is), but a stale one.
+        let partner_level = 2;
+        let lru_before = alg.least_recently_used_at_level(partner_level);
+        assert_ne!(lru_before, ElementId::new(3));
+        alg.serve(ElementId::new(29)).unwrap();
+        assert_eq!(alg.occupancy().level_of(ElementId::new(29)), partner_level);
+    }
+
+    #[test]
+    fn adjustment_cost_is_bounded_by_twice_the_distance() {
+        let mut alg = MoveHalf::new(identity(6));
+        for step in 0..300u32 {
+            let element = ElementId::new((step * 23 + 5) % 63);
+            let level = alg.occupancy().level_of(element) as u64;
+            let cost = alg.serve(element).unwrap();
+            // The exchange involves two relocations over at most
+            // (level - level/2) + level/2 + level edges each way.
+            assert!(cost.adjustment <= 2 * (2 * level) + 1, "step {step}");
+            assert!(alg.occupancy().is_consistent());
+        }
+    }
+
+    #[test]
+    fn repeated_requests_keep_the_element_near_the_top() {
+        let mut alg = MoveHalf::new(identity(5));
+        for _ in 0..5 {
+            alg.serve(ElementId::new(27)).unwrap();
+        }
+        // level halves each time: 4 -> 2 -> 1 -> 0 -> 0 ...
+        assert_eq!(alg.occupancy().level_of(ElementId::new(27)), 0);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let requests: Vec<ElementId> = (0..200u32).map(|i| ElementId::new((i * 13) % 31)).collect();
+        let mut a = MoveHalf::new(identity(5));
+        let mut b = MoveHalf::new(identity(5));
+        assert_eq!(
+            a.serve_sequence(&requests).unwrap(),
+            b.serve_sequence(&requests).unwrap()
+        );
+        assert_eq!(a.occupancy(), b.occupancy());
+    }
+
+    #[test]
+    fn rejects_unknown_element() {
+        let mut alg = MoveHalf::new(identity(3));
+        assert!(alg.serve(ElementId::new(64)).is_err());
+    }
+}

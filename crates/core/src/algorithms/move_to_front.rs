@@ -1,0 +1,114 @@
+//! The naive **Move-To-Front** generalisation — the strawman of Section 1.1.
+
+use crate::traits::SelfAdjustingTree;
+use satn_tree::{ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
+
+/// The immediate generalisation of the list-update Move-To-Front rule: upon a
+/// request, swap the accessed element along its access path all the way to
+/// the root, pushing every element on that path one level down.
+///
+/// As observed in the paper's introduction, this strategy is *not* constant
+/// competitive: a round-robin sequence over a single root-to-leaf path forces
+/// it to pay `Θ(log n)` per request while the optimum pays `O(log log n)`,
+/// yielding a competitive ratio of `Ω(log n / log log n)`. It is included as
+/// a baseline for exactly that experiment (`E-MTF` in DESIGN.md).
+#[derive(Debug, Clone)]
+pub struct MoveToFront {
+    occupancy: Occupancy,
+}
+
+impl MoveToFront {
+    /// Creates a Move-To-Front network starting from the given occupancy.
+    pub fn new(occupancy: Occupancy) -> Self {
+        MoveToFront { occupancy }
+    }
+}
+
+impl SelfAdjustingTree for MoveToFront {
+    fn name(&self) -> &'static str {
+        "move-to-front"
+    }
+
+    fn occupancy(&self) -> &Occupancy {
+        &self.occupancy
+    }
+
+    fn serve(&mut self, element: ElementId) -> Result<ServeCost, TreeError> {
+        self.occupancy.check_element(element)?;
+        let node = self.occupancy.node_of(element);
+        let mut round = MarkedRound::access(&mut self.occupancy, element)?;
+        round.bubble_to_root(node)?;
+        Ok(round.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satn_tree::{CompleteTree, NodeId};
+
+    fn identity(levels: u32) -> Occupancy {
+        Occupancy::identity(CompleteTree::with_levels(levels).unwrap())
+    }
+
+    #[test]
+    fn accessed_element_moves_to_root_and_path_shifts_down() {
+        let mut alg = MoveToFront::new(identity(4));
+        let cost = alg.serve(ElementId::new(11)).unwrap();
+        assert_eq!(cost.access, 4);
+        assert_eq!(cost.adjustment, 3);
+        let occ = alg.occupancy();
+        assert_eq!(occ.element_at(NodeId::ROOT), ElementId::new(11));
+        assert_eq!(occ.element_at(NodeId::new(2)), ElementId::new(0));
+        assert_eq!(occ.element_at(NodeId::new(5)), ElementId::new(2));
+        assert_eq!(occ.element_at(NodeId::new(11)), ElementId::new(5));
+    }
+
+    #[test]
+    fn round_robin_on_a_path_keeps_costs_high() {
+        // The lower-bound example: request the elements of one root-to-leaf
+        // path in round-robin order. Move-To-Front keeps paying for the full
+        // depth because each access pushes the others back down the path.
+        let levels = 7;
+        let mut alg = MoveToFront::new(identity(levels));
+        // The rightmost leaf of a tree with `levels` levels has index 2^levels - 2.
+        let path: Vec<ElementId> = NodeId::new((1 << levels) - 2)
+            .path_from_root()
+            .iter()
+            .map(|n| ElementId::new(n.index()))
+            .collect();
+        // Warm up one round, then measure.
+        for &e in &path {
+            alg.serve(e).unwrap();
+        }
+        let mut total = 0u64;
+        let rounds = 20;
+        for _ in 0..rounds {
+            for &e in &path {
+                total += alg.serve(e).unwrap().access;
+            }
+        }
+        let mean_access = total as f64 / (rounds * path.len() as u64) as f64;
+        // The average access cost stays Ω(depth): concretely above depth / 2,
+        // whereas an optimal offline tree would pay O(log depth).
+        assert!(
+            mean_access > (levels as f64) / 2.0,
+            "mean access {mean_access} too small"
+        );
+    }
+
+    #[test]
+    fn repeated_access_to_same_element_is_cheap() {
+        let mut alg = MoveToFront::new(identity(5));
+        alg.serve(ElementId::new(30)).unwrap();
+        for _ in 0..5 {
+            assert_eq!(alg.serve(ElementId::new(30)).unwrap(), ServeCost::new(1, 0));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_element() {
+        let mut alg = MoveToFront::new(identity(3));
+        assert!(alg.serve(ElementId::new(12)).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! A small factory for building any of the paper's algorithms by name,
+//! used by the experiment harness and the examples.
+
+use crate::algorithms::{
+    MaxPush, MoveHalf, MoveToFront, RandomPush, RotorPush, StaticOblivious, StaticOpt,
+};
+use crate::traits::SelfAdjustingTree;
+use satn_tree::{ElementId, Occupancy, TreeError};
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifies one of the algorithms studied in the paper (plus the
+/// Move-To-Front strawman).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum AlgorithmKind {
+    /// Deterministic Rotor-Push (the paper's contribution).
+    RotorPush,
+    /// Randomized Random-Push.
+    RandomPush,
+    /// Deterministic Move-Half.
+    MoveHalf,
+    /// Max-Push / Strict-MRU.
+    MaxPush,
+    /// The frequency-ordered offline static tree.
+    StaticOpt,
+    /// The unmodified initial tree.
+    StaticOblivious,
+    /// The naive move-to-front generalisation (lower-bound example).
+    MoveToFront,
+}
+
+impl AlgorithmKind {
+    /// All algorithms compared in the paper's evaluation (Section 6), in the
+    /// order used by the figures.
+    pub const EVALUATED: [AlgorithmKind; 6] = [
+        AlgorithmKind::RotorPush,
+        AlgorithmKind::RandomPush,
+        AlgorithmKind::MoveHalf,
+        AlgorithmKind::MaxPush,
+        AlgorithmKind::StaticOblivious,
+        AlgorithmKind::StaticOpt,
+    ];
+
+    /// The four self-adjusting algorithms (used by Figure 2).
+    pub const SELF_ADJUSTING: [AlgorithmKind; 4] = [
+        AlgorithmKind::RotorPush,
+        AlgorithmKind::RandomPush,
+        AlgorithmKind::MoveHalf,
+        AlgorithmKind::MaxPush,
+    ];
+
+    /// The stable, lowercase name of the algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::RotorPush => "rotor-push",
+            AlgorithmKind::RandomPush => "random-push",
+            AlgorithmKind::MoveHalf => "move-half",
+            AlgorithmKind::MaxPush => "max-push",
+            AlgorithmKind::StaticOpt => "static-opt",
+            AlgorithmKind::StaticOblivious => "static-oblivious",
+            AlgorithmKind::MoveToFront => "move-to-front",
+        }
+    }
+
+    /// Whether the algorithm reorganises the tree while serving requests.
+    pub fn is_self_adjusting(self) -> bool {
+        !matches!(
+            self,
+            AlgorithmKind::StaticOpt | AlgorithmKind::StaticOblivious
+        )
+    }
+
+    /// Builds a ready-to-run instance of the algorithm.
+    ///
+    /// * `initial` — the starting occupancy (shared by all algorithms of an
+    ///   experiment so the comparison is fair),
+    /// * `seed` — the random seed used by [`RandomPush`] (ignored by the
+    ///   deterministic algorithms),
+    /// * `sequence` — the full request sequence, needed only by the offline
+    ///   [`StaticOpt`] baseline to compute element frequencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::ElementOutOfRange`] if `sequence` refers to an
+    /// element outside the tree (only possible for [`AlgorithmKind::StaticOpt`]).
+    pub fn instantiate(
+        self,
+        initial: Occupancy,
+        seed: u64,
+        sequence: &[ElementId],
+    ) -> Result<Box<dyn SelfAdjustingTree>, TreeError> {
+        Ok(match self {
+            AlgorithmKind::RotorPush => Box::new(RotorPush::new(initial)),
+            AlgorithmKind::RandomPush => Box::new(RandomPush::with_seed(initial, seed)),
+            AlgorithmKind::MoveHalf => Box::new(MoveHalf::new(initial)),
+            AlgorithmKind::MaxPush => Box::new(MaxPush::new(initial)),
+            AlgorithmKind::StaticOblivious => Box::new(StaticOblivious::new(initial)),
+            AlgorithmKind::StaticOpt => {
+                Box::new(StaticOpt::from_sequence(initial.tree(), sequence)?)
+            }
+            AlgorithmKind::MoveToFront => Box::new(MoveToFront::new(initial)),
+        })
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown algorithm name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgorithmError {
+    input: String,
+}
+
+impl fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown algorithm name: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+impl FromStr for AlgorithmKind {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "rotor" | "rotor-push" | "rtr" => Ok(AlgorithmKind::RotorPush),
+            "random" | "random-push" | "rand" => Ok(AlgorithmKind::RandomPush),
+            "half" | "move-half" => Ok(AlgorithmKind::MoveHalf),
+            "max" | "max-push" | "strict-mru" => Ok(AlgorithmKind::MaxPush),
+            "static-opt" | "opt" => Ok(AlgorithmKind::StaticOpt),
+            "static-oblivious" | "oblivious" => Ok(AlgorithmKind::StaticOblivious),
+            "mtf" | "move-to-front" => Ok(AlgorithmKind::MoveToFront),
+            _ => Err(ParseAlgorithmError { input: s.to_owned() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satn_tree::CompleteTree;
+
+    #[test]
+    fn names_roundtrip_through_fromstr() {
+        for kind in [
+            AlgorithmKind::RotorPush,
+            AlgorithmKind::RandomPush,
+            AlgorithmKind::MoveHalf,
+            AlgorithmKind::MaxPush,
+            AlgorithmKind::StaticOpt,
+            AlgorithmKind::StaticOblivious,
+            AlgorithmKind::MoveToFront,
+        ] {
+            let parsed: AlgorithmKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("splay".parse::<AlgorithmKind>().is_err());
+    }
+
+    #[test]
+    fn instantiate_builds_working_algorithms() {
+        let tree = CompleteTree::with_levels(4).unwrap();
+        let sequence: Vec<ElementId> = (0..15u32).map(ElementId::new).collect();
+        for kind in AlgorithmKind::EVALUATED {
+            let mut alg = kind
+                .instantiate(Occupancy::identity(tree), 7, &sequence)
+                .unwrap();
+            assert_eq!(alg.name(), kind.name());
+            assert_eq!(alg.is_self_adjusting(), kind.is_self_adjusting());
+            let summary = alg.serve_sequence(&sequence).unwrap();
+            assert_eq!(summary.requests(), 15);
+        }
+    }
+
+    #[test]
+    fn static_opt_instantiation_reports_bad_sequences() {
+        let tree = CompleteTree::with_levels(3).unwrap();
+        let err = AlgorithmKind::StaticOpt
+            .instantiate(Occupancy::identity(tree), 0, &[ElementId::new(99)])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, TreeError::ElementOutOfRange { .. }));
+    }
+
+    #[test]
+    fn evaluated_and_self_adjusting_sets_are_consistent() {
+        for kind in AlgorithmKind::SELF_ADJUSTING {
+            assert!(kind.is_self_adjusting());
+            assert!(AlgorithmKind::EVALUATED.contains(&kind));
+        }
+        assert!(!AlgorithmKind::StaticOpt.is_self_adjusting());
+    }
+}

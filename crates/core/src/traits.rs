@@ -1,0 +1,132 @@
+//! The common interface of all self-adjusting single-source tree networks.
+
+use satn_tree::{CompleteTree, CostSummary, ElementId, Occupancy, ServeCost, TreeError};
+
+/// A self-adjusting single-source tree network.
+///
+/// Implementations own an [`Occupancy`] (the current element-to-node mapping)
+/// and serve an online sequence of element accesses, paying `level + 1` per
+/// access plus one unit per swap they perform to reorganise the tree.
+///
+/// All algorithms of the paper implement this trait: `Rotor-Push`,
+/// `Random-Push`, `Move-Half`, `Max-Push` (Strict-MRU), plus the static
+/// baselines `Static-Opt` and `Static-Oblivious` and the naive
+/// `Move-To-Front` generalisation.
+pub trait SelfAdjustingTree {
+    /// A short, stable, human-readable algorithm name (e.g. `"rotor-push"`).
+    fn name(&self) -> &'static str;
+
+    /// The current element-to-node mapping.
+    fn occupancy(&self) -> &Occupancy;
+
+    /// Serves a single request and returns its access and adjustment cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::ElementOutOfRange`] if the element does not exist.
+    fn serve(&mut self, element: ElementId) -> Result<ServeCost, TreeError>;
+
+    /// The tree topology the network runs on.
+    fn tree(&self) -> CompleteTree {
+        self.occupancy().tree()
+    }
+
+    /// Whether the algorithm ever reorganises the tree. Static baselines
+    /// return `false`.
+    fn is_self_adjusting(&self) -> bool {
+        true
+    }
+
+    /// Serves a whole request sequence and returns the aggregated costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by [`SelfAdjustingTree::serve`].
+    fn serve_sequence(&mut self, requests: &[ElementId]) -> Result<CostSummary, TreeError> {
+        let mut summary = CostSummary::new();
+        for &request in requests {
+            summary.record(self.serve(request)?);
+        }
+        Ok(summary)
+    }
+
+    /// Serves a request sequence, additionally returning the per-request
+    /// costs (used for per-request comparisons such as Figure 5b).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by [`SelfAdjustingTree::serve`].
+    fn serve_sequence_detailed(
+        &mut self,
+        requests: &[ElementId],
+    ) -> Result<Vec<ServeCost>, TreeError> {
+        let mut costs = Vec::with_capacity(requests.len());
+        for &request in requests {
+            costs.push(self.serve(request)?);
+        }
+        Ok(costs)
+    }
+}
+
+impl<T: SelfAdjustingTree + ?Sized> SelfAdjustingTree for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn occupancy(&self) -> &Occupancy {
+        (**self).occupancy()
+    }
+
+    fn serve(&mut self, element: ElementId) -> Result<ServeCost, TreeError> {
+        (**self).serve(element)
+    }
+
+    fn is_self_adjusting(&self) -> bool {
+        (**self).is_self_adjusting()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::StaticOblivious;
+    use satn_tree::Occupancy;
+
+    #[test]
+    fn default_serve_sequence_accumulates_costs() {
+        let tree = CompleteTree::with_levels(3).unwrap();
+        let mut alg = StaticOblivious::new(Occupancy::identity(tree));
+        let requests: Vec<ElementId> = vec![ElementId::new(0), ElementId::new(3), ElementId::new(6)];
+        let summary = alg.serve_sequence(&requests).unwrap();
+        assert_eq!(summary.requests(), 3);
+        // identity placement: costs 1 + 3 + 3
+        assert_eq!(summary.total().access, 7);
+        assert_eq!(summary.total().adjustment, 0);
+    }
+
+    #[test]
+    fn boxed_trait_object_delegates() {
+        let tree = CompleteTree::with_levels(3).unwrap();
+        let mut alg: Box<dyn SelfAdjustingTree> =
+            Box::new(StaticOblivious::new(Occupancy::identity(tree)));
+        assert_eq!(alg.name(), "static-oblivious");
+        assert!(!alg.is_self_adjusting());
+        assert_eq!(alg.tree().num_nodes(), 7);
+        let cost = alg.serve(ElementId::new(4)).unwrap();
+        assert_eq!(cost.total(), 3);
+        let detailed = alg
+            .serve_sequence_detailed(&[ElementId::new(0), ElementId::new(4)])
+            .unwrap();
+        assert_eq!(detailed.len(), 2);
+    }
+
+    #[test]
+    fn serve_sequence_propagates_errors() {
+        let tree = CompleteTree::with_levels(2).unwrap();
+        let mut alg = StaticOblivious::new(Occupancy::identity(tree));
+        let err = alg
+            .serve_sequence(&[ElementId::new(0), ElementId::new(9)])
+            .unwrap_err();
+        assert!(matches!(err, TreeError::ElementOutOfRange { .. }));
+    }
+}

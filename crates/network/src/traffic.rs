@@ -1,0 +1,345 @@
+//! Traffic generators and traffic statistics for the multi-source network.
+//!
+//! The generators mirror the locality knobs of the paper's single-source
+//! evaluation (Section 6.1), lifted to source–destination pairs: uniform
+//! traffic, skewed (Zipf) destination popularity, hotspot pairs, and temporal
+//! locality via pair repetition.
+
+use crate::host::{Host, HostPair};
+use rand::Rng;
+use satn_workloads::synthetic::ZipfSampler;
+
+/// A named sequence of source–destination requests plus basic statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Traffic {
+    name: String,
+    num_hosts: u32,
+    pairs: Vec<HostPair>,
+}
+
+impl Traffic {
+    /// Wraps an explicit pair sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair mentions a host outside `0..num_hosts` or is a
+    /// self-loop.
+    pub fn new(name: impl Into<String>, num_hosts: u32, pairs: Vec<HostPair>) -> Self {
+        for pair in &pairs {
+            assert!(
+                pair.source.index() < num_hosts && pair.destination.index() < num_hosts,
+                "pair {pair} outside a network of {num_hosts} hosts"
+            );
+            assert!(!pair.is_self_loop(), "self-loop {pair} in traffic");
+        }
+        Traffic {
+            name: name.into(),
+            num_hosts,
+            pairs,
+        }
+    }
+
+    /// The human-readable name of the traffic pattern.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of hosts the pairs are drawn from.
+    pub fn num_hosts(&self) -> u32 {
+        self.num_hosts
+    }
+
+    /// The request pairs, in order.
+    pub fn pairs(&self) -> &[HostPair] {
+        &self.pairs
+    }
+
+    /// The number of requests.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the traffic is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The fraction of requests that repeat the immediately preceding pair.
+    pub fn repeat_fraction(&self) -> f64 {
+        if self.pairs.len() < 2 {
+            return 0.0;
+        }
+        let repeats = self
+            .pairs
+            .windows(2)
+            .filter(|window| window[0] == window[1])
+            .count();
+        repeats as f64 / (self.pairs.len() - 1) as f64
+    }
+
+    /// The number of distinct pairs requested.
+    pub fn distinct_pairs(&self) -> usize {
+        let mut seen: Vec<(u32, u32)> = self
+            .pairs
+            .iter()
+            .map(|p| (p.source.index(), p.destination.index()))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// The empirical entropy (bits) of the pair distribution.
+    pub fn empirical_entropy(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        let mut counts: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+        for pair in &self.pairs {
+            *counts
+                .entry((pair.source.index(), pair.destination.index()))
+                .or_insert(0) += 1;
+        }
+        let total = self.pairs.len() as f64;
+        counts
+            .values()
+            .map(|&count| {
+                let p = count as f64 / total;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// The traffic matrix: `matrix[s][d]` counts requests from host `s` to
+    /// host `d`.
+    pub fn matrix(&self) -> Vec<Vec<u64>> {
+        let n = self.num_hosts as usize;
+        let mut matrix = vec![vec![0u64; n]; n];
+        for pair in &self.pairs {
+            matrix[pair.source.usize()][pair.destination.usize()] += 1;
+        }
+        matrix
+    }
+
+    /// The `k` most frequent pairs, most frequent first.
+    pub fn top_pairs(&self, k: usize) -> Vec<(HostPair, u64)> {
+        let mut counts: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+        for pair in &self.pairs {
+            *counts
+                .entry((pair.source.index(), pair.destination.index()))
+                .or_insert(0) += 1;
+        }
+        let mut ranked: Vec<(HostPair, u64)> = counts
+            .into_iter()
+            .map(|((s, d), count)| (HostPair::from((s, d)), count))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| {
+            (a.0.source.index(), a.0.destination.index())
+                .cmp(&(b.0.source.index(), b.0.destination.index()))
+        }));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Renames the traffic (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+fn random_destination<R: Rng + ?Sized>(num_hosts: u32, source: Host, rng: &mut R) -> Host {
+    loop {
+        let destination = Host::new(rng.gen_range(0..num_hosts));
+        if destination != source {
+            return destination;
+        }
+    }
+}
+
+/// Uniform traffic: both endpoints of every request are drawn uniformly at
+/// random (self-loops excluded).
+pub fn uniform<R: Rng + ?Sized>(num_hosts: u32, length: usize, rng: &mut R) -> Traffic {
+    assert!(num_hosts >= 2, "need at least two hosts");
+    let pairs = (0..length)
+        .map(|_| {
+            let source = Host::new(rng.gen_range(0..num_hosts));
+            HostPair::new(source, random_destination(num_hosts, source, rng))
+        })
+        .collect();
+    Traffic::new("uniform", num_hosts, pairs)
+}
+
+/// Skewed traffic: sources are uniform, destinations follow a Zipf
+/// distribution with exponent `a` over a per-run random popularity ranking.
+pub fn zipf_destinations<R: Rng + ?Sized>(
+    num_hosts: u32,
+    length: usize,
+    a: f64,
+    rng: &mut R,
+) -> Traffic {
+    assert!(num_hosts >= 2, "need at least two hosts");
+    let sampler = ZipfSampler::new(num_hosts, a);
+    // A random identity for each Zipf rank, so the popular hosts differ
+    // between runs with different RNG states.
+    let mut ranking: Vec<u32> = (0..num_hosts).collect();
+    for i in (1..ranking.len()).rev() {
+        ranking.swap(i, rng.gen_range(0..=i));
+    }
+    let pairs = (0..length)
+        .map(|_| {
+            let source = Host::new(rng.gen_range(0..num_hosts));
+            loop {
+                let destination = Host::new(ranking[sampler.sample(rng).usize()]);
+                if destination != source {
+                    break HostPair::new(source, destination);
+                }
+            }
+        })
+        .collect();
+    Traffic::new(format!("zipf-a{a}"), num_hosts, pairs)
+}
+
+/// Hotspot traffic: with probability `hot_probability` the request is drawn
+/// from a fixed set of `num_hot_pairs` random "elephant" pairs, otherwise both
+/// endpoints are uniform.
+pub fn hotspot<R: Rng + ?Sized>(
+    num_hosts: u32,
+    length: usize,
+    num_hot_pairs: usize,
+    hot_probability: f64,
+    rng: &mut R,
+) -> Traffic {
+    assert!(num_hosts >= 2, "need at least two hosts");
+    assert!((0.0..=1.0).contains(&hot_probability), "probability out of range");
+    assert!(num_hot_pairs >= 1, "need at least one hot pair");
+    let hot: Vec<HostPair> = (0..num_hot_pairs)
+        .map(|_| {
+            let source = Host::new(rng.gen_range(0..num_hosts));
+            HostPair::new(source, random_destination(num_hosts, source, rng))
+        })
+        .collect();
+    let pairs = (0..length)
+        .map(|_| {
+            if rng.gen_bool(hot_probability) {
+                hot[rng.gen_range(0..hot.len())]
+            } else {
+                let source = Host::new(rng.gen_range(0..num_hosts));
+                HostPair::new(source, random_destination(num_hosts, source, rng))
+            }
+        })
+        .collect();
+    Traffic::new(
+        format!("hotspot-{num_hot_pairs}x{hot_probability}"),
+        num_hosts,
+        pairs,
+    )
+}
+
+/// Temporal traffic: the previous pair is repeated with probability `p`,
+/// otherwise a fresh uniform pair is drawn (the pair analogue of the paper's
+/// temporal-locality sequences).
+pub fn temporal<R: Rng + ?Sized>(num_hosts: u32, length: usize, p: f64, rng: &mut R) -> Traffic {
+    assert!(num_hosts >= 2, "need at least two hosts");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut pairs: Vec<HostPair> = Vec::with_capacity(length);
+    for i in 0..length {
+        if i > 0 && rng.gen_bool(p) {
+            pairs.push(pairs[i - 1]);
+        } else {
+            let source = Host::new(rng.gen_range(0..num_hosts));
+            pairs.push(HostPair::new(
+                source,
+                random_destination(num_hosts, source, rng),
+            ));
+        }
+    }
+    Traffic::new(format!("temporal-p{p}"), num_hosts, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn generators_produce_valid_pairs_of_the_requested_length() {
+        let mut r = rng(1);
+        for traffic in [
+            uniform(12, 500, &mut r),
+            zipf_destinations(12, 500, 1.6, &mut r),
+            hotspot(12, 500, 4, 0.8, &mut r),
+            temporal(12, 500, 0.7, &mut r),
+        ] {
+            assert_eq!(traffic.len(), 500);
+            assert_eq!(traffic.num_hosts(), 12);
+            assert!(!traffic.is_empty());
+            assert!(traffic
+                .pairs()
+                .iter()
+                .all(|p| p.source.index() < 12 && p.destination.index() < 12 && !p.is_self_loop()));
+        }
+    }
+
+    #[test]
+    fn temporal_repetition_increases_the_repeat_fraction() {
+        let low = temporal(20, 4_000, 0.05, &mut rng(7));
+        let high = temporal(20, 4_000, 0.9, &mut rng(7));
+        assert!(high.repeat_fraction() > low.repeat_fraction());
+        assert!(high.repeat_fraction() > 0.8);
+    }
+
+    #[test]
+    fn zipf_skew_lowers_entropy() {
+        let mild = zipf_destinations(64, 20_000, 1.001, &mut rng(3));
+        let strong = zipf_destinations(64, 20_000, 2.2, &mut rng(3));
+        assert!(strong.empirical_entropy() < mild.empirical_entropy());
+    }
+
+    #[test]
+    fn hotspot_pairs_dominate_the_top_of_the_ranking() {
+        let traffic = hotspot(32, 10_000, 2, 0.9, &mut rng(11));
+        let top = traffic.top_pairs(2);
+        assert_eq!(top.len(), 2);
+        let hot_requests: u64 = top.iter().map(|&(_, count)| count).sum();
+        assert!(hot_requests as f64 > 0.8 * traffic.len() as f64);
+    }
+
+    #[test]
+    fn matrix_row_sums_match_request_counts() {
+        let traffic = uniform(10, 2_000, &mut rng(5));
+        let matrix = traffic.matrix();
+        let total: u64 = matrix.iter().flatten().sum();
+        assert_eq!(total, 2_000);
+        for (source, row) in matrix.iter().enumerate() {
+            assert_eq!(row[source], 0, "no self-loops on the diagonal");
+        }
+    }
+
+    #[test]
+    fn distinct_pairs_and_entropy_agree_on_degenerate_traffic() {
+        let pairs = vec![HostPair::from((0u32, 1u32)); 50];
+        let traffic = Traffic::new("constant", 2, pairs).with_name("renamed");
+        assert_eq!(traffic.name(), "renamed");
+        assert_eq!(traffic.distinct_pairs(), 1);
+        assert_eq!(traffic.empirical_entropy(), 0.0);
+        assert_eq!(traffic.repeat_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_are_rejected() {
+        Traffic::new("bad", 4, vec![HostPair::from((2u32, 2u32))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_hosts_are_rejected() {
+        Traffic::new("bad", 4, vec![HostPair::from((1u32, 9u32))]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Flip-ranks (Definition 3, Lemmas 2 and 3 of the paper).
+//!
+//! For a node `u` at level `d`, the flip-rank `frnk(u)` is the smallest number
+//! of consecutive `flip(d)` operations after which `u` lies on the global
+//! path. Flip-ranks of `d`-level nodes are exactly the numbers
+//! `0, …, 2^d − 1`, and they drive the amortized analysis of Rotor-Push.
+
+use crate::pointers::RotorState;
+use satn_tree::NodeId;
+
+impl RotorState {
+    /// Computes the flip-rank of `node` in the current pointer state.
+    ///
+    /// This uses the recursion of Lemma 2: descending one edge from a node
+    /// `u` to a child `v` contributes `0` if `u`'s pointer aims at `v` and
+    /// `2^{ℓ(u)}` otherwise, so
+    /// `frnk(v) = Σ_{u strict ancestor of v} b_u · 2^{ℓ(u)}`.
+    /// The root has flip-rank 0. The computation is `O(level(node))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the tree.
+    pub fn flip_rank(&self, node: NodeId) -> u64 {
+        assert!(
+            self.tree().contains(node),
+            "node {node} is not part of the tree"
+        );
+        let path = node.path_from_root();
+        let mut rank = 0u64;
+        for pair in path.windows(2) {
+            let (ancestor, child) = (pair[0], pair[1]);
+            if self.pointed_child(ancestor) != child {
+                rank += 1u64 << ancestor.level();
+            }
+        }
+        rank
+    }
+
+    /// Computes the flip-rank of `node` by brute force: repeatedly applying
+    /// `flip(level(node))` to a copy of the state and counting how many flips
+    /// it takes until `node` is on the global path.
+    ///
+    /// Exponential in the node's level; intended for tests and verification
+    /// of [`RotorState::flip_rank`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the tree.
+    pub fn flip_rank_by_simulation(&self, node: NodeId) -> u64 {
+        assert!(
+            self.tree().contains(node),
+            "node {node} is not part of the tree"
+        );
+        let d = node.level();
+        let mut copy = self.clone();
+        let mut count = 0u64;
+        loop {
+            if copy.global_path_node(d) == node {
+                return count;
+            }
+            copy.flip(d);
+            count += 1;
+            assert!(
+                count <= 1 << d,
+                "node {node} unreachable after 2^{d} flips; rotor invariant broken"
+            );
+        }
+    }
+
+    /// Returns the flip-ranks of all nodes of one level, ordered left to
+    /// right.
+    pub fn level_flip_ranks(&self, level: u32) -> Vec<u64> {
+        self.tree()
+            .level_nodes(level)
+            .map(|n| self.flip_rank(n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satn_tree::{CompleteTree, Direction};
+
+    fn state(levels: u32) -> RotorState {
+        RotorState::new(CompleteTree::with_levels(levels).unwrap())
+    }
+
+    #[test]
+    fn global_path_nodes_have_rank_zero() {
+        let mut s = state(5);
+        s.flip(4);
+        s.flip(3);
+        for node in s.global_path() {
+            assert_eq!(s.flip_rank(node), 0, "node {node}");
+        }
+    }
+
+    #[test]
+    fn initial_leaf_ranks_follow_bit_reversal_pattern() {
+        // With all pointers left, descending right at level ℓ costs 2^ℓ, so the
+        // leaf ranks (left to right) on a 4-level tree are:
+        // LLL=0, LLR=4, LRL=2, LRR=6, RLL=1, RLR=5, RRL=3, RRR=7.
+        let s = state(4);
+        assert_eq!(s.level_flip_ranks(3), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+        assert_eq!(s.level_flip_ranks(2), vec![0, 2, 1, 3]);
+        assert_eq!(s.level_flip_ranks(1), vec![0, 1]);
+        assert_eq!(s.level_flip_ranks(0), vec![0]);
+    }
+
+    #[test]
+    fn ranks_on_each_level_are_a_permutation() {
+        let mut s = state(6);
+        // Scramble the pointers deterministically.
+        for node in s.tree().nodes() {
+            if node.index() % 3 == 0 {
+                s.toggle(node).unwrap();
+            }
+        }
+        for level in 0..s.tree().num_levels() {
+            let mut ranks = s.level_flip_ranks(level);
+            ranks.sort_unstable();
+            let expected: Vec<u64> = (0..(1u64 << level)).collect();
+            assert_eq!(ranks, expected, "level {level}");
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_simulation_on_small_trees() {
+        let mut s = state(5);
+        // A few deterministic pointer scrambles.
+        for (i, node) in s.tree().nodes().enumerate() {
+            if i % 2 == 1 {
+                s.toggle(node).unwrap();
+            }
+        }
+        for node in s.tree().nodes() {
+            assert_eq!(
+                s.flip_rank(node),
+                s.flip_rank_by_simulation(node),
+                "node {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma2_recursion_holds() {
+        // frnk_T(v) = frnk_T(u) + frnk_T[u](v) * 2^{ℓ(u)} for every ancestor u.
+        // We check the parent case on a scrambled 5-level tree: the subtree
+        // rank frnk_T[u](v) of a child is 0 or 1 depending on u's pointer.
+        let mut s = state(5);
+        for node in s.tree().nodes() {
+            if node.index() % 5 < 2 {
+                s.toggle(node).unwrap();
+            }
+        }
+        for node in s.tree().nodes() {
+            if s.tree().is_leaf(node) {
+                continue;
+            }
+            for child in [node.left_child(), node.right_child()] {
+                let subtree_rank = u64::from(s.pointed_child(node) != child);
+                assert_eq!(
+                    s.flip_rank(child),
+                    s.flip_rank(node) + subtree_rank * (1u64 << node.level()),
+                    "node {node} child {child}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma3_flip_decrements_ranks_of_shallower_levels() {
+        // After flip(d): for a node at level d' <= d, the rank becomes
+        // 2^{d'} - 1 if it was 0 and decreases by 1 otherwise.
+        let mut s = state(5);
+        for node in s.tree().nodes() {
+            if node.index() % 7 == 3 {
+                s.toggle(node).unwrap();
+            }
+        }
+        let d = 4;
+        let before: Vec<(NodeId, u64)> = s
+            .tree()
+            .nodes()
+            .filter(|n| n.level() <= d)
+            .map(|n| (n, s.flip_rank(n)))
+            .collect();
+        s.flip(d);
+        for (node, old) in before {
+            let new = s.flip_rank(node);
+            let level = node.level();
+            if old == 0 {
+                assert_eq!(new, (1u64 << level) - 1, "node {node}");
+            } else {
+                assert_eq!(new, old - 1, "node {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma3_flip_changes_deeper_ranks_by_allowed_amounts() {
+        // For a node at level d' > d, the rank either decreases by 1 or
+        // increases by 2^d - 1.
+        let mut s = state(6);
+        for node in s.tree().nodes() {
+            if node.index() % 4 == 1 {
+                s.toggle(node).unwrap();
+            }
+        }
+        let d = 3;
+        let before: Vec<(NodeId, u64)> = s
+            .tree()
+            .nodes()
+            .filter(|n| n.level() > d)
+            .map(|n| (n, s.flip_rank(n)))
+            .collect();
+        s.flip(d);
+        for (node, old) in before {
+            let new = s.flip_rank(node);
+            let decreased = old >= 1 && new == old - 1;
+            let increased = new == old + (1u64 << d) - 1;
+            assert!(
+                decreased || increased,
+                "node {node}: rank {old} -> {new} violates Lemma 3"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_pointer_state_rank_example() {
+        // Root points right, its right child points left:
+        // the node LL (node 3) then has rank contribution 1 (root mismatch).
+        let mut s = state(3);
+        s.set_pointer(NodeId::ROOT, Direction::Right).unwrap();
+        assert_eq!(s.flip_rank(NodeId::new(3)), 1); // L at level-1 matches, root mismatch
+        assert_eq!(s.flip_rank(NodeId::new(5)), 0); // RL: root match, node-2 pointer Left match
+        assert_eq!(s.flip_rank(NodeId::new(6)), 2); // RR: root match, node-2 mismatch (2^1)
+        assert_eq!(s.flip_rank(NodeId::new(4)), 3); // LR: mismatch at root (1) + level 1 (2)
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the tree")]
+    fn flip_rank_rejects_foreign_node() {
+        state(3).flip_rank(NodeId::new(50));
+    }
+}

@@ -1,0 +1,264 @@
+//! Cost accounting: per-request costs and running summaries.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// The cost of serving one request, split into access and adjustment parts
+/// exactly as in the paper's model: accessing an element at level `d` costs
+/// `d + 1`, and every swap costs one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ServeCost {
+    /// Access cost `ℓ(e) + 1` paid for reaching the requested element.
+    pub access: u64,
+    /// Adjustment cost: the number of swaps performed while serving.
+    pub adjustment: u64,
+}
+
+impl ServeCost {
+    /// Creates a cost record from its two components.
+    pub const fn new(access: u64, adjustment: u64) -> Self {
+        ServeCost { access, adjustment }
+    }
+
+    /// A request that cost nothing (used as the additive identity).
+    pub const ZERO: ServeCost = ServeCost { access: 0, adjustment: 0 };
+
+    /// Total cost of the request (access plus adjustment).
+    #[inline]
+    pub const fn total(self) -> u64 {
+        self.access + self.adjustment
+    }
+}
+
+impl Add for ServeCost {
+    type Output = ServeCost;
+
+    fn add(self, rhs: ServeCost) -> ServeCost {
+        ServeCost {
+            access: self.access + rhs.access,
+            adjustment: self.adjustment + rhs.adjustment,
+        }
+    }
+}
+
+impl AddAssign for ServeCost {
+    fn add_assign(&mut self, rhs: ServeCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for ServeCost {
+    fn sum<I: Iterator<Item = ServeCost>>(iter: I) -> ServeCost {
+        iter.fold(ServeCost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ServeCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "access={} adjustment={} total={}",
+            self.access,
+            self.adjustment,
+            self.total()
+        )
+    }
+}
+
+/// Running totals over a request sequence.
+///
+/// # Examples
+///
+/// ```
+/// use satn_tree::{CostSummary, ServeCost};
+///
+/// let mut summary = CostSummary::new();
+/// summary.record(ServeCost::new(3, 5));
+/// summary.record(ServeCost::new(1, 0));
+/// assert_eq!(summary.requests(), 2);
+/// assert_eq!(summary.total().total(), 9);
+/// assert!((summary.mean_total() - 4.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostSummary {
+    total: ServeCost,
+    requests: u64,
+    max_access: u64,
+    max_total: u64,
+}
+
+impl CostSummary {
+    /// Creates an empty summary.
+    pub const fn new() -> Self {
+        CostSummary {
+            total: ServeCost::ZERO,
+            requests: 0,
+            max_access: 0,
+            max_total: 0,
+        }
+    }
+
+    /// Records the cost of one served request.
+    pub fn record(&mut self, cost: ServeCost) {
+        self.total += cost;
+        self.requests += 1;
+        self.max_access = self.max_access.max(cost.access);
+        self.max_total = self.max_total.max(cost.total());
+    }
+
+    /// Number of requests recorded so far.
+    #[inline]
+    pub const fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Accumulated cost over all recorded requests.
+    #[inline]
+    pub const fn total(&self) -> ServeCost {
+        self.total
+    }
+
+    /// Largest access cost of a single request.
+    #[inline]
+    pub const fn max_access(&self) -> u64 {
+        self.max_access
+    }
+
+    /// Largest total cost of a single request.
+    #[inline]
+    pub const fn max_total(&self) -> u64 {
+        self.max_total
+    }
+
+    /// Mean access cost per request (0.0 when empty).
+    pub fn mean_access(&self) -> f64 {
+        self.ratio(self.total.access)
+    }
+
+    /// Mean adjustment cost per request (0.0 when empty).
+    pub fn mean_adjustment(&self) -> f64 {
+        self.ratio(self.total.adjustment)
+    }
+
+    /// Mean total cost per request (0.0 when empty).
+    pub fn mean_total(&self) -> f64 {
+        self.ratio(self.total.total())
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &CostSummary) {
+        self.total += other.total;
+        self.requests += other.requests;
+        self.max_access = self.max_access.max(other.max_access);
+        self.max_total = self.max_total.max(other.max_total);
+    }
+
+    fn ratio(&self, value: u64) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            value as f64 / self.requests as f64
+        }
+    }
+}
+
+impl fmt::Display for CostSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests, mean access {:.3}, mean adjustment {:.3}, mean total {:.3}",
+            self.requests,
+            self.mean_access(),
+            self.mean_adjustment(),
+            self.mean_total()
+        )
+    }
+}
+
+impl FromIterator<ServeCost> for CostSummary {
+    fn from_iter<I: IntoIterator<Item = ServeCost>>(iter: I) -> Self {
+        let mut summary = CostSummary::new();
+        for cost in iter {
+            summary.record(cost);
+        }
+        summary
+    }
+}
+
+impl Extend<ServeCost> for CostSummary {
+    fn extend<I: IntoIterator<Item = ServeCost>>(&mut self, iter: I) {
+        for cost in iter {
+            self.record(cost);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_cost_arithmetic() {
+        let a = ServeCost::new(3, 4);
+        let b = ServeCost::new(1, 2);
+        assert_eq!((a + b), ServeCost::new(4, 6));
+        assert_eq!(a.total(), 7);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, ServeCost::new(4, 6));
+        let sum: ServeCost = [a, b, ServeCost::ZERO].into_iter().sum();
+        assert_eq!(sum, ServeCost::new(4, 6));
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = CostSummary::new();
+        assert_eq!(s.mean_total(), 0.0);
+        s.record(ServeCost::new(2, 6));
+        s.record(ServeCost::new(4, 0));
+        s.record(ServeCost::new(10, 2));
+        assert_eq!(s.requests(), 3);
+        assert_eq!(s.total(), ServeCost::new(16, 8));
+        assert_eq!(s.max_access(), 10);
+        assert_eq!(s.max_total(), 12);
+        assert!((s.mean_access() - 16.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_adjustment() - 8.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_total() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential_recording() {
+        let costs = [
+            ServeCost::new(1, 1),
+            ServeCost::new(5, 0),
+            ServeCost::new(3, 9),
+            ServeCost::new(2, 2),
+        ];
+        let mut all = CostSummary::new();
+        costs.iter().for_each(|&c| all.record(c));
+
+        let mut left: CostSummary = costs[..2].iter().copied().collect();
+        let right: CostSummary = costs[2..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left, all);
+    }
+
+    #[test]
+    fn summary_extend_and_collect() {
+        let mut s = CostSummary::new();
+        s.extend([ServeCost::new(1, 0), ServeCost::new(2, 1)]);
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.total().total(), 4);
+    }
+
+    #[test]
+    fn display_output_mentions_means() {
+        let mut s = CostSummary::new();
+        s.record(ServeCost::new(2, 2));
+        let text = s.to_string();
+        assert!(text.contains("1 requests"));
+        assert!(text.contains("mean total"));
+        assert_eq!(ServeCost::new(1, 2).to_string(), "access=1 adjustment=2 total=3");
+    }
+}

@@ -1,0 +1,141 @@
+//! Error types for the tree substrate.
+
+use crate::node::{ElementId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the tree substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// The requested tree size is not of the form `2^L - 1` with `1 ≤ L ≤ 31`.
+    InvalidSize {
+        /// The number of nodes or levels that was requested.
+        requested: u64,
+    },
+    /// A node identifier does not belong to the tree.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the tree.
+        num_nodes: u32,
+    },
+    /// An element identifier does not belong to the element set.
+    ElementOutOfRange {
+        /// The offending element.
+        element: ElementId,
+        /// Number of elements.
+        num_elements: u32,
+    },
+    /// A swap was requested between two nodes that are not parent and child.
+    NotAdjacent {
+        /// First node of the attempted swap.
+        first: NodeId,
+        /// Second node of the attempted swap.
+        second: NodeId,
+    },
+    /// A swap violated the marking rule: neither endpoint was marked.
+    UnmarkedSwap {
+        /// First node of the attempted swap.
+        first: NodeId,
+        /// Second node of the attempted swap.
+        second: NodeId,
+    },
+    /// An initial placement did not describe a bijection between elements
+    /// and nodes.
+    NotABijection {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::InvalidSize { requested } => write!(
+                f,
+                "invalid complete tree size {requested}: expected 2^L - 1 nodes with 1 <= L <= 31"
+            ),
+            TreeError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} is out of range for a tree of {num_nodes} nodes")
+            }
+            TreeError::ElementOutOfRange {
+                element,
+                num_elements,
+            } => write!(
+                f,
+                "element {element} is out of range for an element set of size {num_elements}"
+            ),
+            TreeError::NotAdjacent { first, second } => {
+                write!(f, "nodes {first} and {second} are not parent and child")
+            }
+            TreeError::UnmarkedSwap { first, second } => write!(
+                f,
+                "swap of {first} and {second} violates the marking rule: neither node is marked"
+            ),
+            TreeError::NotABijection { detail } => {
+                write!(f, "placement is not a bijection: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(TreeError, &str)> = vec![
+            (TreeError::InvalidSize { requested: 6 }, "invalid complete tree size 6"),
+            (
+                TreeError::NodeOutOfRange {
+                    node: NodeId::new(9),
+                    num_nodes: 7,
+                },
+                "out of range",
+            ),
+            (
+                TreeError::ElementOutOfRange {
+                    element: ElementId::new(9),
+                    num_elements: 7,
+                },
+                "out of range",
+            ),
+            (
+                TreeError::NotAdjacent {
+                    first: NodeId::new(1),
+                    second: NodeId::new(2),
+                },
+                "not parent and child",
+            ),
+            (
+                TreeError::UnmarkedSwap {
+                    first: NodeId::new(0),
+                    second: NodeId::new(1),
+                },
+                "marking rule",
+            ),
+            (
+                TreeError::NotABijection {
+                    detail: "duplicate".into(),
+                },
+                "bijection",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TreeError>();
+    }
+}

@@ -1,0 +1,343 @@
+//! The bijective mapping between elements and tree nodes.
+
+use crate::error::TreeError;
+use crate::node::{ElementId, NodeId};
+use crate::topology::CompleteTree;
+
+/// The current assignment of elements to nodes: a bijection `nd : E → T`
+/// together with its inverse `el : T → E` (Section 2 of the paper).
+///
+/// A swap exchanges the elements stored at a parent/child pair of nodes and is
+/// the only mutation the model allows.
+///
+/// # Examples
+///
+/// ```
+/// use satn_tree::{CompleteTree, ElementId, NodeId, Occupancy};
+///
+/// let tree = CompleteTree::with_levels(3)?;
+/// let mut occ = Occupancy::identity(tree);
+/// assert_eq!(occ.element_at(NodeId::ROOT), ElementId::new(0));
+/// occ.swap_nodes(NodeId::ROOT, NodeId::new(1))?;
+/// assert_eq!(occ.element_at(NodeId::ROOT), ElementId::new(1));
+/// assert_eq!(occ.node_of(ElementId::new(0)), NodeId::new(1));
+/// # Ok::<(), satn_tree::TreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Occupancy {
+    tree: CompleteTree,
+    /// Element stored at each node, indexed by node id.
+    element_of: Vec<ElementId>,
+    /// Node holding each element, indexed by element id.
+    node_of: Vec<NodeId>,
+}
+
+impl Occupancy {
+    /// Creates the identity occupancy: element `i` is stored at node `i`.
+    pub fn identity(tree: CompleteTree) -> Self {
+        let n = tree.num_nodes();
+        Occupancy {
+            tree,
+            element_of: (0..n).map(ElementId::new).collect(),
+            node_of: (0..n).map(NodeId::new).collect(),
+        }
+    }
+
+    /// Creates an occupancy from an explicit placement: `placement[v]` is the
+    /// element stored at node `v` (in heap order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::NotABijection`] if the placement does not contain
+    /// every element exactly once, or if its length differs from the number of
+    /// tree nodes.
+    pub fn from_placement(tree: CompleteTree, placement: Vec<ElementId>) -> Result<Self, TreeError> {
+        let n = tree.num_nodes() as usize;
+        if placement.len() != n {
+            return Err(TreeError::NotABijection {
+                detail: format!("placement has {} entries, tree has {} nodes", placement.len(), n),
+            });
+        }
+        let mut node_of = vec![NodeId::new(u32::MAX); n];
+        let mut seen = vec![false; n];
+        for (node_index, &element) in placement.iter().enumerate() {
+            let e = element.usize();
+            if e >= n {
+                return Err(TreeError::NotABijection {
+                    detail: format!("element {element} is out of range for {n} elements"),
+                });
+            }
+            if seen[e] {
+                return Err(TreeError::NotABijection {
+                    detail: format!("element {element} appears more than once"),
+                });
+            }
+            seen[e] = true;
+            node_of[e] = NodeId::new(node_index as u32);
+        }
+        Ok(Occupancy {
+            tree,
+            element_of: placement,
+            node_of,
+        })
+    }
+
+    /// Returns the tree topology this occupancy lives on.
+    #[inline]
+    pub fn tree(&self) -> CompleteTree {
+        self.tree
+    }
+
+    /// Returns the number of elements (equal to the number of nodes).
+    #[inline]
+    pub fn num_elements(&self) -> u32 {
+        self.tree.num_nodes()
+    }
+
+    /// Returns the element currently stored at `node` (the paper's `el(v)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the tree.
+    #[inline]
+    pub fn element_at(&self, node: NodeId) -> ElementId {
+        self.element_of[node.usize()]
+    }
+
+    /// Returns the node currently holding `element` (the paper's `nd(e)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element` is out of range.
+    #[inline]
+    pub fn node_of(&self, element: ElementId) -> NodeId {
+        self.node_of[element.usize()]
+    }
+
+    /// Returns the level of the node currently holding `element`
+    /// (the paper's `ℓ(e)`).
+    #[inline]
+    pub fn level_of(&self, element: ElementId) -> u32 {
+        self.node_of(element).level()
+    }
+
+    /// Returns the access cost of `element` in the current configuration,
+    /// `ℓ(e) + 1`.
+    #[inline]
+    pub fn access_cost(&self, element: ElementId) -> u64 {
+        self.level_of(element) as u64 + 1
+    }
+
+    /// Checks that an element id is valid for this occupancy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::ElementOutOfRange`] if it is not.
+    pub fn check_element(&self, element: ElementId) -> Result<(), TreeError> {
+        if element.usize() < self.node_of.len() {
+            Ok(())
+        } else {
+            Err(TreeError::ElementOutOfRange {
+                element,
+                num_elements: self.num_elements(),
+            })
+        }
+    }
+
+    /// Swaps the elements stored at two adjacent (parent/child) nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::NodeOutOfRange`] if either node does not exist and
+    /// [`TreeError::NotAdjacent`] if the nodes are not parent and child.
+    pub fn swap_nodes(&mut self, a: NodeId, b: NodeId) -> Result<(), TreeError> {
+        self.tree.check_node(a)?;
+        self.tree.check_node(b)?;
+        if !a.is_adjacent_to(b) {
+            return Err(TreeError::NotAdjacent { first: a, second: b });
+        }
+        self.swap_unchecked(a, b);
+        Ok(())
+    }
+
+    /// Swaps the elements stored at two nodes without adjacency checks.
+    ///
+    /// This is used by the offline optimum proxies, which the model allows to
+    /// perform arbitrary reorganisation; online algorithms go through
+    /// [`crate::MarkedRound`] instead.
+    #[inline]
+    pub fn swap_unchecked(&mut self, a: NodeId, b: NodeId) {
+        let ea = self.element_of[a.usize()];
+        let eb = self.element_of[b.usize()];
+        self.element_of[a.usize()] = eb;
+        self.element_of[b.usize()] = ea;
+        self.node_of[ea.usize()] = b;
+        self.node_of[eb.usize()] = a;
+        debug_assert!(self.is_consistent());
+    }
+
+    /// Swaps two elements (which must occupy adjacent nodes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Occupancy::swap_nodes`].
+    pub fn swap_elements(&mut self, a: ElementId, b: ElementId) -> Result<(), TreeError> {
+        self.check_element(a)?;
+        self.check_element(b)?;
+        let (na, nb) = (self.node_of(a), self.node_of(b));
+        self.swap_nodes(na, nb)
+    }
+
+    /// Iterates over `(node, element)` pairs in heap order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (NodeId, ElementId)> + '_ {
+        self.element_of
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (NodeId::new(i as u32), e))
+    }
+
+    /// Returns the elements in heap (BFS) order, i.e. `el` as a slice.
+    #[inline]
+    pub fn elements_in_heap_order(&self) -> &[ElementId] {
+        &self.element_of
+    }
+
+    /// Returns the node of every element, i.e. `nd` as a slice indexed by
+    /// element id.
+    #[inline]
+    pub fn nodes_by_element(&self) -> &[NodeId] {
+        &self.node_of
+    }
+
+    /// Verifies that the two internal maps are inverse bijections.
+    pub fn is_consistent(&self) -> bool {
+        self.element_of.len() == self.node_of.len()
+            && self
+                .iter()
+                .all(|(node, element)| self.node_of[element.usize()] == node)
+    }
+
+    /// Total access cost of the current configuration under a request
+    /// distribution given as per-element weights: `Σ w(e) · (ℓ(e) + 1)`.
+    ///
+    /// Weights may be frequencies or probabilities; the result is in the same
+    /// unit.
+    pub fn expected_access_cost(&self, weights: &[f64]) -> f64 {
+        weights
+            .iter()
+            .enumerate()
+            .map(|(e, w)| w * (self.level_of(ElementId::new(e as u32)) as f64 + 1.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(levels: u32) -> CompleteTree {
+        CompleteTree::with_levels(levels).unwrap()
+    }
+
+    #[test]
+    fn identity_maps_each_element_to_its_node() {
+        let occ = Occupancy::identity(tree(4));
+        for (node, element) in occ.iter() {
+            assert_eq!(node.index(), element.index());
+        }
+        assert!(occ.is_consistent());
+        assert_eq!(occ.num_elements(), 15);
+    }
+
+    #[test]
+    fn from_placement_accepts_permutations() {
+        let t = tree(3);
+        let placement: Vec<ElementId> = [6, 5, 4, 3, 2, 1, 0].iter().map(|&i| ElementId::new(i)).collect();
+        let occ = Occupancy::from_placement(t, placement).unwrap();
+        assert_eq!(occ.element_at(NodeId::ROOT), ElementId::new(6));
+        assert_eq!(occ.node_of(ElementId::new(6)), NodeId::ROOT);
+        assert_eq!(occ.node_of(ElementId::new(0)), NodeId::new(6));
+        assert!(occ.is_consistent());
+    }
+
+    #[test]
+    fn from_placement_rejects_wrong_length() {
+        let t = tree(3);
+        let err = Occupancy::from_placement(t, vec![ElementId::new(0); 6]).unwrap_err();
+        assert!(matches!(err, TreeError::NotABijection { .. }));
+    }
+
+    #[test]
+    fn from_placement_rejects_duplicates_and_out_of_range() {
+        let t = tree(2);
+        let dup = vec![ElementId::new(0), ElementId::new(0), ElementId::new(1)];
+        assert!(matches!(
+            Occupancy::from_placement(t, dup).unwrap_err(),
+            TreeError::NotABijection { .. }
+        ));
+        let oob = vec![ElementId::new(0), ElementId::new(1), ElementId::new(7)];
+        assert!(matches!(
+            Occupancy::from_placement(t, oob).unwrap_err(),
+            TreeError::NotABijection { .. }
+        ));
+    }
+
+    #[test]
+    fn swap_nodes_updates_both_maps() {
+        let mut occ = Occupancy::identity(tree(3));
+        occ.swap_nodes(NodeId::new(1), NodeId::new(4)).unwrap();
+        assert_eq!(occ.element_at(NodeId::new(1)), ElementId::new(4));
+        assert_eq!(occ.element_at(NodeId::new(4)), ElementId::new(1));
+        assert_eq!(occ.node_of(ElementId::new(4)), NodeId::new(1));
+        assert_eq!(occ.node_of(ElementId::new(1)), NodeId::new(4));
+        assert!(occ.is_consistent());
+    }
+
+    #[test]
+    fn swap_nodes_rejects_non_adjacent_and_missing() {
+        let mut occ = Occupancy::identity(tree(3));
+        assert!(matches!(
+            occ.swap_nodes(NodeId::new(1), NodeId::new(2)).unwrap_err(),
+            TreeError::NotAdjacent { .. }
+        ));
+        assert!(matches!(
+            occ.swap_nodes(NodeId::new(1), NodeId::new(99)).unwrap_err(),
+            TreeError::NodeOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn swap_elements_uses_their_current_nodes() {
+        let mut occ = Occupancy::identity(tree(3));
+        occ.swap_elements(ElementId::new(0), ElementId::new(2)).unwrap();
+        assert_eq!(occ.element_at(NodeId::ROOT), ElementId::new(2));
+        // Elements 0 and 2 now occupy each other's old nodes; 0 and 1 are no
+        // longer adjacent? node 2 and node 1 are both children of the root, so
+        // swapping elements 0 (now at node 2) and 1 (at node 1) must fail.
+        assert!(occ.swap_elements(ElementId::new(0), ElementId::new(1)).is_err());
+    }
+
+    #[test]
+    fn access_cost_is_level_plus_one() {
+        let occ = Occupancy::identity(tree(4));
+        assert_eq!(occ.access_cost(ElementId::new(0)), 1);
+        assert_eq!(occ.access_cost(ElementId::new(2)), 2);
+        assert_eq!(occ.access_cost(ElementId::new(14)), 4);
+        assert_eq!(occ.level_of(ElementId::new(7)), 3);
+    }
+
+    #[test]
+    fn expected_access_cost_weighted() {
+        let occ = Occupancy::identity(tree(2));
+        // levels: node0=0, node1=1, node2=1 -> costs 1,2,2
+        let cost = occ.expected_access_cost(&[0.5, 0.25, 0.25]);
+        assert!((cost - (0.5 + 0.5 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_element_bounds() {
+        let occ = Occupancy::identity(tree(2));
+        assert!(occ.check_element(ElementId::new(2)).is_ok());
+        assert!(occ.check_element(ElementId::new(3)).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Initial placement builders.
+//!
+//! Experiments in the paper always start from a tree whose elements are
+//! placed uniformly at random; the static offline baseline instead places
+//! elements in decreasing request-frequency order along a BFS traversal.
+
+use crate::node::ElementId;
+use crate::occupancy::Occupancy;
+use crate::topology::CompleteTree;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Returns the identity placement: element `i` at node `i`.
+pub fn identity_placement(tree: CompleteTree) -> Vec<ElementId> {
+    (0..tree.num_nodes()).map(ElementId::new).collect()
+}
+
+/// Returns a uniformly random placement of elements onto nodes.
+///
+/// This is the initial configuration used throughout the paper's evaluation
+/// ("the initial trees were always constructed by placing the nodes uniformly
+/// at random", Section 6.1).
+pub fn random_placement<R: Rng + ?Sized>(tree: CompleteTree, rng: &mut R) -> Vec<ElementId> {
+    let mut placement = identity_placement(tree);
+    placement.shuffle(rng);
+    placement
+}
+
+/// Returns the frequency-BFS placement used by the Static-Opt baseline:
+/// elements are sorted by decreasing weight and assigned to nodes in BFS
+/// (heap) order, so the heaviest element sits at the root.
+///
+/// Ties are broken by element id so the placement is deterministic.
+///
+/// # Panics
+///
+/// Panics if `weights.len()` differs from the number of tree nodes.
+pub fn frequency_bfs_placement(tree: CompleteTree, weights: &[f64]) -> Vec<ElementId> {
+    assert_eq!(
+        weights.len(),
+        tree.num_nodes() as usize,
+        "one weight per element is required"
+    );
+    let mut order: Vec<ElementId> = (0..tree.num_nodes()).map(ElementId::new).collect();
+    order.sort_by(|a, b| {
+        weights[b.usize()]
+            .partial_cmp(&weights[a.usize()])
+            .expect("weights must not be NaN")
+            .then(a.index().cmp(&b.index()))
+    });
+    order
+}
+
+/// Builds a random-placement [`Occupancy`], the standard starting point of
+/// every experiment.
+pub fn random_occupancy<R: Rng + ?Sized>(tree: CompleteTree, rng: &mut R) -> Occupancy {
+    Occupancy::from_placement(tree, random_placement(tree, rng))
+        .expect("a shuffled identity placement is a bijection")
+}
+
+/// Builds a frequency-BFS [`Occupancy`] for the Static-Opt baseline.
+///
+/// # Panics
+///
+/// Panics if `weights.len()` differs from the number of tree nodes.
+pub fn frequency_occupancy(tree: CompleteTree, weights: &[f64]) -> Occupancy {
+    Occupancy::from_placement(tree, frequency_bfs_placement(tree, weights))
+        .expect("a sorted permutation is a bijection")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree(levels: u32) -> CompleteTree {
+        CompleteTree::with_levels(levels).unwrap()
+    }
+
+    #[test]
+    fn identity_placement_matches_indices() {
+        let p = identity_placement(tree(3));
+        for (i, e) in p.iter().enumerate() {
+            assert_eq!(e.usize(), i);
+        }
+    }
+
+    #[test]
+    fn random_placement_is_a_permutation_and_seed_deterministic() {
+        let t = tree(6);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let a = random_placement(t, &mut rng_a);
+        let b = random_placement(t, &mut rng_b);
+        assert_eq!(a, b, "same seed must give the same placement");
+        let mut seen = vec![false; t.num_nodes() as usize];
+        for e in &a {
+            assert!(!seen[e.usize()]);
+            seen[e.usize()] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn different_seeds_differ_with_high_probability() {
+        let t = tree(8);
+        let a = random_placement(t, &mut StdRng::seed_from_u64(1));
+        let b = random_placement(t, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn frequency_bfs_puts_heaviest_element_at_root() {
+        let t = tree(3);
+        // Element 5 heaviest, then 2, then the rest in id order.
+        let mut weights = vec![0.1; 7];
+        weights[5] = 10.0;
+        weights[2] = 5.0;
+        let occ = frequency_occupancy(t, &weights);
+        assert_eq!(occ.element_at(NodeId::ROOT), ElementId::new(5));
+        assert_eq!(occ.element_at(NodeId::new(1)), ElementId::new(2));
+        // Remaining elements appear in increasing id order on the later nodes.
+        assert_eq!(occ.element_at(NodeId::new(2)), ElementId::new(0));
+        assert_eq!(occ.element_at(NodeId::new(3)), ElementId::new(1));
+        assert_eq!(occ.element_at(NodeId::new(6)), ElementId::new(6));
+    }
+
+    #[test]
+    fn frequency_bfs_minimises_expected_cost_among_tested_placements() {
+        // With a strongly skewed distribution, the frequency-BFS placement
+        // should have no larger expected access cost than random placements.
+        let t = tree(5);
+        let n = t.num_nodes() as usize;
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powi(2)).collect();
+        let static_opt = frequency_occupancy(t, &weights);
+        let opt_cost = static_opt.expected_access_cost(&weights);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let random = random_occupancy(t, &mut rng);
+            assert!(opt_cost <= random.expected_access_cost(&weights) + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per element")]
+    fn frequency_bfs_rejects_wrong_weight_count() {
+        frequency_bfs_placement(tree(3), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Human-readable renderings of trees and occupancies.
+//!
+//! Mostly a debugging and teaching aid: the quickstart example and the
+//! experiment logs print small trees so that the effect of a push-down
+//! operation (Figure 1 of the paper) can be inspected directly.
+
+use crate::node::{ElementId, NodeId};
+use crate::occupancy::Occupancy;
+use std::fmt::Write as _;
+
+/// Renders an occupancy level by level, one line per level, e.g.
+/// `level 1 | e1 e2`.
+///
+/// Intended for small trees; the output of a level-`d` line contains `2^d`
+/// entries.
+pub fn render_levels(occupancy: &Occupancy) -> String {
+    let tree = occupancy.tree();
+    let mut output = String::new();
+    for level in 0..tree.num_levels() {
+        let _ = write!(output, "level {level} |");
+        for node in tree.level_nodes(level) {
+            let _ = write!(output, " e{}", occupancy.element_at(node).index());
+        }
+        output.push('\n');
+    }
+    output
+}
+
+/// Renders an occupancy as an indented tree, root first, children indented by
+/// two spaces per level, marking the node that currently stores `highlight`
+/// (if any) with an asterisk.
+pub fn render_tree(occupancy: &Occupancy, highlight: Option<ElementId>) -> String {
+    let mut output = String::new();
+    render_subtree(occupancy, NodeId::ROOT, highlight, &mut output);
+    output
+}
+
+fn render_subtree(
+    occupancy: &Occupancy,
+    node: NodeId,
+    highlight: Option<ElementId>,
+    output: &mut String,
+) {
+    let tree = occupancy.tree();
+    if !tree.contains(node) {
+        return;
+    }
+    let element = occupancy.element_at(node);
+    let marker = if Some(element) == highlight { " *" } else { "" };
+    let indent = "  ".repeat(node.level() as usize);
+    let _ = writeln!(output, "{indent}n{} -> e{}{marker}", node.index(), element.index());
+    render_subtree(occupancy, node.left_child(), highlight, output);
+    render_subtree(occupancy, node.right_child(), highlight, output);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::CompleteTree;
+
+    #[test]
+    fn level_rendering_lists_every_node_once() {
+        let occ = Occupancy::identity(CompleteTree::with_levels(3).unwrap());
+        let rendered = render_levels(&occ);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "level 0 | e0");
+        assert_eq!(lines[1], "level 1 | e1 e2");
+        assert_eq!(lines[2], "level 2 | e3 e4 e5 e6");
+    }
+
+    #[test]
+    fn tree_rendering_indents_by_level_and_highlights() {
+        let occ = Occupancy::identity(CompleteTree::with_levels(3).unwrap());
+        let rendered = render_tree(&occ, Some(ElementId::new(4)));
+        assert!(rendered.contains("n0 -> e0"));
+        assert!(rendered.contains("  n1 -> e1"));
+        assert!(rendered.contains("    n4 -> e4 *"));
+        // Exactly one highlight.
+        assert_eq!(rendered.matches('*').count(), 1);
+        // One line per node.
+        assert_eq!(rendered.lines().count(), 7);
+    }
+
+    #[test]
+    fn rendering_reflects_swaps() {
+        let mut occ = Occupancy::identity(CompleteTree::with_levels(3).unwrap());
+        occ.swap_nodes(NodeId::new(0), NodeId::new(1)).unwrap();
+        let rendered = render_levels(&occ);
+        assert!(rendered.starts_with("level 0 | e1"));
+    }
+}

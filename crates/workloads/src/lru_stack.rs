@@ -1,0 +1,205 @@
+//! LRU stack-distance analysis of request sequences.
+//!
+//! The stack distance (or reuse distance) of a request is the number of
+//! distinct elements accessed since the previous access to the same element,
+//! counting the element itself — the same quantity the paper calls the
+//! *working-set rank*. The distribution of stack distances is the standard
+//! way to characterise the temporal locality of a trace independently of any
+//! algorithm: a workload with many small distances rewards self-adjustment, a
+//! workload dominated by first accesses or large distances does not. The
+//! profile also yields the classic LRU hit-ratio curve, which gives a quick
+//! intuition for "how much structure is there to exploit".
+
+use crate::workload::Workload;
+use satn_tree::ElementId;
+
+/// The distribution of stack distances of a request sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackDistanceProfile {
+    /// `histogram[d]` counts requests with stack distance `d` (index 0 is
+    /// unused; distances start at 1 for an immediate repeat).
+    histogram: Vec<u64>,
+    /// The number of first-ever accesses (infinite stack distance).
+    cold_misses: u64,
+    /// Total number of requests profiled.
+    requests: u64,
+}
+
+impl StackDistanceProfile {
+    /// Computes the profile of a request sequence.
+    pub fn new(requests: &[ElementId]) -> Self {
+        // LRU stack as a vector of element ids, most recently used first. The
+        // naive O(m·s) maintenance (s = stack size) is fine for the trace
+        // sizes used in the experiments.
+        let mut stack: Vec<ElementId> = Vec::new();
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut cold_misses = 0u64;
+        for &request in requests {
+            match stack.iter().position(|&e| e == request) {
+                Some(position) => {
+                    let distance = position + 1;
+                    if histogram.len() <= distance {
+                        histogram.resize(distance + 1, 0);
+                    }
+                    histogram[distance] += 1;
+                    stack.remove(position);
+                }
+                None => cold_misses += 1,
+            }
+            stack.insert(0, request);
+        }
+        StackDistanceProfile {
+            histogram,
+            cold_misses,
+            requests: requests.len() as u64,
+        }
+    }
+
+    /// Computes the profile of a whole workload.
+    pub fn of_workload(workload: &Workload) -> Self {
+        StackDistanceProfile::new(workload.requests())
+    }
+
+    /// The number of requests profiled.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// The number of first-ever accesses (infinite distance).
+    pub fn cold_misses(&self) -> u64 {
+        self.cold_misses
+    }
+
+    /// How many requests had stack distance exactly `distance`.
+    pub fn count(&self, distance: usize) -> u64 {
+        self.histogram.get(distance).copied().unwrap_or(0)
+    }
+
+    /// The largest observed stack distance (0 if every access was a cold
+    /// miss).
+    pub fn max_distance(&self) -> usize {
+        self.histogram
+            .iter()
+            .rposition(|&count| count > 0)
+            .unwrap_or(0)
+    }
+
+    /// The mean stack distance over re-accesses (ignoring cold misses);
+    /// `None` if every access was a cold miss.
+    pub fn mean_distance(&self) -> Option<f64> {
+        let reaccesses: u64 = self.histogram.iter().sum();
+        if reaccesses == 0 {
+            return None;
+        }
+        let total: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(distance, &count)| distance as u64 * count)
+            .sum();
+        Some(total as f64 / reaccesses as f64)
+    }
+
+    /// The fraction of requests an LRU cache of `capacity` elements would
+    /// serve as hits (cold misses always miss).
+    pub fn lru_hit_ratio(&self, capacity: usize) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .histogram
+            .iter()
+            .take(capacity + 1)
+            .sum();
+        hits as f64 / self.requests as f64
+    }
+
+    /// The smallest LRU cache capacity achieving at least the given hit
+    /// ratio, or `None` if even a cache holding every element falls short
+    /// (because of cold misses).
+    pub fn capacity_for_hit_ratio(&self, target: f64) -> Option<usize> {
+        for capacity in 0..=self.max_distance() {
+            if self.lru_hit_ratio(capacity) >= target {
+                return Some(capacity);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ids(raw: &[u32]) -> Vec<ElementId> {
+        raw.iter().map(|&i| ElementId::new(i)).collect()
+    }
+
+    #[test]
+    fn distances_match_a_hand_checked_example() {
+        // a b a c b a
+        let profile = StackDistanceProfile::new(&ids(&[0, 1, 0, 2, 1, 0]));
+        assert_eq!(profile.cold_misses(), 3);
+        assert_eq!(profile.count(2), 1); // the second `a` (distinct since: b, a)
+        assert_eq!(profile.count(3), 2); // the second `b` and the final `a`
+        assert_eq!(profile.requests(), 6);
+        assert_eq!(profile.max_distance(), 3);
+        assert_eq!(profile.mean_distance(), Some((2.0 + 3.0 + 3.0) / 3.0));
+    }
+
+    #[test]
+    fn immediate_repeats_have_distance_one() {
+        let profile = StackDistanceProfile::new(&ids(&[4, 4, 4, 4]));
+        assert_eq!(profile.cold_misses(), 1);
+        assert_eq!(profile.count(1), 3);
+        assert_eq!(profile.lru_hit_ratio(1), 0.75);
+    }
+
+    #[test]
+    fn hit_ratio_is_monotone_in_the_cache_size() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let workload = synthetic::zipf(255, 20_000, 1.5, &mut rng);
+        let profile = StackDistanceProfile::of_workload(&workload);
+        let mut previous = 0.0;
+        for capacity in [0usize, 1, 2, 4, 8, 16, 32, 64, 128, 255] {
+            let ratio = profile.lru_hit_ratio(capacity);
+            assert!(ratio + 1e-12 >= previous);
+            assert!((0.0..=1.0).contains(&ratio));
+            previous = ratio;
+        }
+        // A cache holding the whole universe only misses on cold misses.
+        let full = profile.lru_hit_ratio(255);
+        let expected = 1.0 - profile.cold_misses() as f64 / profile.requests() as f64;
+        assert!((full - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temporal_locality_shrinks_the_cache_needed_for_high_hit_ratios() {
+        let mut rng_low = StdRng::seed_from_u64(4);
+        let mut rng_high = StdRng::seed_from_u64(4);
+        let uniform = synthetic::temporal(511, 20_000, 0.0, &mut rng_low);
+        let local = synthetic::temporal(511, 20_000, 0.9, &mut rng_high);
+        let uniform_profile = StackDistanceProfile::of_workload(&uniform);
+        let local_profile = StackDistanceProfile::of_workload(&local);
+        assert!(local_profile.lru_hit_ratio(8) > uniform_profile.lru_hit_ratio(8) + 0.3);
+        let local_capacity = local_profile.capacity_for_hit_ratio(0.5).unwrap();
+        assert!(local_capacity <= 8);
+    }
+
+    #[test]
+    fn degenerate_profiles_behave() {
+        let empty = StackDistanceProfile::new(&[]);
+        assert_eq!(empty.requests(), 0);
+        assert_eq!(empty.lru_hit_ratio(10), 0.0);
+        assert_eq!(empty.mean_distance(), None);
+        assert_eq!(empty.capacity_for_hit_ratio(0.1), None);
+
+        let cold_only = StackDistanceProfile::new(&ids(&[0, 1, 2, 3]));
+        assert_eq!(cold_only.cold_misses(), 4);
+        assert_eq!(cold_only.mean_distance(), None);
+        assert_eq!(cold_only.capacity_for_hit_ratio(0.5), None);
+    }
+}

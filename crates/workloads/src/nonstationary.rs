@@ -1,0 +1,191 @@
+//! Non-stationary workloads: bursty and phase-shifting request sequences.
+//!
+//! The paper's synthetic workloads (Section 6.1) are *stationary*: the
+//! temporal-locality parameter `p` and the Zipf skew `a` are fixed for the
+//! whole sequence. Self-adjusting networks are most interesting when the
+//! demand changes over time, so this module adds two non-stationary
+//! generators used by the convergence and ablation experiments:
+//!
+//! * [`markov_bursty`] — a two-state (calm / burst) Markov-modulated source:
+//!   in the burst state requests come from a small hot set, in the calm state
+//!   they are uniform,
+//! * [`shifting_hotspot`] — the sequence is split into phases and every phase
+//!   draws from a Zipf distribution over a *freshly shuffled* popularity
+//!   ranking, so the hot set moves and static layouts go stale.
+
+use crate::synthetic::ZipfSampler;
+use crate::workload::Workload;
+use rand::Rng;
+use satn_tree::ElementId;
+
+/// A two-state Markov-modulated workload.
+///
+/// The generator alternates between a *calm* state (uniform requests over all
+/// `num_elements` elements) and a *burst* state (uniform requests over a
+/// random hot set of `hot_set_size` elements). After every request it stays
+/// in the burst state with probability `burst_persistence` and enters it from
+/// the calm state with probability `burst_entry`.
+///
+/// # Panics
+///
+/// Panics if `num_elements < 2`, `hot_set_size` is zero or larger than the
+/// universe, or the probabilities are outside `[0, 1]`.
+pub fn markov_bursty<R: Rng + ?Sized>(
+    num_elements: u32,
+    length: usize,
+    hot_set_size: u32,
+    burst_entry: f64,
+    burst_persistence: f64,
+    rng: &mut R,
+) -> Workload {
+    assert!(num_elements >= 2, "need at least two elements");
+    assert!(
+        hot_set_size >= 1 && hot_set_size <= num_elements,
+        "hot set must be non-empty and fit the universe"
+    );
+    assert!((0.0..=1.0).contains(&burst_entry), "probability out of range");
+    assert!(
+        (0.0..=1.0).contains(&burst_persistence),
+        "probability out of range"
+    );
+    // A random hot set.
+    let mut universe: Vec<u32> = (0..num_elements).collect();
+    for i in (1..universe.len()).rev() {
+        universe.swap(i, rng.gen_range(0..=i));
+    }
+    let hot: Vec<u32> = universe[..hot_set_size as usize].to_vec();
+
+    let mut bursting = false;
+    let requests: Vec<ElementId> = (0..length)
+        .map(|_| {
+            bursting = if bursting {
+                rng.gen_bool(burst_persistence)
+            } else {
+                rng.gen_bool(burst_entry)
+            };
+            let element = if bursting {
+                hot[rng.gen_range(0..hot.len())]
+            } else {
+                rng.gen_range(0..num_elements)
+            };
+            ElementId::new(element)
+        })
+        .collect();
+    Workload::new(
+        format!("markov-bursty-h{hot_set_size}"),
+        num_elements,
+        requests,
+    )
+}
+
+/// A phase-shifting Zipf workload: the sequence is divided into `phases`
+/// equally long segments and each segment uses a Zipf(`a`) distribution over a
+/// freshly shuffled ranking of the elements.
+///
+/// # Panics
+///
+/// Panics if `num_elements < 2`, `phases` is zero, or `a <= 1`.
+pub fn shifting_hotspot<R: Rng + ?Sized>(
+    num_elements: u32,
+    length: usize,
+    phases: usize,
+    a: f64,
+    rng: &mut R,
+) -> Workload {
+    assert!(num_elements >= 2, "need at least two elements");
+    assert!(phases >= 1, "need at least one phase");
+    assert!(a > 1.0, "the Zipf exponent must exceed 1");
+    let sampler = ZipfSampler::new(num_elements, a);
+    let phase_length = length.div_ceil(phases);
+    let mut requests = Vec::with_capacity(length);
+    let mut ranking: Vec<u32> = (0..num_elements).collect();
+    while requests.len() < length {
+        // Shuffle the popularity ranking for this phase.
+        for i in (1..ranking.len()).rev() {
+            ranking.swap(i, rng.gen_range(0..=i));
+        }
+        for _ in 0..phase_length.min(length - requests.len()) {
+            let rank = sampler.sample(rng);
+            requests.push(ElementId::new(ranking[rank.usize()]));
+        }
+    }
+    Workload::new(
+        format!("shifting-hotspot-{phases}x-a{a}"),
+        num_elements,
+        requests,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn bursty_workloads_have_the_requested_shape() {
+        let workload = markov_bursty(255, 5_000, 8, 0.05, 0.95, &mut rng(1));
+        assert_eq!(workload.len(), 5_000);
+        assert_eq!(workload.num_elements(), 255);
+        assert!(workload.requests().iter().all(|e| e.index() < 255));
+    }
+
+    #[test]
+    fn persistent_bursts_concentrate_the_distribution() {
+        // Long bursts over a small hot set ⇒ much lower entropy than a
+        // uniform sequence of the same length.
+        let bursty = markov_bursty(511, 20_000, 4, 0.02, 0.995, &mut rng(2));
+        let calm = markov_bursty(511, 20_000, 4, 0.0, 0.0, &mut rng(2));
+        assert!(bursty.empirical_entropy() < calm.empirical_entropy() - 1.0);
+    }
+
+    #[test]
+    fn shifting_hotspot_changes_its_hot_set_between_phases() {
+        let workload = shifting_hotspot(1023, 30_000, 3, 2.0, &mut rng(3));
+        assert_eq!(workload.len(), 30_000);
+        // Identify the most frequent element of each third of the sequence;
+        // with overwhelming probability the phases disagree.
+        let phase_top: Vec<u32> = workload
+            .requests()
+            .chunks(10_000)
+            .map(|chunk| {
+                let mut counts = std::collections::HashMap::new();
+                for request in chunk {
+                    *counts.entry(request.index()).or_insert(0u64) += 1;
+                }
+                counts.into_iter().max_by_key(|&(_, count)| count).unwrap().0
+            })
+            .collect();
+        assert_eq!(phase_top.len(), 3);
+        assert!(phase_top[0] != phase_top[1] || phase_top[1] != phase_top[2]);
+    }
+
+    #[test]
+    fn shifting_hotspot_is_skewed_within_a_phase() {
+        let workload = shifting_hotspot(1023, 10_000, 1, 2.2, &mut rng(4));
+        // A single phase is just a Zipf(2.2) sample: low entropy.
+        assert!(workload.empirical_entropy() < 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot set")]
+    fn oversized_hot_sets_are_rejected() {
+        markov_bursty(8, 100, 9, 0.1, 0.9, &mut rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn flat_zipf_exponent_is_rejected() {
+        shifting_hotspot(8, 100, 2, 1.0, &mut rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn zero_phases_are_rejected() {
+        shifting_hotspot(8, 100, 0, 2.0, &mut rng(0));
+    }
+}

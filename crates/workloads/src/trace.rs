@@ -1,0 +1,248 @@
+//! Saving and loading request traces.
+//!
+//! The experiment harness writes every generated workload to a small CSV
+//! format so runs are exactly reproducible and traces can be exchanged with
+//! other tools (including the authors' original Python artefacts). The format
+//! is one header line `# name=<name> num_elements=<n>` followed by one
+//! element index per line.
+
+use crate::workload::Workload;
+use satn_tree::ElementId;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced while reading a trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An I/O error from the underlying reader or writer.
+    Io(std::io::Error),
+    /// The header line is missing or malformed.
+    MissingHeader,
+    /// A request line is not a valid element index.
+    InvalidRequest {
+        /// The 1-based line number of the offending line.
+        line: usize,
+        /// The raw line content.
+        content: String,
+    },
+    /// A request refers to an element outside the declared universe.
+    RequestOutOfRange {
+        /// The 1-based line number of the offending line.
+        line: usize,
+        /// The parsed element index.
+        element: u32,
+        /// The declared number of elements.
+        num_elements: u32,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(err) => write!(f, "i/o error: {err}"),
+            TraceError::MissingHeader => {
+                write!(f, "missing trace header (expected `# name=... num_elements=...`)")
+            }
+            TraceError::InvalidRequest { line, content } => {
+                write!(f, "line {line}: {content:?} is not a valid element index")
+            }
+            TraceError::RequestOutOfRange {
+                line,
+                element,
+                num_elements,
+            } => write!(
+                f,
+                "line {line}: element {element} is outside the universe of {num_elements} elements"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(err: std::io::Error) -> Self {
+        TraceError::Io(err)
+    }
+}
+
+/// Writes a workload to `writer` in the trace format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(workload: &Workload, mut writer: W) -> Result<(), TraceError> {
+    writeln!(
+        writer,
+        "# name={} num_elements={}",
+        workload.name().replace(char::is_whitespace, "_"),
+        workload.num_elements()
+    )?;
+    for request in workload.requests() {
+        writeln!(writer, "{}", request.index())?;
+    }
+    Ok(())
+}
+
+/// Reads a workload from `reader`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::MissingHeader`] if the first line is not a valid
+/// header, [`TraceError::InvalidRequest`] / [`TraceError::RequestOutOfRange`]
+/// for malformed request lines, and [`TraceError::Io`] for reader failures.
+pub fn read_trace<R: Read>(reader: R) -> Result<Workload, TraceError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or(TraceError::MissingHeader)??;
+    let (name, num_elements) = parse_header(&header).ok_or(TraceError::MissingHeader)?;
+    let mut requests = Vec::new();
+    for (index, line) in lines.enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let element: u32 = trimmed.parse().map_err(|_| TraceError::InvalidRequest {
+            line: index + 2,
+            content: trimmed.to_owned(),
+        })?;
+        if element >= num_elements {
+            return Err(TraceError::RequestOutOfRange {
+                line: index + 2,
+                element,
+                num_elements,
+            });
+        }
+        requests.push(ElementId::new(element));
+    }
+    Ok(Workload::new(name, num_elements, requests))
+}
+
+fn parse_header(header: &str) -> Option<(String, u32)> {
+    let header = header.strip_prefix('#')?.trim();
+    let mut name = None;
+    let mut num_elements = None;
+    for token in header.split_whitespace() {
+        if let Some(value) = token.strip_prefix("name=") {
+            name = Some(value.to_owned());
+        } else if let Some(value) = token.strip_prefix("num_elements=") {
+            num_elements = value.parse().ok();
+        }
+    }
+    Some((name?, num_elements?))
+}
+
+/// Writes a workload to the file at `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_trace(workload: &Workload, path: impl AsRef<Path>) -> Result<(), TraceError> {
+    let file = File::create(path)?;
+    write_trace(workload, BufWriter::new(file))
+}
+
+/// Loads a workload from the file at `path`.
+///
+/// # Errors
+///
+/// Propagates file-open errors and the parse errors of [`read_trace`].
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Workload, TraceError> {
+    read_trace(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_workload() -> Workload {
+        let mut rng = StdRng::seed_from_u64(5);
+        crate::synthetic::zipf(255, 500, 1.4, &mut rng).with_name("zipf sample")
+    }
+
+    #[test]
+    fn traces_roundtrip_through_memory() {
+        let workload = sample_workload();
+        let mut buffer = Vec::new();
+        write_trace(&workload, &mut buffer).unwrap();
+        let restored = read_trace(buffer.as_slice()).unwrap();
+        assert_eq!(restored.num_elements(), workload.num_elements());
+        assert_eq!(restored.requests(), workload.requests());
+        // Whitespace in the name is normalised to keep the header one line.
+        assert_eq!(restored.name(), "zipf_sample");
+    }
+
+    #[test]
+    fn traces_roundtrip_through_files() {
+        let workload = sample_workload();
+        let dir = std::env::temp_dir().join("satn-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.trace");
+        save_trace(&workload, &path).unwrap();
+        let restored = load_trace(&path).unwrap();
+        assert_eq!(restored.requests(), workload.requests());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_ignored() {
+        let text = "# name=tiny num_elements=7\n0\n\n# a comment\n3\n6\n";
+        let workload = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(workload.len(), 3);
+        assert_eq!(workload.requests()[1], ElementId::new(3));
+    }
+
+    #[test]
+    fn missing_or_malformed_headers_are_rejected() {
+        assert!(matches!(
+            read_trace("0\n1\n".as_bytes()),
+            Err(TraceError::MissingHeader)
+        ));
+        assert!(matches!(
+            read_trace("# nothing useful\n0\n".as_bytes()),
+            Err(TraceError::MissingHeader)
+        ));
+        assert!(matches!(read_trace("".as_bytes()), Err(TraceError::MissingHeader)));
+    }
+
+    #[test]
+    fn invalid_requests_are_reported_with_line_numbers() {
+        let err = read_trace("# name=t num_elements=4\n1\npotato\n".as_bytes()).unwrap_err();
+        match err {
+            TraceError::InvalidRequest { line, content } => {
+                assert_eq!(line, 3);
+                assert_eq!(content, "potato");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = read_trace("# name=t num_elements=4\n9\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::RequestOutOfRange {
+                element: 9,
+                num_elements: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_trace("# name=t num_elements=4\n9\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("outside the universe"));
+        assert!(TraceError::MissingHeader.to_string().contains("header"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The [`Workload`] container: a named request sequence over a fixed element
+//! universe, plus the statistics the paper reports about it.
+
+use satn_tree::ElementId;
+
+/// A request sequence over an element universe of known size, together with a
+/// human-readable name. This is the unit every experiment consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    name: String,
+    num_elements: u32,
+    requests: Vec<ElementId>,
+}
+
+impl Workload {
+    /// Creates a workload from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request refers to an element outside the universe.
+    pub fn new(name: impl Into<String>, num_elements: u32, requests: Vec<ElementId>) -> Self {
+        let name = name.into();
+        assert!(
+            requests.iter().all(|e| e.index() < num_elements),
+            "workload {name:?} contains requests outside the element universe"
+        );
+        Workload {
+            name,
+            num_elements,
+            requests,
+        }
+    }
+
+    /// The workload's name (used in experiment output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size of the element universe the requests are drawn from.
+    pub fn num_elements(&self) -> u32 {
+        self.num_elements
+    }
+
+    /// The request sequence.
+    pub fn requests(&self) -> &[ElementId] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Returns `true` if the workload contains no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Per-element request counts, indexed by element id.
+    pub fn frequencies(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_elements as usize];
+        for request in &self.requests {
+            counts[request.usize()] += 1;
+        }
+        counts
+    }
+
+    /// Per-element request frequencies as weights summing to 1 (all zeros for
+    /// an empty workload).
+    pub fn weights(&self) -> Vec<f64> {
+        let counts = self.frequencies();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; counts.len()];
+        }
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// The empirical entropy of the sequence in bits,
+    /// `Σ_e f(e) · log2(1 / f(e))` over relative frequencies `f(e)`
+    /// (Section 6.1, footnote 6).
+    pub fn empirical_entropy(&self) -> f64 {
+        let total = self.requests.len() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.frequencies()
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Fraction of requests that repeat their immediate predecessor — the
+    /// empirical counterpart of the temporal-locality parameter `p`.
+    pub fn repeat_fraction(&self) -> f64 {
+        if self.requests.len() < 2 {
+            return 0.0;
+        }
+        let repeats = self
+            .requests
+            .windows(2)
+            .filter(|pair| pair[0] == pair[1])
+            .count();
+        repeats as f64 / (self.requests.len() - 1) as f64
+    }
+
+    /// Number of distinct elements that are actually requested.
+    pub fn distinct_requested(&self) -> usize {
+        self.frequencies().iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Renames the workload (builder-style), keeping requests and universe.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+/// Returns the smallest number of complete-tree levels whose node count can
+/// host `num_keys` distinct elements (minimum one level).
+pub fn fit_tree_levels(num_keys: u32) -> u32 {
+    let mut levels = 1;
+    while ((1u64 << levels) - 1) < u64::from(num_keys) {
+        levels += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(requests: &[u32], n: u32) -> Workload {
+        Workload::new(
+            "test",
+            n,
+            requests.iter().map(|&i| ElementId::new(i)).collect(),
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let w = workload(&[0, 1, 1, 2], 4);
+        assert_eq!(w.name(), "test");
+        assert_eq!(w.num_elements(), 4);
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        assert_eq!(w.requests().len(), 4);
+        assert_eq!(w.distinct_requested(), 3);
+        let renamed = w.with_name("other");
+        assert_eq!(renamed.name(), "other");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the element universe")]
+    fn rejects_out_of_range_requests() {
+        workload(&[0, 9], 4);
+    }
+
+    #[test]
+    fn frequencies_and_weights() {
+        let w = workload(&[0, 1, 1, 3], 4);
+        assert_eq!(w.frequencies(), vec![1, 2, 0, 1]);
+        let weights = w.weights();
+        assert!((weights[1] - 0.5).abs() < 1e-12);
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_uniform_and_constant_sequences() {
+        let uniform = workload(&[0, 1, 2, 3], 4);
+        assert!((uniform.empirical_entropy() - 2.0).abs() < 1e-12);
+        let constant = workload(&[2, 2, 2, 2], 4);
+        assert_eq!(constant.empirical_entropy(), 0.0);
+        let empty = workload(&[], 4);
+        assert_eq!(empty.empirical_entropy(), 0.0);
+    }
+
+    #[test]
+    fn repeat_fraction_counts_adjacent_duplicates() {
+        let w = workload(&[0, 0, 1, 1, 1, 2], 4);
+        assert!((w.repeat_fraction() - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(workload(&[5], 6).repeat_fraction(), 0.0);
+        assert_eq!(workload(&[], 6).repeat_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fit_tree_levels_rounds_up_to_complete_sizes() {
+        assert_eq!(fit_tree_levels(0), 1);
+        assert_eq!(fit_tree_levels(1), 1);
+        assert_eq!(fit_tree_levels(2), 2);
+        assert_eq!(fit_tree_levels(3), 2);
+        assert_eq!(fit_tree_levels(4), 3);
+        assert_eq!(fit_tree_levels(7), 3);
+        assert_eq!(fit_tree_levels(8), 4);
+        assert_eq!(fit_tree_levels(7218), 13);
+        assert_eq!(fit_tree_levels(65535), 16);
+    }
+}

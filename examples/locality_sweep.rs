@@ -1,0 +1,85 @@
+//! A compact version of the paper's locality experiments (Q2/Q3) that runs in
+//! a few seconds: sweep the temporal-locality parameter `p` and the Zipf
+//! skewness `a` on a 1023-node tree and print the mean cost per request of
+//! every algorithm.
+//!
+//! Run with `cargo run --example locality_sweep --release`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn::tree::placement;
+use satn::workloads::synthetic;
+use satn::{AlgorithmKind, CompleteTree, Workload};
+
+fn measure(kind: AlgorithmKind, tree: CompleteTree, workload: &Workload) -> f64 {
+    let mut rng = StdRng::seed_from_u64(11);
+    let initial = placement::random_occupancy(tree, &mut rng);
+    let mut algorithm = kind
+        .instantiate(initial, 11, workload.requests())
+        .expect("workload fits the tree");
+    let summary = algorithm
+        .serve_sequence(workload.requests())
+        .expect("workload fits the tree");
+    summary.mean_total()
+}
+
+fn print_sweep(title: &str, tree: CompleteTree, workloads: &[(String, Workload)]) {
+    println!("{title}");
+    print!("{:<14}", "workload");
+    for kind in AlgorithmKind::EVALUATED {
+        print!(" {:>16}", kind.name());
+    }
+    println!();
+    for (label, workload) in workloads {
+        print!("{label:<14}");
+        for kind in AlgorithmKind::EVALUATED {
+            print!(" {:>16.3}", measure(kind, tree, workload));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tree = CompleteTree::with_nodes(1023)?;
+    let requests = 100_000;
+
+    let temporal: Vec<(String, Workload)> = [0.0, 0.3, 0.6, 0.9]
+        .iter()
+        .map(|&p| {
+            let mut rng = StdRng::seed_from_u64(2022);
+            (
+                format!("p = {p}"),
+                synthetic::temporal(tree.num_nodes(), requests, p, &mut rng),
+            )
+        })
+        .collect();
+    print_sweep(
+        "Q2 (temporal locality): mean cost per request",
+        tree,
+        &temporal,
+    );
+
+    let spatial: Vec<(String, Workload)> = [1.001, 1.6, 2.2]
+        .iter()
+        .map(|&a| {
+            let mut rng = StdRng::seed_from_u64(2022);
+            (
+                format!("a = {a}"),
+                synthetic::zipf(tree.num_nodes(), requests, a, &mut rng),
+            )
+        })
+        .collect();
+    print_sweep(
+        "Q3 (spatial locality): mean cost per request",
+        tree,
+        &spatial,
+    );
+
+    println!(
+        "Self-adjustment pays off once locality is high enough (large p or a), matching\n\
+         Figures 3 and 4 of the paper; run the full harness with\n\
+         `cargo run -p satn-bench --release --bin experiments` for the complete figures."
+    );
+    Ok(())
+}

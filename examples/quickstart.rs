@@ -1,0 +1,52 @@
+//! Quickstart: build a self-adjusting tree network, serve requests, inspect
+//! costs and the rotor state.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use satn::{CompleteTree, ElementId, NodeId, Occupancy, RotorPush, SelfAdjustingTree};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example: a complete binary tree with 15 nodes
+    // (4 levels); element i starts at node i.
+    let tree = CompleteTree::with_nodes(15)?;
+    let mut network = RotorPush::new(Occupancy::identity(tree));
+
+    println!("Figure 1 example: request the element at node 5 (level 2)");
+    let cost = network.serve(ElementId::new(5))?;
+    println!("  access cost     : {}", cost.access);
+    println!("  adjustment cost : {}", cost.adjustment);
+    println!(
+        "  element 5 now at: {} (level {})",
+        network.occupancy().node_of(ElementId::new(5)),
+        network.occupancy().level_of(ElementId::new(5)),
+    );
+    println!(
+        "  global path now starts with {} -> {}",
+        NodeId::ROOT,
+        network.rotor_state().global_path_node(1)
+    );
+
+    // Serve a skewed sequence on a larger tree and watch the network adapt.
+    let tree = CompleteTree::with_nodes(1023)?;
+    let mut network = RotorPush::new(Occupancy::identity(tree));
+    let hot: Vec<ElementId> = (1000..1010).map(ElementId::new).collect();
+    let mut summary = satn::CostSummary::new();
+    for round in 0..10_000usize {
+        let element = hot[round % hot.len()];
+        summary.record(network.serve(element)?);
+    }
+    println!("\nServing 10,000 requests over a 10-element hot set (1023-node tree):");
+    println!("  mean access cost     : {:.3}", summary.mean_access());
+    println!("  mean adjustment cost : {:.3}", summary.mean_adjustment());
+    let deepest_hot_level = hot
+        .iter()
+        .map(|&element| network.occupancy().level_of(element))
+        .max()
+        .unwrap_or(0);
+    println!(
+        "  hot elements now live in levels 0..={} of a {}-level tree",
+        deepest_hot_level,
+        tree.num_levels()
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! How closely does the deterministic rotor walk imitate a random walk?
+//!
+//! The paper derandomizes Random-Push by replacing its random leaf choice
+//! with rotor pointers. This example quantifies the "deterministic random
+//! walk" property behind that idea on two levels:
+//!
+//! 1. the level-targeted walk used by the algorithms (dispatching chips from
+//!    the root to a fixed level of a complete binary tree), and
+//! 2. a general-graph rotor-router compared against a genuine random walk.
+//!
+//! Run with `cargo run --example rotor_walk_discrepancy --release`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn::rotor::graph::{random_walk_visits, visit_discrepancy, RotorGraph};
+use satn::rotor::{max_discrepancy, RandomWalk, RotorWalk};
+use satn::CompleteTree;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("1) chip dispatching to the leaf level of a complete binary tree\n");
+    println!(
+        "{:>7} {:>10} {:>24} {:>24}",
+        "levels", "chips", "rotor max discrepancy", "random max discrepancy"
+    );
+    for levels in [4u32, 6, 8, 10] {
+        let tree = CompleteTree::with_levels(levels)?;
+        let chips = 50_000u64;
+        let mut rotor = RotorWalk::new(tree, tree.max_level());
+        let rotor_counts = rotor.visit_counts(chips);
+        let mut random = RandomWalk::new(tree, tree.max_level(), StdRng::seed_from_u64(1));
+        let random_counts = random.visit_counts(chips);
+        println!(
+            "{levels:>7} {chips:>10} {:>24.4} {:>24.4}",
+            max_discrepancy(&rotor_counts),
+            max_discrepancy(&random_counts)
+        );
+    }
+    println!(
+        "\nThe rotor walk never deviates by more than one chip per leaf — the property that\n\
+         makes Rotor-Push imitate Random-Push so closely in the paper's experiments.\n"
+    );
+
+    println!("2) rotor-router vs. random walk on the tree-with-return graph\n");
+    println!(
+        "{:>7} {:>10} {:>22}",
+        "levels", "steps", "visit-rate discrepancy"
+    );
+    for levels in [5u32, 7, 9] {
+        let steps = 200_000u64;
+        let mut rotor_graph = RotorGraph::complete_binary_tree(levels);
+        let reference = rotor_graph.clone();
+        let rotor_visits = rotor_graph.walk(0, steps);
+        let mut rng = StdRng::seed_from_u64(7);
+        let random_visits = random_walk_visits(&reference, 0, steps, &mut rng);
+        println!(
+            "{levels:>7} {steps:>10} {:>22.5}",
+            visit_discrepancy(&rotor_visits, &random_visits)
+        );
+    }
+    println!(
+        "\nBoth walks converge to the same visit frequencies; the rotor walk is simply the\n\
+         deterministic, bounded-discrepancy version of the random walk (cf. Section 1.3)."
+    );
+    Ok(())
+}

@@ -1,0 +1,150 @@
+//! Integration tests for the extension studies: the rotor-mechanism ablation,
+//! convergence tracking, and the entropy bounds, all through the `satn`
+//! facade.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn::analysis::{
+    entropy, entropy_static_lower_bound, static_optimal_expected_cost, track_convergence,
+};
+use satn::core::ablation::{AblationKind, LazyRotorPush, ScrambledRotorPush};
+use satn::tree::placement;
+use satn::workloads::{nonstationary, synthetic};
+use satn::{
+    CompleteTree, ElementId, Occupancy, RandomPush, RotorPush, SelfAdjustingTree, StaticOblivious,
+    StaticOpt,
+};
+
+fn identity(levels: u32) -> Occupancy {
+    Occupancy::identity(CompleteTree::with_levels(levels).unwrap())
+}
+
+#[test]
+fn lazy_rotor_interpolates_between_rotor_and_frozen() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let workload = synthetic::zipf(1023, 40_000, 1.9, &mut rng);
+
+    let mut rotor = RotorPush::new(identity(10));
+    let mut lazy1 = LazyRotorPush::new(identity(10), 1);
+    let rotor_cost = rotor.serve_sequence(workload.requests()).unwrap();
+    let lazy_cost = lazy1.serve_sequence(workload.requests()).unwrap();
+    assert_eq!(rotor_cost, lazy_cost);
+    assert_eq!(rotor.occupancy(), lazy1.occupancy());
+}
+
+#[test]
+fn scrambled_rotor_tracks_random_push_on_average() {
+    // The scrambled rotor chooses a uniform node on the request's level, which
+    // is exactly Random-Push's rule; over a long skewed sequence their mean
+    // costs should be close (they are different samples of the same process).
+    let mut rng = StdRng::seed_from_u64(5);
+    let workload = synthetic::zipf(511, 60_000, 1.6, &mut rng);
+    let mut scrambled = ScrambledRotorPush::with_seed(identity(9), 10);
+    let mut random = RandomPush::with_seed(identity(9), 20);
+    let scrambled_mean = scrambled
+        .serve_sequence(workload.requests())
+        .unwrap()
+        .mean_total();
+    let random_mean = random
+        .serve_sequence(workload.requests())
+        .unwrap()
+        .mean_total();
+    let relative_gap = (scrambled_mean - random_mean).abs() / random_mean;
+    assert!(
+        relative_gap < 0.05,
+        "scrambled {scrambled_mean} vs random {random_mean}"
+    );
+}
+
+#[test]
+fn every_ablation_variant_is_competitive_on_high_temporal_locality() {
+    // With p = 0.95 the same element is requested again most of the time, and
+    // every push variant keeps the repeated element at the root, so all
+    // variants must end up well below the oblivious baseline.
+    let mut rng = StdRng::seed_from_u64(8);
+    let workload = synthetic::temporal(1023, 40_000, 0.95, &mut rng);
+    let mut oblivious = StaticOblivious::new(identity(10));
+    let oblivious_cost = oblivious
+        .serve_sequence(workload.requests())
+        .unwrap()
+        .mean_total();
+    for variant in AblationKind::SWEEP {
+        let mut algorithm = variant.instantiate(identity(10), 3);
+        let cost = algorithm
+            .serve_sequence(workload.requests())
+            .unwrap()
+            .mean_total();
+        assert!(
+            cost < oblivious_cost,
+            "{}: {cost} vs oblivious {oblivious_cost}",
+            variant.label()
+        );
+    }
+}
+
+#[test]
+fn rotor_push_converges_faster_than_it_forgets_on_a_shifting_workload() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let workload = nonstationary::shifting_hotspot(2047, 60_000, 3, 2.0, &mut rng);
+    let mut rotor = RotorPush::new(identity(11));
+    let points = track_convergence(&mut rotor, workload.requests(), 12).unwrap();
+    assert_eq!(points.last().unwrap().requests_served, 60_000);
+    // The final window must be much cheaper than the cold start: the tree
+    // re-converges after every phase shift.
+    let first = points.first().unwrap().window_mean_cost;
+    let last = points.last().unwrap().window_mean_cost;
+    assert!(last < first, "first {first} vs last {last}");
+}
+
+#[test]
+fn entropy_bounds_sandwich_static_opt_on_generated_workloads() {
+    let tree = CompleteTree::with_levels(10).unwrap();
+    for a in [1.1f64, 1.6, 2.2] {
+        let mut rng = StdRng::seed_from_u64(a.to_bits());
+        let workload = synthetic::zipf(tree.num_nodes(), 30_000, a, &mut rng);
+        let weights = workload.weights();
+        let lower = entropy_static_lower_bound(&weights, tree.num_levels());
+        let optimal = static_optimal_expected_cost(&weights);
+        assert!(optimal + 1e-9 >= lower);
+        assert!(optimal <= entropy(&weights) + 2.0 + 1e-9);
+
+        // The measured Static-Opt access cost equals the analytic optimum.
+        let mut opt = StaticOpt::from_sequence(tree, workload.requests()).unwrap();
+        let measured = opt
+            .serve_sequence(workload.requests())
+            .unwrap()
+            .mean_access();
+        assert!((measured - optimal).abs() < 1e-6, "{measured} vs {optimal}");
+    }
+}
+
+#[test]
+fn bursty_workloads_reward_self_adjustment_over_random_placement() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let workload = nonstationary::markov_bursty(1023, 50_000, 6, 0.05, 0.995, &mut rng);
+    let mut placement_rng = StdRng::seed_from_u64(3);
+    let initial = placement::random_occupancy(CompleteTree::with_levels(10).unwrap(), &mut placement_rng);
+    let mut rotor = RotorPush::new(initial.clone());
+    let mut oblivious = StaticOblivious::new(initial);
+    let rotor_cost = rotor
+        .serve_sequence(workload.requests())
+        .unwrap()
+        .mean_total();
+    let oblivious_cost = oblivious
+        .serve_sequence(workload.requests())
+        .unwrap()
+        .mean_total();
+    assert!(rotor_cost < oblivious_cost);
+}
+
+#[test]
+fn convergence_points_report_displacements_for_all_algorithms() {
+    let requests: Vec<ElementId> = (0..5_000u32).map(|i| ElementId::new(i % 127)).collect();
+    let mut rotor = RotorPush::new(identity(7));
+    let points = track_convergence(&mut rotor, &requests, 5).unwrap();
+    for point in &points {
+        assert!(point.mru_displacement >= 0.0);
+        assert!(point.frequency_displacement >= 0.0);
+        assert!(point.window_mean_cost >= 1.0);
+    }
+}

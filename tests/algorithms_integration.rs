@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: workloads from `satn-workloads` served by
+//! every algorithm of `satn-core`, with the qualitative relationships the
+//! paper reports.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn::workloads::synthetic;
+use satn::{AlgorithmKind, CompleteTree, ElementId, Occupancy, SelfAdjustingTree};
+
+fn mean_total(kind: AlgorithmKind, initial: &Occupancy, requests: &[ElementId]) -> f64 {
+    let mut algorithm = kind
+        .instantiate(initial.clone(), 99, requests)
+        .expect("workload fits the tree");
+    let summary = algorithm
+        .serve_sequence(requests)
+        .expect("workload fits the tree");
+    summary.mean_total()
+}
+
+#[test]
+fn every_algorithm_serves_a_mixed_workload_and_keeps_a_valid_tree() {
+    let tree = CompleteTree::with_nodes(1023).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let workload = synthetic::combined(1023, 20_000, 1.3, 0.5, &mut rng);
+    let initial = satn::tree::placement::random_occupancy(tree, &mut rng);
+    for kind in AlgorithmKind::EVALUATED {
+        let mut algorithm = kind
+            .instantiate(initial.clone(), 5, workload.requests())
+            .unwrap();
+        let summary = algorithm.serve_sequence(workload.requests()).unwrap();
+        assert_eq!(summary.requests() as usize, workload.len());
+        assert!(algorithm.occupancy().is_consistent(), "{}", kind);
+        assert!(summary.mean_access() >= 1.0, "{}", kind);
+    }
+}
+
+#[test]
+fn self_adjusting_algorithms_beat_the_oblivious_tree_under_high_temporal_locality() {
+    let tree = CompleteTree::with_nodes(2047).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let workload = synthetic::temporal(2047, 40_000, 0.9, &mut rng);
+    let initial = satn::tree::placement::random_occupancy(tree, &mut rng);
+    let oblivious = mean_total(AlgorithmKind::StaticOblivious, &initial, workload.requests());
+    for kind in [AlgorithmKind::RotorPush, AlgorithmKind::RandomPush] {
+        let cost = mean_total(kind, &initial, workload.requests());
+        assert!(
+            cost < oblivious,
+            "{kind} should beat static-oblivious at p=0.9: {cost} vs {oblivious}"
+        );
+    }
+}
+
+#[test]
+fn static_opt_has_the_best_access_cost_under_skew() {
+    // The paper's Q3 finding: Static-Opt wins on pure access cost in all
+    // spatial-locality scenarios (self-adjusting algorithms additionally pay
+    // adjustment).
+    let tree = CompleteTree::with_nodes(2047).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let workload = synthetic::zipf(2047, 40_000, 1.9, &mut rng);
+    let initial = satn::tree::placement::random_occupancy(tree, &mut rng);
+
+    let mut static_opt = AlgorithmKind::StaticOpt
+        .instantiate(initial.clone(), 1, workload.requests())
+        .unwrap();
+    let opt_access = static_opt
+        .serve_sequence(workload.requests())
+        .unwrap()
+        .mean_access();
+    for kind in AlgorithmKind::SELF_ADJUSTING {
+        let mut algorithm = kind
+            .instantiate(initial.clone(), 1, workload.requests())
+            .unwrap();
+        let access = algorithm
+            .serve_sequence(workload.requests())
+            .unwrap()
+            .mean_access();
+        assert!(
+            opt_access <= access + 0.25,
+            "{kind}: static-opt access {opt_access} should not be clearly worse than {access}"
+        );
+    }
+}
+
+#[test]
+fn rotor_and_random_push_have_nearly_identical_mean_cost() {
+    // The central empirical observation (Q4): the deterministic rotor walk
+    // imitates the random walk so well that the mean costs almost coincide.
+    let tree = CompleteTree::with_nodes(4095).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let workload = synthetic::uniform(4095, 50_000, &mut rng);
+    let initial = satn::tree::placement::random_occupancy(tree, &mut rng);
+    let rotor = mean_total(AlgorithmKind::RotorPush, &initial, workload.requests());
+    let random = mean_total(AlgorithmKind::RandomPush, &initial, workload.requests());
+    let relative_gap = (rotor - random).abs() / random;
+    assert!(
+        relative_gap < 0.02,
+        "rotor {rotor} and random {random} should differ by <2% (gap {relative_gap})"
+    );
+}
+
+#[test]
+fn max_push_pays_far_more_adjustment_than_the_push_algorithms() {
+    let tree = CompleteTree::with_nodes(1023).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let workload = synthetic::zipf(1023, 20_000, 1.3, &mut rng);
+    let initial = satn::tree::placement::random_occupancy(tree, &mut rng);
+
+    let adjustment = |kind: AlgorithmKind| {
+        let mut algorithm = kind
+            .instantiate(initial.clone(), 1, workload.requests())
+            .unwrap();
+        algorithm
+            .serve_sequence(workload.requests())
+            .unwrap()
+            .mean_adjustment()
+    };
+    let rotor = adjustment(AlgorithmKind::RotorPush);
+    let max_push = adjustment(AlgorithmKind::MaxPush);
+    assert!(
+        max_push > 2.0 * rotor,
+        "max-push adjustment {max_push} should dwarf rotor-push {rotor}"
+    );
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_experiments_end_to_end() {
+    let tree = CompleteTree::with_nodes(511).unwrap();
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(77);
+        let workload = synthetic::combined(511, 5_000, 1.6, 0.75, &mut rng);
+        let initial = satn::tree::placement::random_occupancy(tree, &mut rng);
+        AlgorithmKind::EVALUATED
+            .iter()
+            .map(|kind| {
+                let mut algorithm = kind
+                    .instantiate(initial.clone(), 13, workload.requests())
+                    .unwrap();
+                algorithm
+                    .serve_sequence(workload.requests())
+                    .unwrap()
+                    .total()
+                    .total()
+            })
+            .collect::<Vec<u64>>()
+    };
+    assert_eq!(run(), run());
+}

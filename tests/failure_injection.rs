@@ -1,0 +1,133 @@
+//! Failure injection: the substrate must reject inconsistent states and
+//! rule-violating operations instead of silently corrupting the simulation.
+
+use satn::tree::{FreeSwapSession, MarkedRound, TreeError};
+use satn::{CompleteTree, ElementId, NodeId, Occupancy, RotorPush, SelfAdjustingTree};
+
+#[test]
+fn invalid_tree_sizes_are_rejected() {
+    for nodes in [0u64, 2, 4, 6, 100, 1 << 40] {
+        assert!(matches!(
+            CompleteTree::with_nodes(nodes),
+            Err(TreeError::InvalidSize { .. })
+        ));
+    }
+    assert!(CompleteTree::with_levels(0).is_err());
+    assert!(CompleteTree::with_levels(40).is_err());
+    assert!(CompleteTree::with_nodes(7).is_ok());
+}
+
+#[test]
+fn non_bijective_placements_are_rejected() {
+    let tree = CompleteTree::with_levels(3).unwrap();
+    // Element 0 appears twice, element 6 never.
+    let placement: Vec<ElementId> = [0u32, 1, 2, 3, 4, 5, 0].iter().map(|&i| ElementId::new(i)).collect();
+    assert!(matches!(
+        Occupancy::from_placement(tree, placement),
+        Err(TreeError::NotABijection { .. })
+    ));
+    // Too short.
+    assert!(Occupancy::from_placement(tree, vec![ElementId::new(0)]).is_err());
+    // Out-of-range element.
+    let placement: Vec<ElementId> = (0..6).chain([99]).map(ElementId::new).collect();
+    assert!(Occupancy::from_placement(tree, placement).is_err());
+}
+
+#[test]
+fn the_marking_rule_blocks_swaps_away_from_the_access_path() {
+    let tree = CompleteTree::with_levels(4).unwrap();
+    let mut occupancy = Occupancy::identity(tree);
+    // Access element 7 (leftmost leaf); the right subtree is unmarked.
+    let mut round = MarkedRound::access(&mut occupancy, ElementId::new(7)).unwrap();
+    let err = round.swap(NodeId::new(13), NodeId::new(6)).unwrap_err();
+    assert!(matches!(err, TreeError::UnmarkedSwap { .. }));
+    // Swapping two nodes that are not parent/child is rejected even on the path.
+    let err = round.swap(NodeId::new(7), NodeId::new(1)).unwrap_err();
+    assert!(matches!(err, TreeError::NotAdjacent { .. }));
+    // A legal swap on the access path still works afterwards.
+    round.swap(NodeId::new(7), NodeId::new(3)).unwrap();
+    let cost = round.finish();
+    assert_eq!(cost.access, 4);
+    assert_eq!(cost.adjustment, 1);
+    assert!(occupancy.is_consistent());
+}
+
+#[test]
+fn rejected_operations_leave_the_occupancy_untouched() {
+    let tree = CompleteTree::with_levels(4).unwrap();
+    let mut occupancy = Occupancy::identity(tree);
+    let snapshot = occupancy.clone();
+
+    // Free-swap sessions still validate adjacency and node ranges.
+    let mut session = FreeSwapSession::new(&mut occupancy);
+    assert!(session.swap(NodeId::new(0), NodeId::new(5)).is_err());
+    assert!(session.swap(NodeId::new(3), NodeId::new(99)).is_err());
+    assert_eq!(session.finish(), 0);
+    assert_eq!(occupancy, snapshot);
+
+    // Direct occupancy swaps validate too.
+    assert!(occupancy.swap_nodes(NodeId::new(2), NodeId::new(3)).is_err());
+    assert!(occupancy.swap_elements(ElementId::new(0), ElementId::new(9)).is_err());
+    assert_eq!(occupancy, snapshot);
+}
+
+#[test]
+fn algorithms_reject_requests_outside_the_element_set_without_state_damage() {
+    let tree = CompleteTree::with_levels(5).unwrap();
+    let mut algorithm = RotorPush::new(Occupancy::identity(tree));
+    algorithm.serve(ElementId::new(17)).unwrap();
+    let occupancy_before = algorithm.occupancy().clone();
+    let rotors_before = algorithm.rotor_state().clone();
+    let err = algorithm.serve(ElementId::new(31)).unwrap_err();
+    assert!(matches!(err, TreeError::ElementOutOfRange { .. }));
+    assert_eq!(algorithm.occupancy(), &occupancy_before);
+    assert_eq!(algorithm.rotor_state(), &rotors_before);
+}
+
+#[test]
+fn corrupted_rotor_pointers_are_rejected_at_the_api_boundary() {
+    use satn::rotor::RotorState;
+    let tree = CompleteTree::with_levels(4).unwrap();
+    let mut rotors = RotorState::new(tree);
+    // Nodes outside the tree are rejected; the state stays usable afterwards.
+    assert!(rotors.toggle(NodeId::new(99)).is_err());
+    assert!(rotors
+        .set_pointer(NodeId::new(15), satn::Direction::Right)
+        .is_err());
+    assert_eq!(rotors.global_path_node(0), NodeId::ROOT);
+    // Pointers of leaves exist but are never followed: toggling one does not
+    // change any global-path node.
+    let path_before = rotors.global_path();
+    rotors.toggle(NodeId::new(14)).unwrap();
+    assert_eq!(rotors.global_path(), path_before);
+}
+
+#[test]
+fn workload_and_tree_size_mismatches_surface_as_errors() {
+    let tree = CompleteTree::with_levels(3).unwrap();
+    let mut algorithm = RotorPush::new(Occupancy::identity(tree));
+    let requests: Vec<ElementId> = (0..20u32).map(ElementId::new).collect();
+    let err = algorithm.serve_sequence(&requests).unwrap_err();
+    assert!(matches!(err, TreeError::ElementOutOfRange { .. }));
+}
+
+#[test]
+fn trace_parser_reports_corrupt_files_instead_of_panicking() {
+    use satn::workloads::{read_trace, TraceError};
+    let corrupt = [
+        "",                                      // empty
+        "no header line\n0\n1\n",                // missing header
+        "# name=x num_elements=8\n1\n-3\n",      // negative index
+        "# name=x num_elements=8\n1\n12\n",      // out of range
+        "# name=x num_elements=abc\n1\n",        // malformed universe size
+    ];
+    for text in corrupt {
+        let result = read_trace(text.as_bytes());
+        assert!(result.is_err(), "{text:?} should not parse");
+    }
+    // Errors are printable and typed.
+    match read_trace("# name=x num_elements=8\n12\n".as_bytes()) {
+        Err(TraceError::RequestOutOfRange { element, .. }) => assert_eq!(element, 12),
+        other => panic!("unexpected result {other:?}"),
+    }
+}

@@ -1,0 +1,61 @@
+//! Integration test for the Section 1.1 lower-bound example: round-robin
+//! requests along one root-to-leaf path make the naive Move-To-Front
+//! generalisation pay Θ(depth) per request, while the constant-competitive
+//! algorithms and the static optimum stay near O(log depth).
+
+use satn::workloads::synthetic;
+use satn::{AlgorithmKind, CompleteTree, ElementId, Occupancy, SelfAdjustingTree};
+
+fn mean_total(kind: AlgorithmKind, tree: CompleteTree, requests: &[ElementId]) -> f64 {
+    let mut algorithm = kind
+        .instantiate(Occupancy::identity(tree), 3, requests)
+        .unwrap();
+    algorithm.serve_sequence(requests).unwrap().mean_total()
+}
+
+#[test]
+fn move_to_front_pays_theta_depth_while_competitive_algorithms_do_not() {
+    let levels = 11u32;
+    let tree = CompleteTree::with_levels(levels).unwrap();
+    let leaf = tree.num_nodes() - 1;
+    let workload = synthetic::round_robin_path(tree.num_nodes(), leaf, 3_000);
+
+    let mtf = mean_total(AlgorithmKind::MoveToFront, tree, workload.requests());
+    let rotor = mean_total(AlgorithmKind::RotorPush, tree, workload.requests());
+    let static_opt = mean_total(AlgorithmKind::StaticOpt, tree, workload.requests());
+
+    // MTF keeps paying close to the full depth.
+    assert!(
+        mtf > 0.7 * f64::from(levels),
+        "move-to-front mean cost {mtf} should be near the depth {levels}"
+    );
+    // The static optimum packs the path elements into the top levels:
+    // roughly log2(levels) + 1 access cost.
+    assert!(
+        static_opt < f64::from(levels) / 2.0,
+        "static-opt {static_opt} should be far below the depth"
+    );
+    // Rotor-Push is constant-competitive, so it also stays well below MTF.
+    assert!(
+        rotor < 0.75 * mtf,
+        "rotor-push {rotor} should clearly beat move-to-front {mtf}"
+    );
+}
+
+#[test]
+fn the_gap_grows_with_the_tree_depth() {
+    let ratio_for = |levels: u32| {
+        let tree = CompleteTree::with_levels(levels).unwrap();
+        let leaf = tree.num_nodes() - 1;
+        let workload = synthetic::round_robin_path(tree.num_nodes(), leaf, 2_000);
+        let mtf = mean_total(AlgorithmKind::MoveToFront, tree, workload.requests());
+        let opt = mean_total(AlgorithmKind::StaticOpt, tree, workload.requests());
+        mtf / opt
+    };
+    let shallow = ratio_for(6);
+    let deep = ratio_for(12);
+    assert!(
+        deep > shallow,
+        "the MTF/OPT ratio should grow with depth: {shallow} vs {deep}"
+    );
+}

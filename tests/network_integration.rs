@@ -1,0 +1,129 @@
+//! Integration test of the multi-source composition through the `satn`
+//! facade: ego-trees per source, skewed traffic, cost and degree accounting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn::network::{traffic, NetworkError};
+use satn::{AlgorithmKind, Host, SelfAdjustingNetwork};
+
+#[test]
+fn self_adjusting_composition_beats_the_oblivious_one_on_skewed_traffic() {
+    let num_hosts = 48;
+    let mut rng = StdRng::seed_from_u64(3);
+    let demand = traffic::hotspot(num_hosts, 30_000, 6, 0.9, &mut rng);
+
+    let mut rotor = SelfAdjustingNetwork::new(num_hosts, AlgorithmKind::RotorPush, 1).unwrap();
+    let mut random = SelfAdjustingNetwork::new(num_hosts, AlgorithmKind::RandomPush, 1).unwrap();
+    let mut oblivious =
+        SelfAdjustingNetwork::new(num_hosts, AlgorithmKind::StaticOblivious, 1).unwrap();
+
+    let rotor_cost = rotor.serve_trace(demand.pairs()).unwrap().mean_total();
+    let random_cost = random.serve_trace(demand.pairs()).unwrap().mean_total();
+    let oblivious_cost = oblivious.serve_trace(demand.pairs()).unwrap().mean_total();
+
+    assert!(rotor_cost < oblivious_cost, "{rotor_cost} vs {oblivious_cost}");
+    assert!(random_cost < oblivious_cost, "{random_cost} vs {oblivious_cost}");
+    // Rotor-Push and Random-Push stay close to each other, as in the paper's
+    // single-source experiments.
+    assert!((rotor_cost - random_cost).abs() < 0.5 * rotor_cost);
+}
+
+#[test]
+fn hot_destinations_end_up_near_the_roots_of_their_sources_ego_trees() {
+    let num_hosts = 32;
+    let mut rng = StdRng::seed_from_u64(9);
+    let demand = traffic::hotspot(num_hosts, 20_000, 3, 0.95, &mut rng);
+    let mut network = SelfAdjustingNetwork::new(num_hosts, AlgorithmKind::RotorPush, 4).unwrap();
+    network.serve_trace(demand.pairs()).unwrap();
+    for (pair, count) in network_top_pairs(&demand, 3) {
+        if count < 100 {
+            continue;
+        }
+        let route = network.route_length(pair.source, pair.destination).unwrap();
+        assert!(
+            route <= 3,
+            "heavy pair {pair} ({count} requests) still routes over {route} hops"
+        );
+    }
+}
+
+fn network_top_pairs(demand: &satn::network::Traffic, k: usize) -> Vec<(satn::HostPair, u64)> {
+    demand.top_pairs(k)
+}
+
+#[test]
+fn per_source_costs_sum_to_the_total_across_algorithms() {
+    let num_hosts = 24;
+    let mut rng = StdRng::seed_from_u64(5);
+    let demand = traffic::uniform(num_hosts, 5_000, &mut rng);
+    for kind in [
+        AlgorithmKind::RotorPush,
+        AlgorithmKind::MoveHalf,
+        AlgorithmKind::MaxPush,
+    ] {
+        let mut network = SelfAdjustingNetwork::new(num_hosts, kind, 2).unwrap();
+        network.serve_trace(demand.pairs()).unwrap();
+        let per_source: u64 = (0..num_hosts)
+            .map(|h| network.cost_of_source(Host::new(h)).total().total())
+            .sum();
+        assert_eq!(per_source, network.total_cost().total().total(), "{kind}");
+        assert_eq!(network.total_cost().requests(), 5_000);
+    }
+}
+
+#[test]
+fn physical_degrees_stay_within_the_analytic_bound_while_adjusting() {
+    let num_hosts = 20u32;
+    let mut rng = StdRng::seed_from_u64(8);
+    let demand = traffic::zipf_destinations(num_hosts, 8_000, 1.8, &mut rng);
+    let mut network = SelfAdjustingNetwork::new(num_hosts, AlgorithmKind::RotorPush, 0).unwrap();
+    // Every host appears in n−1 foreign trees with ≤ 3 tree links each plus a
+    // possible root link, plus the link to its own tree.
+    let bound = 1 + (num_hosts - 1) * 4;
+    for chunk in demand.pairs().chunks(1_000) {
+        network.serve_trace(chunk).unwrap();
+        assert!(network.max_degree() <= bound);
+        assert!(network.mean_degree() <= f64::from(bound));
+        assert!(network.mean_degree() >= 1.0);
+    }
+}
+
+#[test]
+fn static_opt_composition_requires_and_uses_the_trace() {
+    let num_hosts = 16;
+    let mut rng = StdRng::seed_from_u64(21);
+    let demand = traffic::hotspot(num_hosts, 10_000, 2, 0.95, &mut rng);
+    assert!(matches!(
+        SelfAdjustingNetwork::new(num_hosts, AlgorithmKind::StaticOpt, 0),
+        Err(NetworkError::TraceRequired { .. })
+    ));
+    let mut opt =
+        SelfAdjustingNetwork::with_trace(num_hosts, AlgorithmKind::StaticOpt, 0, demand.pairs())
+            .unwrap();
+    let mut oblivious =
+        SelfAdjustingNetwork::new(num_hosts, AlgorithmKind::StaticOblivious, 0).unwrap();
+    let opt_cost = opt.serve_trace(demand.pairs()).unwrap().mean_total();
+    let oblivious_cost = oblivious.serve_trace(demand.pairs()).unwrap().mean_total();
+    assert!(opt_cost <= oblivious_cost);
+}
+
+#[test]
+fn requests_between_all_pairs_are_servable() {
+    let num_hosts = 10;
+    let mut network = SelfAdjustingNetwork::new(num_hosts, AlgorithmKind::MaxPush, 0).unwrap();
+    for source in 0..num_hosts {
+        for destination in 0..num_hosts {
+            let result = network.serve(Host::new(source), Host::new(destination));
+            if source == destination {
+                assert!(matches!(result, Err(NetworkError::SelfLoop { .. })));
+            } else {
+                let cost = result.unwrap();
+                assert!(cost.access >= 1);
+            }
+        }
+    }
+    assert_eq!(
+        network.total_cost().requests(),
+        u64::from(num_hosts) * u64::from(num_hosts - 1)
+    );
+}

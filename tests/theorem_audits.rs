@@ -1,0 +1,74 @@
+//! Integration tests turning the paper's competitive analyses into
+//! executable checks on realistic workloads.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn::workloads::synthetic;
+use satn::{
+    CompleteTree, RandomPush, RandomPushAuditor, RotorPush, RotorPushAuditor, SelfAdjustingTree,
+    StaticOpt,
+};
+
+#[test]
+fn theorem7_per_round_inequality_holds_on_combined_locality_workloads() {
+    let nodes = 1_023u32;
+    let tree = CompleteTree::with_nodes(u64::from(nodes)).unwrap();
+    for (seed, a, p) in [(1u64, 1.001, 0.0), (2, 1.6, 0.5), (3, 2.2, 0.9)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workload = synthetic::combined(nodes, 10_000, a, p, &mut rng);
+        let opt = StaticOpt::from_sequence(tree, workload.requests()).unwrap();
+        let mut rotor =
+            RotorPush::new(satn::tree::placement::random_occupancy(tree, &mut rng));
+        let report = RotorPushAuditor::new(opt.occupancy().clone())
+            .audit(&mut rotor, workload.requests())
+            .unwrap();
+        assert!(
+            report.holds_per_round(),
+            "a={a} p={p}: max slack {}",
+            report.max_slack
+        );
+        assert!(report.amortized_ratio <= 12.0 + 1e-9);
+    }
+}
+
+#[test]
+fn theorem11_aggregate_ratio_holds_for_random_push() {
+    let nodes = 1_023u32;
+    let tree = CompleteTree::with_nodes(u64::from(nodes)).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let workload = synthetic::zipf(nodes, 15_000, 1.3, &mut rng);
+    let opt = StaticOpt::from_sequence(tree, workload.requests()).unwrap();
+    let mut random = RandomPush::with_seed(
+        satn::tree::placement::random_occupancy(tree, &mut rng),
+        1234,
+    );
+    let report = RandomPushAuditor::new(opt.occupancy().clone())
+        .audit(&mut random, workload.requests())
+        .unwrap();
+    assert!(
+        report.amortized_ratio <= 16.0,
+        "amortized ratio {} exceeds the proven bound",
+        report.amortized_ratio
+    );
+}
+
+#[test]
+fn measured_cost_stays_within_the_proven_factor_of_the_working_set_bound() {
+    // The working-set bound is a lower bound on OPT (up to a constant), so a
+    // 12-competitive algorithm must stay within a constant factor of it.
+    let nodes = 2_047u32;
+    let tree = CompleteTree::with_nodes(u64::from(nodes)).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let workload = synthetic::temporal(nodes, 30_000, 0.75, &mut rng);
+    let mut rotor = RotorPush::new(satn::tree::placement::random_occupancy(tree, &mut rng));
+    let report =
+        satn::competitive_report(&mut rotor, nodes, workload.requests()).unwrap();
+    assert!(report.working_set_bound > 0.0);
+    // Generous constant: cost / WS-bound stays bounded (empirically ~2-6).
+    assert!(
+        report.ratio_to_working_set_bound() < 30.0,
+        "ratio {}",
+        report.ratio_to_working_set_bound()
+    );
+    assert!(report.ratio_to_static_opt() < 12.0 + 1.0);
+}

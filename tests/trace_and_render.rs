@@ -1,0 +1,96 @@
+//! Trace persistence and rendering: workloads survive a save/load roundtrip
+//! byte-for-byte, replaying a loaded trace reproduces the exact costs, and the
+//! ASCII renderings reflect the tree state.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn::tree::render::{render_levels, render_tree};
+use satn::workloads::{load_trace, nonstationary, save_trace, synthetic};
+use satn::{CompleteTree, ElementId, Occupancy, RotorPush, SelfAdjustingTree};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("satn-integration-traces");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn replaying_a_saved_trace_reproduces_the_costs_exactly() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let workload = nonstationary::markov_bursty(511, 20_000, 5, 0.1, 0.98, &mut rng);
+    let path = temp_path("bursty.trace");
+    save_trace(&workload, &path).unwrap();
+    let reloaded = load_trace(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(reloaded.requests(), workload.requests());
+    assert_eq!(reloaded.num_elements(), workload.num_elements());
+    assert!((reloaded.empirical_entropy() - workload.empirical_entropy()).abs() < 1e-12);
+
+    let tree = CompleteTree::with_levels(9).unwrap();
+    let mut original = RotorPush::new(Occupancy::identity(tree));
+    let mut replayed = RotorPush::new(Occupancy::identity(tree));
+    let original_costs = original.serve_sequence(workload.requests()).unwrap();
+    let replayed_costs = replayed.serve_sequence(reloaded.requests()).unwrap();
+    assert_eq!(original_costs, replayed_costs);
+    assert_eq!(original.occupancy(), replayed.occupancy());
+}
+
+#[test]
+fn traces_of_every_generator_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let nodes = 255;
+    let workloads = vec![
+        synthetic::uniform(nodes, 1_000, &mut rng),
+        synthetic::temporal(nodes, 1_000, 0.8, &mut rng),
+        synthetic::zipf(nodes, 1_000, 1.7, &mut rng),
+        synthetic::combined(nodes, 1_000, 1.7, 0.5, &mut rng),
+        synthetic::round_robin_path(nodes, nodes / 2, 100),
+        nonstationary::shifting_hotspot(nodes, 1_000, 2, 1.8, &mut rng),
+    ];
+    for (index, workload) in workloads.iter().enumerate() {
+        let path = temp_path(&format!("roundtrip-{index}.trace"));
+        save_trace(workload, &path).unwrap();
+        let reloaded = load_trace(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded.requests(), workload.requests(), "{}", workload.name());
+        assert_eq!(reloaded.num_elements(), workload.num_elements());
+    }
+}
+
+#[test]
+fn renderings_track_a_push_down_step_by_step() {
+    let tree = CompleteTree::with_levels(4).unwrap();
+    let mut algorithm = RotorPush::new(Occupancy::identity(tree));
+    let before = render_levels(algorithm.occupancy());
+    assert!(before.starts_with("level 0 | e0"));
+
+    // Figure 1: serve the element at node 5.
+    algorithm.serve(ElementId::new(5)).unwrap();
+    let after = render_levels(algorithm.occupancy());
+    assert!(after.starts_with("level 0 | e5"));
+    assert_ne!(before, after);
+
+    let highlighted = render_tree(algorithm.occupancy(), Some(ElementId::new(5)));
+    let first_line = highlighted.lines().next().unwrap();
+    assert!(first_line.contains("e5"));
+    assert!(first_line.contains('*'));
+    // One line per node, no node lost.
+    assert_eq!(highlighted.lines().count(), 15);
+}
+
+#[test]
+fn renderings_cover_every_element_exactly_once() {
+    let tree = CompleteTree::with_levels(5).unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+    let occupancy = satn::tree::placement::random_occupancy(tree, &mut rng);
+    let rendered = render_levels(&occupancy);
+    for element in 0..31u32 {
+        let needle = format!("e{element}");
+        let count = rendered
+            .split_whitespace()
+            .filter(|token| **token == *needle)
+            .count();
+        assert_eq!(count, 1, "element {element} should appear exactly once");
+    }
+}
