@@ -175,8 +175,7 @@ pub fn competitive_report<A>(
 where
     A: SelfAdjustingTree + ?Sized,
 {
-    let mut static_opt =
-        satn_core::StaticOpt::from_sequence(algorithm.tree(), requests)?;
+    let mut static_opt = satn_core::StaticOpt::from_sequence(algorithm.tree(), requests)?;
     let static_opt_cost = static_opt.serve_sequence(requests)?.total().access;
 
     let mut total = ServeCost::ZERO;
@@ -204,7 +203,9 @@ mod tests {
 
     fn uniform_requests(n: u32, len: usize, seed: u64) -> Vec<ElementId> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..len).map(|_| ElementId::new(rng.gen_range(0..n))).collect()
+        (0..len)
+            .map(|_| ElementId::new(rng.gen_range(0..n)))
+            .collect()
     }
 
     #[test]
@@ -218,7 +219,9 @@ mod tests {
         assert_eq!(histogram.count(7), 0);
         assert!((histogram.mean() - (0 + 0 + 1 - 2 + 5 - 9) as f64 / 6.0).abs() < 1e-12);
         let probabilities = histogram.probabilities();
-        assert!(probabilities.iter().any(|&(v, p)| v == 0 && (p - 1.0 / 3.0).abs() < 1e-12));
+        assert!(probabilities
+            .iter()
+            .any(|&(v, p)| v == 0 && (p - 1.0 / 3.0).abs() < 1e-12));
     }
 
     #[test]
@@ -250,7 +253,10 @@ mod tests {
         let mut rotor = RotorPush::new(Occupancy::identity(tree));
         let report = competitive_report(&mut rotor, tree.num_nodes(), &requests).unwrap();
         assert_eq!(report.requests, 3_000);
-        assert_eq!(report.total_cost, report.access_cost + report.adjustment_cost);
+        assert_eq!(
+            report.total_cost,
+            report.access_cost + report.adjustment_cost
+        );
         assert!(report.working_set_bound > 0.0);
         assert!(report.static_opt_cost > 0);
         assert!(report.mean_cost() > 1.0);

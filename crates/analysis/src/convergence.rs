@@ -36,7 +36,7 @@ pub fn mru_displacement(occupancy: &Occupancy, last_access: &[Option<u64>]) -> f
         return 0.0;
     }
     // Most recent first.
-    accessed.sort_by(|a, b| b.0.cmp(&a.0));
+    accessed.sort_by_key(|&(time, _)| std::cmp::Reverse(time));
     let total: u64 = accessed
         .iter()
         .enumerate()

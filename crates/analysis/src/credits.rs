@@ -33,7 +33,7 @@ pub fn level_weight(alg_level: u32, opt_level: u32) -> f64 {
 /// The flip-rank-weight of an element (equation (2) of the paper):
 /// `1 − frnk(e) / 2^{ℓ(e)}` when `ℓ(e) ≥ 2·ℓopt(e) + 1`, otherwise 0.
 pub fn flip_rank_weight(alg_level: u32, opt_level: u32, flip_rank: u64) -> f64 {
-    if alg_level >= 2 * opt_level + 1 {
+    if alg_level > 2 * opt_level {
         1.0 - flip_rank as f64 / (1u64 << alg_level) as f64
     } else {
         0.0
@@ -149,7 +149,11 @@ impl RotorPushAuditor {
         };
         Ok(AuditReport {
             rounds,
-            max_slack: if max_slack.is_finite() { max_slack } else { 0.0 },
+            max_slack: if max_slack.is_finite() {
+                max_slack
+            } else {
+                0.0
+            },
             total_cost,
             total_opt_cost: total_opt,
             amortized_ratio,
@@ -223,7 +227,11 @@ impl RandomPushAuditor {
         };
         Ok(AuditReport {
             rounds,
-            max_slack: if max_slack.is_finite() { max_slack } else { 0.0 },
+            max_slack: if max_slack.is_finite() {
+                max_slack
+            } else {
+                0.0
+            },
             total_cost,
             total_opt_cost: total_opt,
             amortized_ratio,
@@ -292,7 +300,9 @@ mod tests {
             tree,
             &mut StdRng::seed_from_u64(1),
         ));
-        let report = RotorPushAuditor::new(opt).audit(&mut alg, &requests).unwrap();
+        let report = RotorPushAuditor::new(opt)
+            .audit(&mut alg, &requests)
+            .unwrap();
         assert!(
             report.holds_per_round(),
             "max slack {} must be non-positive",
@@ -307,7 +317,9 @@ mod tests {
         let requests = skewed_requests(tree, 3_000, 5);
         let opt = opt_for_sequence(tree, &requests);
         let mut alg = RotorPush::new(Occupancy::identity(tree));
-        let report = RotorPushAuditor::new(opt).audit(&mut alg, &requests).unwrap();
+        let report = RotorPushAuditor::new(opt)
+            .audit(&mut alg, &requests)
+            .unwrap();
         assert!(report.holds_per_round(), "max slack {}", report.max_slack);
     }
 
@@ -317,7 +329,9 @@ mod tests {
         let requests = skewed_requests(tree, 4_000, 23);
         let opt = opt_for_sequence(tree, &requests);
         let mut alg = RandomPush::with_seed(Occupancy::identity(tree), 3);
-        let report = RandomPushAuditor::new(opt).audit(&mut alg, &requests).unwrap();
+        let report = RandomPushAuditor::new(opt)
+            .audit(&mut alg, &requests)
+            .unwrap();
         assert!(
             report.amortized_ratio <= RANDOM_COMPETITIVE_RATIO + 1e-9,
             "ratio {}",
@@ -334,7 +348,9 @@ mod tests {
         let requests = random_requests(tree, 50, 2);
         let opt = opt_for_sequence(tree, &requests);
         let mut alg = RotorPush::new(Occupancy::identity(tree));
-        let report = RotorPushAuditor::new(opt).audit(&mut alg, &requests).unwrap();
+        let report = RotorPushAuditor::new(opt)
+            .audit(&mut alg, &requests)
+            .unwrap();
         let cost_sum: u64 = report.rounds.iter().map(|r| r.cost).sum();
         let opt_sum: u64 = report.rounds.iter().map(|r| r.opt_cost).sum();
         assert_eq!(cost_sum, report.total_cost);

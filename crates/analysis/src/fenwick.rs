@@ -111,7 +111,11 @@ mod tests {
         }
         for position in 0..64 {
             let expected: i64 = naive[..=position].iter().sum();
-            assert_eq!(i64::from(fenwick.prefix_sum(position)), expected, "{position}");
+            assert_eq!(
+                i64::from(fenwick.prefix_sum(position)),
+                expected,
+                "{position}"
+            );
         }
     }
 

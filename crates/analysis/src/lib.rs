@@ -37,19 +37,17 @@ pub mod mru;
 mod working_set;
 
 pub use adversary::{run_lemma8, Lemma8Adversary, Lemma8Report};
-pub use comparison::{
-    access_cost_differences, competitive_report, CompetitiveReport, Histogram,
-};
+pub use comparison::{access_cost_differences, competitive_report, CompetitiveReport, Histogram};
 pub use convergence::{
     frequency_displacement, mru_displacement, track_convergence, ConvergencePoint,
-};
-pub use entropy::{entropy, entropy_static_lower_bound, static_optimal_expected_cost};
-pub use hindsight::{
-    hindsight_report, static_hindsight_mean_cost, HindsightReport, HindsightWindow,
 };
 pub use credits::{
     flip_rank_weight, level_weight, AuditReport, AuditRound, RandomPushAuditor, RotorPushAuditor,
     RANDOM_COMPETITIVE_RATIO, RANDOM_CREDIT_FACTOR, ROTOR_COMPETITIVE_RATIO, ROTOR_CREDIT_FACTOR,
 };
+pub use entropy::{entropy, entropy_static_lower_bound, static_optimal_expected_cost};
 pub use fenwick::FenwickTree;
+pub use hindsight::{
+    hindsight_report, static_hindsight_mean_cost, HindsightReport, HindsightWindow,
+};
 pub use working_set::{working_set_bound, working_set_ranks, WorkingSetTracker};

@@ -94,8 +94,10 @@ mod tests {
     fn max_push_maintains_mru_order_but_a_counterexample_fails() {
         let tree = CompleteTree::with_levels(5).unwrap();
         let mut alg = MaxPush::new(Occupancy::identity(tree));
-        let requests: Vec<ElementId> =
-            [20u32, 7, 29, 3, 11, 7, 23].iter().map(|&i| ElementId::new(i)).collect();
+        let requests: Vec<ElementId> = [20u32, 7, 29, 3, 11, 7, 23]
+            .iter()
+            .map(|&i| ElementId::new(i))
+            .collect();
         for &request in &requests {
             alg.serve(request).unwrap();
         }

@@ -171,7 +171,9 @@ mod tests {
 
     #[test]
     fn matches_naive_reference_on_pseudorandom_sequences() {
-        let requests: Vec<ElementId> = (0..400u32).map(|i| ElementId::new((i * 37 + i * i) % 23)).collect();
+        let requests: Vec<ElementId> = (0..400u32)
+            .map(|i| ElementId::new((i * 37 + i * i) % 23))
+            .collect();
         assert_eq!(working_set_ranks(23, &requests), naive_ranks(&requests));
     }
 

@@ -23,7 +23,10 @@ fn bench_ablation_variants(c: &mut Criterion) {
     let nodes = tree.num_nodes();
     let mut rng = StdRng::seed_from_u64(2022);
     let workloads = [
-        ("combined", synthetic::combined(nodes, REQUESTS, 1.6, 0.75, &mut rng)),
+        (
+            "combined",
+            synthetic::combined(nodes, REQUESTS, 1.6, 0.75, &mut rng),
+        ),
         ("uniform", synthetic::uniform(nodes, REQUESTS, &mut rng)),
         (
             "round-robin-path",

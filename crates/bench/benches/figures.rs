@@ -7,13 +7,13 @@
 //! binary; see EXPERIMENTS.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use satn_bench::{measure_once, ExperimentConfig};
 use satn_core::{AlgorithmKind, RotorPush, SelfAdjustingTree};
 use satn_tree::{CompleteTree, Occupancy};
 use satn_workloads::{corpus, synthetic};
+use std::time::Duration;
 
 const NODES: u32 = 2_047; // 11 levels
 const REQUESTS: usize = 10_000;
@@ -40,18 +40,22 @@ fn bench_table1_pushdown(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     for levels in [7u32, 11, 15] {
-        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &levels| {
-            let tree = CompleteTree::with_levels(levels).unwrap();
-            let requests: Vec<satn_tree::ElementId> = (0..tree.num_nodes())
-                .rev()
-                .take(512)
-                .map(satn_tree::ElementId::new)
-                .collect();
-            b.iter(|| {
-                let mut alg = RotorPush::new(Occupancy::identity(tree));
-                alg.serve_sequence(&requests).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(levels),
+            &levels,
+            |b, &levels| {
+                let tree = CompleteTree::with_levels(levels).unwrap();
+                let requests: Vec<satn_tree::ElementId> = (0..tree.num_nodes())
+                    .rev()
+                    .take(512)
+                    .map(satn_tree::ElementId::new)
+                    .collect();
+                b.iter(|| {
+                    let mut alg = RotorPush::new(Occupancy::identity(tree));
+                    alg.serve_sequence(&requests).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

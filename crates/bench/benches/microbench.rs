@@ -92,7 +92,8 @@ fn bench_push_down(c: &mut Criterion) {
     let tree = CompleteTree::with_levels(LEVELS).unwrap();
     let mut group = c.benchmark_group("augmented-push-down");
     let leftmost = NodeId::from_level_offset(tree.max_level(), 0);
-    let rightmost = NodeId::from_level_offset(tree.max_level(), tree.nodes_at_level(tree.max_level()) - 1);
+    let rightmost =
+        NodeId::from_level_offset(tree.max_level(), tree.nodes_at_level(tree.max_level()) - 1);
 
     group.bench_function("leaf-to-opposite-leaf", |b| {
         let mut occupancy = Occupancy::identity(tree);

@@ -11,9 +11,7 @@ use satn_analysis::{
     access_cost_differences, run_lemma8, working_set_ranks, Histogram, RandomPushAuditor,
     RotorPushAuditor,
 };
-use satn_core::{
-    AlgorithmKind, MoveToFront, RandomPush, RotorPush, SelfAdjustingTree, StaticOpt,
-};
+use satn_core::{AlgorithmKind, MoveToFront, RandomPush, RotorPush, SelfAdjustingTree, StaticOpt};
 use satn_tree::{placement, CompleteTree, ElementId};
 use satn_workloads::{corpus, fit_tree_levels, synthetic, Workload};
 
@@ -65,8 +63,10 @@ pub fn q1_size_sweep(config: &ExperimentConfig) -> Vec<FigureResult> {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let temporal = synthetic::temporal(nodes, config.requests, 0.9, &mut rng);
         let spatial = synthetic::zipf(nodes, config.requests, 2.2, &mut rng);
-        for (workload, table) in [(&temporal, &mut temporal_table), (&spatial, &mut spatial_table)]
-        {
+        for (workload, table) in [
+            (&temporal, &mut temporal_table),
+            (&spatial, &mut spatial_table),
+        ] {
             let mut kinds = AlgorithmKind::SELF_ADJUSTING.to_vec();
             kinds.push(AlgorithmKind::StaticOblivious);
             let costs = measure_algorithms(&kinds, tree, workload, config);
@@ -106,7 +106,7 @@ where
     for &parameter in parameters {
         let mut rng = StdRng::seed_from_u64(config.seed ^ parameter.to_bits());
         let workload = generate(parameter, &mut rng);
-        let costs = measure_algorithms(&AlgorithmKind::EVALUATED.to_vec(), tree, &workload, config);
+        let costs = measure_algorithms(AlgorithmKind::EVALUATED.as_ref(), tree, &workload, config);
         let mut row = vec![format!("{parameter}"), fmt(workload.empirical_entropy())];
         for kind in AlgorithmKind::EVALUATED {
             let cost = cost_of(&costs, kind);
@@ -244,7 +244,11 @@ pub fn q5_complexity_map(config: &ExperimentConfig) -> FigureResult {
 
 /// Q5 / Figure 7: per-request cost of every algorithm on the corpus datasets.
 pub fn q5_corpus(config: &ExperimentConfig) -> FigureResult {
-    let mut header = vec!["dataset".to_owned(), "keys".to_owned(), "requests".to_owned()];
+    let mut header = vec![
+        "dataset".to_owned(),
+        "keys".to_owned(),
+        "requests".to_owned(),
+    ];
     for kind in AlgorithmKind::EVALUATED {
         header.push(format!("{}_access", paper_label(kind)));
         header.push(format!("{}_adjust", paper_label(kind)));
@@ -253,7 +257,7 @@ pub fn q5_corpus(config: &ExperimentConfig) -> FigureResult {
     for book in corpus_books(config) {
         let levels = fit_tree_levels(book.num_elements());
         let tree = CompleteTree::with_levels(levels).expect("corpus fits a complete tree");
-        let costs = measure_algorithms(&AlgorithmKind::EVALUATED.to_vec(), tree, &book, config);
+        let costs = measure_algorithms(AlgorithmKind::EVALUATED.as_ref(), tree, &book, config);
         let mut row = vec![
             book.name().to_owned(),
             book.num_elements().to_string(),
@@ -316,8 +320,14 @@ pub fn audit_experiment(config: &ExperimentConfig) -> FigureResult {
     ]);
     for (label, workload) in [
         ("uniform", synthetic::uniform(nodes, requests, &mut rng)),
-        ("temporal p=0.9", synthetic::temporal(nodes, requests, 0.9, &mut rng)),
-        ("zipf a=1.9", synthetic::zipf(nodes, requests, 1.9, &mut rng)),
+        (
+            "temporal p=0.9",
+            synthetic::temporal(nodes, requests, 0.9, &mut rng),
+        ),
+        (
+            "zipf a=1.9",
+            synthetic::zipf(nodes, requests, 1.9, &mut rng),
+        ),
     ] {
         let opt = StaticOpt::from_sequence(tree, workload.requests())
             .expect("workload fits the tree")
@@ -332,7 +342,12 @@ pub fn audit_experiment(config: &ExperimentConfig) -> FigureResult {
         table.push_row([
             "Rotor-Push".to_owned(),
             label.to_owned(),
-            if rotor_report.holds_per_round() { "holds" } else { "VIOLATED" }.to_owned(),
+            if rotor_report.holds_per_round() {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
+            .to_owned(),
             fmt(rotor_report.max_slack),
             fmt(rotor_report.amortized_ratio),
             "12".to_owned(),
@@ -408,7 +423,9 @@ pub fn table1_properties(config: &ExperimentConfig) -> FigureResult {
     let mut trace: Vec<ElementId> = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         let request = adversary.next_request(&rotor);
-        rotor.serve(request).expect("identity occupancy serves all elements");
+        rotor
+            .serve(request)
+            .expect("identity occupancy serves all elements");
         trace.push(request);
     }
     let ranks = working_set_ranks(tree.num_nodes(), &trace);
@@ -422,10 +439,20 @@ pub fn table1_properties(config: &ExperimentConfig) -> FigureResult {
         "mean access / log2(rank)+1 (repeat accesses)",
     ]);
     let analytic: [(AlgorithmKind, &str, &str, &str); 4] = [
-        (AlgorithmKind::RotorPush, "yes", "12 (Thm. 7)", "no (Lem. 8)"),
+        (
+            AlgorithmKind::RotorPush,
+            "yes",
+            "12 (Thm. 7)",
+            "no (Lem. 8)",
+        ),
         (AlgorithmKind::RandomPush, "no", "16 (Thm. 11)", "yes"),
         (AlgorithmKind::MoveHalf, "yes", "64", "no"),
-        (AlgorithmKind::MaxPush, "yes", "unknown swap cost", "yes (access)"),
+        (
+            AlgorithmKind::MaxPush,
+            "yes",
+            "unknown swap cost",
+            "yes (access)",
+        ),
     ];
     for (kind, deterministic, ratio, ws_property) in analytic {
         let mut algorithm = kind
@@ -553,12 +580,7 @@ mod tests {
     fn mtf_experiment_shows_the_gap() {
         let figure = mtf_experiment(&tiny_config());
         let mean_total = |name: &str| -> f64 {
-            figure
-                .table
-                .rows()
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[3]
+            figure.table.rows().iter().find(|r| r[0] == name).unwrap()[3]
                 .parse()
                 .unwrap()
         };
@@ -570,12 +592,7 @@ mod tests {
     fn table1_reports_the_working_set_violation_only_for_rotor() {
         let figure = table1_properties(&tiny_config());
         let factor = |name: &str| -> f64 {
-            figure
-                .table
-                .rows()
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[4]
+            figure.table.rows().iter().find(|r| r[0] == name).unwrap()[4]
                 .parse()
                 .unwrap()
         };

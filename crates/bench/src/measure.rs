@@ -128,7 +128,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let workload = synthetic::uniform(config.nodes, 1_000, &mut rng);
         let costs = measure_algorithms(&AlgorithmKind::EVALUATED, tree, &workload, &config);
-        assert_eq!(cost_of(&costs, AlgorithmKind::StaticOpt).mean_adjustment, 0.0);
+        assert_eq!(
+            cost_of(&costs, AlgorithmKind::StaticOpt).mean_adjustment,
+            0.0
+        );
         assert_eq!(
             cost_of(&costs, AlgorithmKind::StaticOblivious).mean_adjustment,
             0.0

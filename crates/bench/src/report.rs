@@ -131,7 +131,10 @@ impl FigureResult {
     /// Propagates filesystem errors.
     pub fn write_csv(&self, directory: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(directory)?;
-        std::fs::write(directory.join(format!("{}.csv", self.id)), self.table.to_csv())
+        std::fs::write(
+            directory.join(format!("{}.csv", self.id)),
+            self.table.to_csv(),
+        )
     }
 }
 

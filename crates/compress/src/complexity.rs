@@ -147,7 +147,7 @@ mod tests {
         let mut trace = Vec::new();
         for element in 0..512u32 {
             let copies = (50_000.0 / f64::from(element + 1).powf(1.8)).ceil() as usize;
-            trace.extend(std::iter::repeat(element).take(copies));
+            trace.extend(std::iter::repeat_n(element, copies));
         }
         trace.shuffle(&mut r);
         trace.truncate(50_000);

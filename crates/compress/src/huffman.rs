@@ -292,7 +292,9 @@ mod tests {
         let samples: Vec<Vec<u8>> = vec![
             b"abracadabra abracadabra abracadabra".to_vec(),
             (0..10_000u32).map(|i| (i % 7) as u8).collect(),
-            (0..10_000u32).map(|i| (i.wrapping_mul(2_654_435_761) % 256) as u8).collect(),
+            (0..10_000u32)
+                .map(|i| (i.wrapping_mul(2_654_435_761) % 256) as u8)
+                .collect(),
         ];
         for input in samples {
             let h = shannon_entropy(&input);

@@ -116,8 +116,13 @@ mod tests {
     fn demotion_moves_each_victim_exactly_one_level_down() {
         let mut alg = MaxPush::new(identity(5));
         let element = ElementId::new(23); // level 4 in the identity placement
-        let victims: Vec<ElementId> = (0..4).map(|l| alg.least_recently_used_at_level(l)).collect();
-        let victim_levels: Vec<u32> = victims.iter().map(|&v| alg.occupancy().level_of(v)).collect();
+        let victims: Vec<ElementId> = (0..4)
+            .map(|l| alg.least_recently_used_at_level(l))
+            .collect();
+        let victim_levels: Vec<u32> = victims
+            .iter()
+            .map(|&v| alg.occupancy().level_of(v))
+            .collect();
         let before = alg.occupancy().clone();
         alg.serve(element).unwrap();
         for (victim, old_level) in victims.iter().zip(victim_levels) {

@@ -1,9 +1,7 @@
 //! The two static baselines: **Static-Oblivious** and **Static-Opt**.
 
 use crate::traits::SelfAdjustingTree;
-use satn_tree::{
-    placement, CompleteTree, ElementId, MarkedRound, Occupancy, ServeCost, TreeError,
-};
+use satn_tree::{placement, CompleteTree, ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
 
 /// The demand-oblivious static baseline: the initial (typically random) tree,
 /// never adjusted. Every request simply pays its current access cost.

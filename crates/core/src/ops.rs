@@ -148,7 +148,11 @@ mod tests {
         assert_eq!(occ.node_of(second), NodeId::new(12));
         for (node, element) in before.iter() {
             if element != first && element != second {
-                assert_eq!(occ.node_of(element), node, "element {element} must not move");
+                assert_eq!(
+                    occ.node_of(element),
+                    node,
+                    "element {element} must not move"
+                );
             }
         }
     }

@@ -139,7 +139,11 @@ mod tests {
         // Elements outside the cycle must not move.
         for (node, element) in before.iter() {
             if !moved_elements.contains(&element) {
-                assert_eq!(occ.node_of(element), node, "element {element} moved unexpectedly");
+                assert_eq!(
+                    occ.node_of(element),
+                    node,
+                    "element {element} moved unexpectedly"
+                );
             }
         }
         assert!(occ.is_consistent());
@@ -207,7 +211,7 @@ mod tests {
     }
 
     #[test]
-    fn cost_is_at_most_four_d(){
+    fn cost_is_at_most_four_d() {
         // Lemma 1: total cost (access + swaps) of a level-d request is <= 4d.
         for levels in 2..=7u32 {
             let tree = CompleteTree::with_levels(levels).unwrap();

@@ -136,7 +136,9 @@ impl FromStr for AlgorithmKind {
             "static-opt" | "opt" => Ok(AlgorithmKind::StaticOpt),
             "static-oblivious" | "oblivious" => Ok(AlgorithmKind::StaticOblivious),
             "mtf" | "move-to-front" => Ok(AlgorithmKind::MoveToFront),
-            _ => Err(ParseAlgorithmError { input: s.to_owned() }),
+            _ => Err(ParseAlgorithmError {
+                input: s.to_owned(),
+            }),
         }
     }
 }

@@ -96,7 +96,8 @@ mod tests {
     fn default_serve_sequence_accumulates_costs() {
         let tree = CompleteTree::with_levels(3).unwrap();
         let mut alg = StaticOblivious::new(Occupancy::identity(tree));
-        let requests: Vec<ElementId> = vec![ElementId::new(0), ElementId::new(3), ElementId::new(6)];
+        let requests: Vec<ElementId> =
+            vec![ElementId::new(0), ElementId::new(3), ElementId::new(6)];
         let summary = alg.serve_sequence(&requests).unwrap();
         assert_eq!(summary.requests(), 3);
         // identity placement: costs 1 + 3 + 3

@@ -178,7 +178,11 @@ impl EgoTree {
     /// The host currently stored at tree node `node`, or `None` for
     /// placeholder elements.
     pub fn host_at(&self, node: NodeId) -> Option<Host> {
-        host_of(self.source, self.num_hosts, self.occupancy().element_at(node))
+        host_of(
+            self.source,
+            self.num_hosts,
+            self.occupancy().element_at(node),
+        )
     }
 }
 
@@ -259,7 +263,10 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, (0..num_hosts - 1).collect::<Vec<_>>());
         // Padding elements map to no host.
-        assert_eq!(host_of(source, num_hosts, ElementId::new(num_hosts - 1)), None);
+        assert_eq!(
+            host_of(source, num_hosts, ElementId::new(num_hosts - 1)),
+            None
+        );
     }
 
     #[test]

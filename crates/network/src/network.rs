@@ -277,7 +277,10 @@ mod tests {
         }
         let later = network.serve(pair.source, pair.destination).unwrap();
         assert!(later.total() < first.total());
-        assert_eq!(network.route_length(pair.source, pair.destination).unwrap(), 1);
+        assert_eq!(
+            network.route_length(pair.source, pair.destination).unwrap(),
+            1
+        );
     }
 
     #[test]
@@ -325,7 +328,8 @@ mod tests {
         }
         let mut opt =
             SelfAdjustingNetwork::with_trace(16, AlgorithmKind::StaticOpt, 0, &trace).unwrap();
-        let mut oblivious = SelfAdjustingNetwork::new(16, AlgorithmKind::StaticOblivious, 0).unwrap();
+        let mut oblivious =
+            SelfAdjustingNetwork::new(16, AlgorithmKind::StaticOblivious, 0).unwrap();
         let opt_cost = opt.serve_trace(&trace).unwrap().total().total();
         let oblivious_cost = oblivious.serve_trace(&trace).unwrap().total().total();
         assert!(opt_cost < oblivious_cost);

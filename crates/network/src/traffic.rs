@@ -94,7 +94,8 @@ impl Traffic {
         if self.pairs.is_empty() {
             return 0.0;
         }
-        let mut counts: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<(u32, u32), u64> =
+            std::collections::HashMap::new();
         for pair in &self.pairs {
             *counts
                 .entry((pair.source.index(), pair.destination.index()))
@@ -123,7 +124,8 @@ impl Traffic {
 
     /// The `k` most frequent pairs, most frequent first.
     pub fn top_pairs(&self, k: usize) -> Vec<(HostPair, u64)> {
-        let mut counts: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<(u32, u32), u64> =
+            std::collections::HashMap::new();
         for pair in &self.pairs {
             *counts
                 .entry((pair.source.index(), pair.destination.index()))
@@ -133,10 +135,12 @@ impl Traffic {
             .into_iter()
             .map(|((s, d), count)| (HostPair::from((s, d)), count))
             .collect();
-        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| {
-            (a.0.source.index(), a.0.destination.index())
-                .cmp(&(b.0.source.index(), b.0.destination.index()))
-        }));
+        ranked.sort_by(|a, b| {
+            b.1.cmp(&a.1).then_with(|| {
+                (a.0.source.index(), a.0.destination.index())
+                    .cmp(&(b.0.source.index(), b.0.destination.index()))
+            })
+        });
         ranked.truncate(k);
         ranked
     }
@@ -211,7 +215,10 @@ pub fn hotspot<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Traffic {
     assert!(num_hosts >= 2, "need at least two hosts");
-    assert!((0.0..=1.0).contains(&hot_probability), "probability out of range");
+    assert!(
+        (0.0..=1.0).contains(&hot_probability),
+        "probability out of range"
+    );
     assert!(num_hot_pairs >= 1, "need at least one hot pair");
     let hot: Vec<HostPair> = (0..num_hot_pairs)
         .map(|_| {

@@ -108,10 +108,7 @@ impl RotorGraph {
             }
         }
         let pointer = vec![0; num_vertices];
-        Ok(RotorGraph {
-            adjacency,
-            pointer,
-        })
+        Ok(RotorGraph { adjacency, pointer })
     }
 
     /// Builds the rotor-router for the complete binary tree with `levels`
@@ -182,7 +179,10 @@ impl RotorGraph {
     ///
     /// Panics if `start` is outside the graph.
     pub fn walk(&mut self, start: usize, steps: u64) -> Vec<u64> {
-        assert!(start < self.num_vertices(), "start vertex outside the graph");
+        assert!(
+            start < self.num_vertices(),
+            "start vertex outside the graph"
+        );
         let mut visits = vec![0u64; self.num_vertices()];
         let mut current = start;
         visits[current] += 1;
@@ -206,7 +206,10 @@ pub fn random_walk_visits<R: Rng + ?Sized>(
     steps: u64,
     rng: &mut R,
 ) -> Vec<u64> {
-    assert!(start < graph.num_vertices(), "start vertex outside the graph");
+    assert!(
+        start < graph.num_vertices(),
+        "start vertex outside the graph"
+    );
     let mut visits = vec![0u64; graph.num_vertices()];
     let mut current = start;
     visits[current] += 1;

@@ -49,17 +49,19 @@ mod proptests {
 
     /// A small tree plus a deterministic pointer scramble.
     fn arb_state() -> impl Strategy<Value = RotorState> {
-        (2u32..=7, proptest::collection::vec(any::<bool>(), 0..127)).prop_map(|(levels, toggles)| {
-            let tree = CompleteTree::with_levels(levels).unwrap();
-            let mut state = RotorState::new(tree);
-            for (i, toggle) in toggles.iter().enumerate() {
-                let node = NodeId::new((i as u32) % tree.num_nodes());
-                if *toggle && !tree.is_leaf(node) {
-                    state.toggle(node).unwrap();
+        (2u32..=7, proptest::collection::vec(any::<bool>(), 0..127)).prop_map(
+            |(levels, toggles)| {
+                let tree = CompleteTree::with_levels(levels).unwrap();
+                let mut state = RotorState::new(tree);
+                for (i, toggle) in toggles.iter().enumerate() {
+                    let node = NodeId::new((i as u32) % tree.num_nodes());
+                    if *toggle && !tree.is_leaf(node) {
+                        state.toggle(node).unwrap();
+                    }
                 }
-            }
-            state
-        })
+                state
+            },
+        )
     }
 
     proptest! {

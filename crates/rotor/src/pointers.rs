@@ -168,7 +168,12 @@ mod tests {
         let s = state(4);
         assert_eq!(
             s.global_path(),
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(7)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(3),
+                NodeId::new(7)
+            ]
         );
         assert_eq!(s.global_path_node(0), NodeId::ROOT);
         assert_eq!(s.global_path_node(3), NodeId::new(7));

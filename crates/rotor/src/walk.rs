@@ -47,7 +47,10 @@ impl RotorWalk {
     /// Creates a rotor walk continuing from an existing pointer state.
     pub fn from_state(state: RotorState, target_level: u32) -> Self {
         assert!(target_level <= state.tree().max_level());
-        RotorWalk { state, target_level }
+        RotorWalk {
+            state,
+            target_level,
+        }
     }
 
     /// Returns a reference to the current pointer state.

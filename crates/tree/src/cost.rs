@@ -22,7 +22,10 @@ impl ServeCost {
     }
 
     /// A request that cost nothing (used as the additive identity).
-    pub const ZERO: ServeCost = ServeCost { access: 0, adjustment: 0 };
+    pub const ZERO: ServeCost = ServeCost {
+        access: 0,
+        adjustment: 0,
+    };
 
     /// Total cost of the request (access plus adjustment).
     #[inline]
@@ -259,6 +262,9 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("1 requests"));
         assert!(text.contains("mean total"));
-        assert_eq!(ServeCost::new(1, 2).to_string(), "access=1 adjustment=2 total=3");
+        assert_eq!(
+            ServeCost::new(1, 2).to_string(),
+            "access=1 adjustment=2 total=3"
+        );
     }
 }

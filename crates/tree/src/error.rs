@@ -57,7 +57,10 @@ impl fmt::Display for TreeError {
                 "invalid complete tree size {requested}: expected 2^L - 1 nodes with 1 <= L <= 31"
             ),
             TreeError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} is out of range for a tree of {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} is out of range for a tree of {num_nodes} nodes"
+                )
             }
             TreeError::ElementOutOfRange {
                 element,
@@ -89,7 +92,10 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let cases: Vec<(TreeError, &str)> = vec![
-            (TreeError::InvalidSize { requested: 6 }, "invalid complete tree size 6"),
+            (
+                TreeError::InvalidSize { requested: 6 },
+                "invalid complete tree size 6",
+            ),
             (
                 TreeError::NodeOutOfRange {
                     node: NodeId::new(9),

@@ -213,7 +213,10 @@ impl NodeId {
     /// Panics if `offset >= 2^level`.
     #[inline]
     pub fn from_level_offset(level: u32, offset: u32) -> NodeId {
-        assert!(offset < (1u32 << level), "offset {offset} out of level {level}");
+        assert!(
+            offset < (1u32 << level),
+            "offset {offset} out of level {level}"
+        );
         NodeId((1u32 << level) - 1 + offset)
     }
 }
@@ -349,7 +352,10 @@ mod tests {
             let n = NodeId::new(i);
             assert_eq!(n.left_child().parent(), Some(n));
             assert_eq!(n.right_child().parent(), Some(n));
-            assert_eq!(n.left_child().direction_from_parent(), Some(Direction::Left));
+            assert_eq!(
+                n.left_child().direction_from_parent(),
+                Some(Direction::Left)
+            );
             assert_eq!(
                 n.right_child().direction_from_parent(),
                 Some(Direction::Right)

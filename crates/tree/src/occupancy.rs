@@ -51,11 +51,18 @@ impl Occupancy {
     /// Returns [`TreeError::NotABijection`] if the placement does not contain
     /// every element exactly once, or if its length differs from the number of
     /// tree nodes.
-    pub fn from_placement(tree: CompleteTree, placement: Vec<ElementId>) -> Result<Self, TreeError> {
+    pub fn from_placement(
+        tree: CompleteTree,
+        placement: Vec<ElementId>,
+    ) -> Result<Self, TreeError> {
         let n = tree.num_nodes() as usize;
         if placement.len() != n {
             return Err(TreeError::NotABijection {
-                detail: format!("placement has {} entries, tree has {} nodes", placement.len(), n),
+                detail: format!(
+                    "placement has {} entries, tree has {} nodes",
+                    placement.len(),
+                    n
+                ),
             });
         }
         let mut node_of = vec![NodeId::new(u32::MAX); n];
@@ -154,7 +161,10 @@ impl Occupancy {
         self.tree.check_node(a)?;
         self.tree.check_node(b)?;
         if !a.is_adjacent_to(b) {
-            return Err(TreeError::NotAdjacent { first: a, second: b });
+            return Err(TreeError::NotAdjacent {
+                first: a,
+                second: b,
+            });
         }
         self.swap_unchecked(a, b);
         Ok(())
@@ -252,7 +262,10 @@ mod tests {
     #[test]
     fn from_placement_accepts_permutations() {
         let t = tree(3);
-        let placement: Vec<ElementId> = [6, 5, 4, 3, 2, 1, 0].iter().map(|&i| ElementId::new(i)).collect();
+        let placement: Vec<ElementId> = [6, 5, 4, 3, 2, 1, 0]
+            .iter()
+            .map(|&i| ElementId::new(i))
+            .collect();
         let occ = Occupancy::from_placement(t, placement).unwrap();
         assert_eq!(occ.element_at(NodeId::ROOT), ElementId::new(6));
         assert_eq!(occ.node_of(ElementId::new(6)), NodeId::ROOT);
@@ -309,12 +322,15 @@ mod tests {
     #[test]
     fn swap_elements_uses_their_current_nodes() {
         let mut occ = Occupancy::identity(tree(3));
-        occ.swap_elements(ElementId::new(0), ElementId::new(2)).unwrap();
+        occ.swap_elements(ElementId::new(0), ElementId::new(2))
+            .unwrap();
         assert_eq!(occ.element_at(NodeId::ROOT), ElementId::new(2));
         // Elements 0 and 2 now occupy each other's old nodes; 0 and 1 are no
         // longer adjacent? node 2 and node 1 are both children of the root, so
         // swapping elements 0 (now at node 2) and 1 (at node 1) must fail.
-        assert!(occ.swap_elements(ElementId::new(0), ElementId::new(1)).is_err());
+        assert!(occ
+            .swap_elements(ElementId::new(0), ElementId::new(1))
+            .is_err());
     }
 
     #[test]

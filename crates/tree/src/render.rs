@@ -48,7 +48,12 @@ fn render_subtree(
     let element = occupancy.element_at(node);
     let marker = if Some(element) == highlight { " *" } else { "" };
     let indent = "  ".repeat(node.level() as usize);
-    let _ = writeln!(output, "{indent}n{} -> e{}{marker}", node.index(), element.index());
+    let _ = writeln!(
+        output,
+        "{indent}n{} -> e{}{marker}",
+        node.index(),
+        element.index()
+    );
     render_subtree(occupancy, node.left_child(), highlight, output);
     render_subtree(occupancy, node.right_child(), highlight, output);
 }

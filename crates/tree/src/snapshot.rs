@@ -39,7 +39,10 @@ impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnapshotError::MissingHeader => {
-                write!(f, "missing snapshot header (expected `satn-occupancy nodes=<n>`)")
+                write!(
+                    f,
+                    "missing snapshot header (expected `satn-occupancy nodes=<n>`)"
+                )
             }
             SnapshotError::InvalidSize { nodes } => {
                 write!(f, "{nodes} is not a valid complete-tree size")
@@ -80,8 +83,7 @@ pub fn occupancy_from_str(snapshot: &str) -> Result<Occupancy, SnapshotError> {
         .strip_prefix("satn-occupancy nodes=")
         .and_then(|value| value.trim().parse().ok())
         .ok_or(SnapshotError::MissingHeader)?;
-    let tree =
-        CompleteTree::with_nodes(nodes).map_err(|_| SnapshotError::InvalidSize { nodes })?;
+    let tree = CompleteTree::with_nodes(nodes).map_err(|_| SnapshotError::InvalidSize { nodes })?;
     let mut placement = Vec::with_capacity(nodes as usize);
     for (index, line) in lines.enumerate() {
         let trimmed = line.trim();
@@ -124,8 +126,12 @@ mod tests {
     fn snapshots_survive_swaps() {
         let tree = CompleteTree::with_levels(4).unwrap();
         let mut occupancy = Occupancy::identity(tree);
-        occupancy.swap_nodes(NodeId::new(3), NodeId::new(1)).unwrap();
-        occupancy.swap_nodes(NodeId::new(1), NodeId::new(0)).unwrap();
+        occupancy
+            .swap_nodes(NodeId::new(3), NodeId::new(1))
+            .unwrap();
+        occupancy
+            .swap_nodes(NodeId::new(1), NodeId::new(0))
+            .unwrap();
         let restored = occupancy_from_str(&occupancy_to_string(&occupancy)).unwrap();
         assert_eq!(restored.element_at(NodeId::ROOT), ElementId::new(3));
         assert_eq!(restored, occupancy);

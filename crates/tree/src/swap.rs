@@ -125,10 +125,16 @@ impl<'a> MarkedRound<'a> {
         self.occupancy.tree().check_node(a)?;
         self.occupancy.tree().check_node(b)?;
         if !a.is_adjacent_to(b) {
-            return Err(TreeError::NotAdjacent { first: a, second: b });
+            return Err(TreeError::NotAdjacent {
+                first: a,
+                second: b,
+            });
         }
         if !self.is_marked(a) && !self.is_marked(b) {
-            return Err(TreeError::UnmarkedSwap { first: a, second: b });
+            return Err(TreeError::UnmarkedSwap {
+                first: a,
+                second: b,
+            });
         }
         self.occupancy.swap_unchecked(a, b);
         self.marked[a.usize()] = true;
@@ -205,7 +211,10 @@ pub struct FreeSwapSession<'a> {
 impl<'a> FreeSwapSession<'a> {
     /// Starts an unrestricted swap session on the occupancy.
     pub fn new(occupancy: &'a mut Occupancy) -> Self {
-        FreeSwapSession { occupancy, swaps: 0 }
+        FreeSwapSession {
+            occupancy,
+            swaps: 0,
+        }
     }
 
     /// Swaps two adjacent nodes (no marking rule).

@@ -39,7 +39,9 @@ impl CompleteTree {
     /// 31 (the node index would not fit in `u32`).
     pub fn with_levels(levels: u32) -> Result<Self, TreeError> {
         if levels == 0 || levels > 31 {
-            return Err(TreeError::InvalidSize { requested: levels as u64 });
+            return Err(TreeError::InvalidSize {
+                requested: levels as u64,
+            });
         }
         Ok(CompleteTree {
             levels,
@@ -56,7 +58,9 @@ impl CompleteTree {
     pub fn with_nodes(num_nodes: u64) -> Result<Self, TreeError> {
         let candidate = (num_nodes + 1).trailing_zeros();
         if num_nodes == 0 || num_nodes + 1 != (1u64 << candidate) || candidate > 31 {
-            return Err(TreeError::InvalidSize { requested: num_nodes });
+            return Err(TreeError::InvalidSize {
+                requested: num_nodes,
+            });
         }
         Self::with_levels(candidate)
     }
@@ -146,9 +150,7 @@ impl CompleteTree {
     /// The sum of `level(v) + 1` over all nodes — the total access cost of
     /// touching every node exactly once. Useful as a normalisation constant.
     pub fn total_depth_cost(&self) -> u64 {
-        (0..self.levels)
-            .map(|d| (d as u64 + 1) * (1u64 << d))
-            .sum()
+        (0..self.levels).map(|d| (d as u64 + 1) * (1u64 << d)).sum()
     }
 }
 
@@ -199,7 +201,12 @@ mod tests {
         assert_eq!(t.leaves().collect::<Vec<_>>().len(), 4);
         assert_eq!(
             t.leaves().collect::<Vec<_>>(),
-            vec![NodeId::new(3), NodeId::new(4), NodeId::new(5), NodeId::new(6)]
+            vec![
+                NodeId::new(3),
+                NodeId::new(4),
+                NodeId::new(5),
+                NodeId::new(6)
+            ]
         );
     }
 

@@ -244,8 +244,18 @@ mod tests {
         assert_eq!(books.len(), 5);
         for book in &books {
             // Thousands of requests over hundreds-to-thousands of keys.
-            assert!(book.len() > 1_000, "{} too short: {}", book.name(), book.len());
-            assert!(book.num_elements() > 200, "{}: {}", book.name(), book.num_elements());
+            assert!(
+                book.len() > 1_000,
+                "{} too short: {}",
+                book.name(),
+                book.len()
+            );
+            assert!(
+                book.num_elements() > 200,
+                "{}: {}",
+                book.name(),
+                book.num_elements()
+            );
             // Natural-text 3-grams are skewed: entropy below the uniform
             // maximum log2(num_elements), and the hottest triple is requested
             // far more often than the average one.

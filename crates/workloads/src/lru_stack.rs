@@ -106,11 +106,7 @@ impl StackDistanceProfile {
         if self.requests == 0 {
             return 0.0;
         }
-        let hits: u64 = self
-            .histogram
-            .iter()
-            .take(capacity + 1)
-            .sum();
+        let hits: u64 = self.histogram.iter().take(capacity + 1).sum();
         hits as f64 / self.requests as f64
     }
 
@@ -118,12 +114,7 @@ impl StackDistanceProfile {
     /// ratio, or `None` if even a cache holding every element falls short
     /// (because of cold misses).
     pub fn capacity_for_hit_ratio(&self, target: f64) -> Option<usize> {
-        for capacity in 0..=self.max_distance() {
-            if self.lru_hit_ratio(capacity) >= target {
-                return Some(capacity);
-            }
-        }
-        None
+        (0..=self.max_distance()).find(|&capacity| self.lru_hit_ratio(capacity) >= target)
     }
 }
 

@@ -43,7 +43,10 @@ pub fn markov_bursty<R: Rng + ?Sized>(
         hot_set_size >= 1 && hot_set_size <= num_elements,
         "hot set must be non-empty and fit the universe"
     );
-    assert!((0.0..=1.0).contains(&burst_entry), "probability out of range");
+    assert!(
+        (0.0..=1.0).contains(&burst_entry),
+        "probability out of range"
+    );
     assert!(
         (0.0..=1.0).contains(&burst_persistence),
         "probability out of range"
@@ -157,7 +160,11 @@ mod tests {
                 for request in chunk {
                     *counts.entry(request.index()).or_insert(0u64) += 1;
                 }
-                counts.into_iter().max_by_key(|&(_, count)| count).unwrap().0
+                counts
+                    .into_iter()
+                    .max_by_key(|&(_, count)| count)
+                    .unwrap()
+                    .0
             })
             .collect();
         assert_eq!(phase_top.len(), 3);

@@ -77,7 +77,10 @@ impl ZipfSampler {
     /// Panics if `num_elements` is zero or `a` is not finite and positive.
     pub fn new(num_elements: u32, a: f64) -> Self {
         assert!(num_elements > 0, "the element universe must not be empty");
-        assert!(a.is_finite() && a > 0.0, "the Zipf exponent must be positive");
+        assert!(
+            a.is_finite() && a > 0.0,
+            "the Zipf exponent must be positive"
+        );
         let mut cumulative = Vec::with_capacity(num_elements as usize);
         let mut sum = 0.0;
         for i in 0..num_elements {
@@ -200,8 +203,14 @@ mod tests {
 
     #[test]
     fn uniform_is_seed_deterministic() {
-        assert_eq!(uniform(32, 1000, &mut rng(7)), uniform(32, 1000, &mut rng(7)));
-        assert_ne!(uniform(32, 1000, &mut rng(7)), uniform(32, 1000, &mut rng(8)));
+        assert_eq!(
+            uniform(32, 1000, &mut rng(7)),
+            uniform(32, 1000, &mut rng(7))
+        );
+        assert_ne!(
+            uniform(32, 1000, &mut rng(7)),
+            uniform(32, 1000, &mut rng(8))
+        );
     }
 
     #[test]

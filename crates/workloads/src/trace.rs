@@ -44,7 +44,10 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::Io(err) => write!(f, "i/o error: {err}"),
             TraceError::MissingHeader => {
-                write!(f, "missing trace header (expected `# name=... num_elements=...`)")
+                write!(
+                    f,
+                    "missing trace header (expected `# name=... num_elements=...`)"
+                )
             }
             TraceError::InvalidRequest { line, content } => {
                 write!(f, "line {line}: {content:?} is not a valid element index")
@@ -215,7 +218,10 @@ mod tests {
             read_trace("# nothing useful\n0\n".as_bytes()),
             Err(TraceError::MissingHeader)
         ));
-        assert!(matches!(read_trace("".as_bytes()), Err(TraceError::MissingHeader)));
+        assert!(matches!(
+            read_trace("".as_bytes()),
+            Err(TraceError::MissingHeader)
+        ));
     }
 
     #[test]

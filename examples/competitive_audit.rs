@@ -12,9 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use satn::workloads::synthetic;
-use satn::{
-    run_lemma8, CompleteTree, RotorPush, RotorPushAuditor, SelfAdjustingTree, StaticOpt,
-};
+use satn::{run_lemma8, CompleteTree, RotorPush, RotorPushAuditor, SelfAdjustingTree, StaticOpt};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Theorem 7 audit -------------------------------------------------
@@ -30,9 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Theorem 7 audit (Rotor-Push vs a static optimum proxy):");
     println!("  rounds audited          : {}", report.rounds.len());
-    println!("  per-round inequality    : {}", if report.holds_per_round() { "holds" } else { "VIOLATED" });
+    println!(
+        "  per-round inequality    : {}",
+        if report.holds_per_round() {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
+    );
     println!("  worst per-round slack   : {:.3}", report.max_slack);
-    println!("  amortized cost ratio    : {:.3} (proven bound: 12)", report.amortized_ratio);
+    println!(
+        "  amortized cost ratio    : {:.3} (proven bound: 12)",
+        report.amortized_ratio
+    );
 
     // --- Lemma 8 adversary ------------------------------------------------
     println!("\nLemma 8 adversary (no working-set property for Rotor-Push):");

@@ -1,0 +1,313 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a small, dependency-free subset of the rand 0.8 API — exactly the surface
+//! the `satn` crates use: a seedable deterministic [`rngs::StdRng`]
+//! (xoshiro256++ seeded via SplitMix64), the [`Rng`] extension trait with
+//! `gen`, `gen_range` and `gen_bool`, and [`seq::SliceRandom::shuffle`].
+//!
+//! Output streams are deterministic per seed but intentionally *not*
+//! bit-compatible with the real `rand` crate; nothing in this repository
+//! depends on rand's exact streams, only on seedability and uniformity.
+
+#![forbid(unsafe_code)]
+
+/// The core of every random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its "standard" distribution
+    /// (uniform over the type for integers and `bool`, uniform in `[0, 1)`
+    /// for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A random number generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the same stream as rand's `StdRng` (ChaCha12); seedable,
+    /// portable, and of high statistical quality, which is all the
+    /// experiments require.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors
+            // (and used by rand itself for seed_from_u64).
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions: the `Standard` distribution and uniform range sampling.
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: uniform over the whole type for
+    /// integers and `bool`, uniform `[0, 1)` for floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    /// Uniform sampling from ranges.
+    pub mod uniform {
+        use super::super::{unit_f64, RngCore};
+        use core::ops::{Range, RangeInclusive};
+
+        /// A range that can be sampled uniformly.
+        pub trait SampleRange<T> {
+            /// Draws one sample from the range.
+            ///
+            /// # Panics
+            /// Panics if the range is empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Maps 64 random bits onto `[0, span)` with a widening multiply
+        /// (Lemire's multiply-shift; bias is < 2^-64 per draw, irrelevant
+        /// for the experiment scales used here).
+        fn bounded(bits: u64, span: u64) -> u64 {
+            ((u128::from(bits) * u128::from(span)) >> 64) as u64
+        }
+
+        macro_rules! impl_sample_range_int {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as u64).wrapping_sub(self.start as u64);
+                        self.start.wrapping_add(bounded(rng.next_u64(), span) as $t)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "gen_range: empty range");
+                        let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                        if span == 0 {
+                            // Full u64 domain: every draw is in range.
+                            return rng.next_u64() as $t;
+                        }
+                        start.wrapping_add(bounded(rng.next_u64(), span) as $t)
+                    }
+                }
+            )*};
+        }
+        impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+            }
+        }
+
+        impl SampleRange<f64> for RangeInclusive<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                start + (end - start) * unit_f64(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait for slices: in-place Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(0usize..=5);
+            assert!(y <= 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &count in &counts {
+            assert!((9_000..11_000).contains(&count), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+}

@@ -123,7 +123,8 @@ fn bursty_workloads_reward_self_adjustment_over_random_placement() {
     let mut rng = StdRng::seed_from_u64(17);
     let workload = nonstationary::markov_bursty(1023, 50_000, 6, 0.05, 0.995, &mut rng);
     let mut placement_rng = StdRng::seed_from_u64(3);
-    let initial = placement::random_occupancy(CompleteTree::with_levels(10).unwrap(), &mut placement_rng);
+    let initial =
+        placement::random_occupancy(CompleteTree::with_levels(10).unwrap(), &mut placement_rng);
     let mut rotor = RotorPush::new(initial.clone());
     let mut oblivious = StaticOblivious::new(initial);
     let rotor_cost = rotor

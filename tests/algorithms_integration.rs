@@ -40,7 +40,11 @@ fn self_adjusting_algorithms_beat_the_oblivious_tree_under_high_temporal_localit
     let mut rng = StdRng::seed_from_u64(2);
     let workload = synthetic::temporal(2047, 40_000, 0.9, &mut rng);
     let initial = satn::tree::placement::random_occupancy(tree, &mut rng);
-    let oblivious = mean_total(AlgorithmKind::StaticOblivious, &initial, workload.requests());
+    let oblivious = mean_total(
+        AlgorithmKind::StaticOblivious,
+        &initial,
+        workload.requests(),
+    );
     for kind in [AlgorithmKind::RotorPush, AlgorithmKind::RandomPush] {
         let cost = mean_total(kind, &initial, workload.requests());
         assert!(

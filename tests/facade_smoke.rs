@@ -1,0 +1,116 @@
+//! Workspace smoke test: every advertised facade re-export resolves, the
+//! crate-root aliases are the same types as the member-crate originals, and a
+//! minimal end-to-end serve works through the facade alone.
+
+use satn::{
+    access_cost_differences, competitive_report, fit_tree_levels, run_lemma8, working_set_bound,
+    AlgorithmKind, CompleteTree, CostSummary, Direction, ElementId, Histogram, Host, HostPair,
+    MaxPush, MoveHalf, MoveToFront, NodeId, Occupancy, RandomPush, RandomPushAuditor, RotorPush,
+    RotorPushAuditor, RotorState, RotorWalk, SelfAdjustingNetwork, SelfAdjustingTree, ServeCost,
+    StaticOblivious, StaticOpt, TreeError, WorkingSetTracker, Workload,
+};
+
+/// The crate-root aliases must be the member-crate types, not lookalikes.
+#[test]
+fn root_reexports_are_the_member_crate_types() {
+    fn same_type<T>(_: fn() -> T, _: fn() -> T) {}
+
+    same_type(
+        || -> CompleteTree { unreachable!() },
+        || -> satn::tree::CompleteTree { unreachable!() },
+    );
+    same_type(
+        || -> RotorState { unreachable!() },
+        || -> satn::rotor::RotorState { unreachable!() },
+    );
+    same_type(
+        || -> AlgorithmKind { unreachable!() },
+        || -> satn::core::AlgorithmKind { unreachable!() },
+    );
+    same_type(
+        || -> Workload { unreachable!() },
+        || -> satn::workloads::Workload { unreachable!() },
+    );
+    same_type(
+        || -> Histogram { unreachable!() },
+        || -> satn::analysis::Histogram { unreachable!() },
+    );
+    same_type(
+        || -> HostPair { unreachable!() },
+        || -> satn::network::HostPair { unreachable!() },
+    );
+    same_type(
+        || -> RotorWalk { unreachable!() },
+        || -> satn::rotor::RotorWalk { unreachable!() },
+    );
+}
+
+#[test]
+fn facade_quickstart_serves_through_every_reexported_algorithm() {
+    let tree = CompleteTree::with_levels(5).expect("5-level tree");
+    let requests: Vec<ElementId> = (0..20).map(|i| ElementId::new(i % 7)).collect();
+
+    let mut algorithms: Vec<Box<dyn SelfAdjustingTree>> = vec![
+        Box::new(RotorPush::new(Occupancy::identity(tree))),
+        Box::new(RandomPush::with_seed(Occupancy::identity(tree), 7)),
+        Box::new(MoveHalf::new(Occupancy::identity(tree))),
+        Box::new(MaxPush::new(Occupancy::identity(tree))),
+        Box::new(MoveToFront::new(Occupancy::identity(tree))),
+        Box::new(StaticOblivious::new(Occupancy::identity(tree))),
+        Box::new(StaticOpt::from_sequence(tree, &requests).expect("static-opt")),
+    ];
+
+    for algorithm in &mut algorithms {
+        let summary: CostSummary = algorithm
+            .serve_sequence(&requests)
+            .expect("serving a tiny trace succeeds");
+        assert_eq!(summary.requests(), requests.len() as u64);
+        assert!(algorithm.occupancy().is_consistent());
+    }
+}
+
+#[test]
+fn facade_analysis_and_network_entry_points_run() {
+    let tree = CompleteTree::with_levels(4).expect("4-level tree");
+    let num_elements = tree.num_nodes();
+    let requests: Vec<ElementId> = (0..30).map(|i| ElementId::new((i * 3) % 11)).collect();
+
+    // Analysis toolkit through the facade.
+    assert!(working_set_bound(num_elements, &requests) > 0.0);
+    let tracker = WorkingSetTracker::new(num_elements, requests.len());
+    assert_eq!(tracker.requests(), 0);
+    let mut rotor = RotorPush::new(Occupancy::identity(tree));
+    let mut random = RandomPush::with_seed(Occupancy::identity(tree), 3);
+    let differences =
+        access_cost_differences(&mut rotor, &mut random, &requests).expect("cost differences");
+    assert_eq!(differences.len(), requests.len());
+    let mut histogram = Histogram::new(-16, 16);
+    histogram.record_all(differences.iter().copied());
+    assert_eq!(histogram.total() as usize, requests.len());
+    let mut fresh = RotorPush::new(Occupancy::identity(tree));
+    let report =
+        competitive_report(&mut fresh, num_elements, &requests).expect("competitive report");
+    assert!(report.total_cost > 0);
+    let lemma8 = run_lemma8(4, 3).expect("lemma 8 adversary");
+    assert!(lemma8.violation_factor() > 0.0);
+    let _ = RotorPushAuditor::new(Occupancy::identity(tree));
+    let _ = RandomPushAuditor::new(Occupancy::identity(tree));
+
+    // Network layer through the facade.
+    let mut network =
+        SelfAdjustingNetwork::new(8, AlgorithmKind::RotorPush, 5).expect("8-host network");
+    let pairs = [
+        HostPair::new(Host::new(0), Host::new(3)),
+        HostPair::new(Host::new(2), Host::new(7)),
+        HostPair::new(Host::new(0), Host::new(3)),
+    ];
+    let summary = network.serve_trace(&pairs).expect("serving host pairs");
+    assert_eq!(summary.requests(), pairs.len() as u64);
+
+    // Misc helpers re-exported at the root.
+    assert_eq!(fit_tree_levels(7), 3);
+    assert_eq!(NodeId::ROOT.level(), 0);
+    assert!(matches!(Direction::Left, Direction::Left));
+    assert_eq!(ServeCost::ZERO.total(), 0);
+    let _: fn(TreeError) = |_| {};
+}

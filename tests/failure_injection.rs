@@ -21,7 +21,10 @@ fn invalid_tree_sizes_are_rejected() {
 fn non_bijective_placements_are_rejected() {
     let tree = CompleteTree::with_levels(3).unwrap();
     // Element 0 appears twice, element 6 never.
-    let placement: Vec<ElementId> = [0u32, 1, 2, 3, 4, 5, 0].iter().map(|&i| ElementId::new(i)).collect();
+    let placement: Vec<ElementId> = [0u32, 1, 2, 3, 4, 5, 0]
+        .iter()
+        .map(|&i| ElementId::new(i))
+        .collect();
     assert!(matches!(
         Occupancy::from_placement(tree, placement),
         Err(TreeError::NotABijection { .. })
@@ -66,8 +69,12 @@ fn rejected_operations_leave_the_occupancy_untouched() {
     assert_eq!(occupancy, snapshot);
 
     // Direct occupancy swaps validate too.
-    assert!(occupancy.swap_nodes(NodeId::new(2), NodeId::new(3)).is_err());
-    assert!(occupancy.swap_elements(ElementId::new(0), ElementId::new(9)).is_err());
+    assert!(occupancy
+        .swap_nodes(NodeId::new(2), NodeId::new(3))
+        .is_err());
+    assert!(occupancy
+        .swap_elements(ElementId::new(0), ElementId::new(9))
+        .is_err());
     assert_eq!(occupancy, snapshot);
 }
 
@@ -115,11 +122,11 @@ fn workload_and_tree_size_mismatches_surface_as_errors() {
 fn trace_parser_reports_corrupt_files_instead_of_panicking() {
     use satn::workloads::{read_trace, TraceError};
     let corrupt = [
-        "",                                      // empty
-        "no header line\n0\n1\n",                // missing header
-        "# name=x num_elements=8\n1\n-3\n",      // negative index
-        "# name=x num_elements=8\n1\n12\n",      // out of range
-        "# name=x num_elements=abc\n1\n",        // malformed universe size
+        "",                                 // empty
+        "no header line\n0\n1\n",           // missing header
+        "# name=x num_elements=8\n1\n-3\n", // negative index
+        "# name=x num_elements=8\n1\n12\n", // out of range
+        "# name=x num_elements=abc\n1\n",   // malformed universe size
     ];
     for text in corrupt {
         let result = read_trace(text.as_bytes());

@@ -14,7 +14,11 @@ use satn::{
 /// including it would charge every algorithm the initial depth of that element
 /// and mask the Lemma 8 effect, which is about re-accesses with small working
 /// sets.
-fn worst_ws_factor<A: SelfAdjustingTree>(algorithm: &mut A, trace: &[ElementId], ranks: &[u64]) -> f64 {
+fn worst_ws_factor<A: SelfAdjustingTree>(
+    algorithm: &mut A,
+    trace: &[ElementId],
+    ranks: &[u64],
+) -> f64 {
     let mut seen = std::collections::HashSet::new();
     trace
         .iter()

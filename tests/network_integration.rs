@@ -21,8 +21,14 @@ fn self_adjusting_composition_beats_the_oblivious_one_on_skewed_traffic() {
     let random_cost = random.serve_trace(demand.pairs()).unwrap().mean_total();
     let oblivious_cost = oblivious.serve_trace(demand.pairs()).unwrap().mean_total();
 
-    assert!(rotor_cost < oblivious_cost, "{rotor_cost} vs {oblivious_cost}");
-    assert!(random_cost < oblivious_cost, "{random_cost} vs {oblivious_cost}");
+    assert!(
+        rotor_cost < oblivious_cost,
+        "{rotor_cost} vs {oblivious_cost}"
+    );
+    assert!(
+        random_cost < oblivious_cost,
+        "{random_cost} vs {oblivious_cost}"
+    );
     // Rotor-Push and Random-Push stay close to each other, as in the paper's
     // single-source experiments.
     assert!((rotor_cost - random_cost).abs() < 0.5 * rotor_cost);

@@ -17,8 +17,7 @@ fn theorem7_per_round_inequality_holds_on_combined_locality_workloads() {
         let mut rng = StdRng::seed_from_u64(seed);
         let workload = synthetic::combined(nodes, 10_000, a, p, &mut rng);
         let opt = StaticOpt::from_sequence(tree, workload.requests()).unwrap();
-        let mut rotor =
-            RotorPush::new(satn::tree::placement::random_occupancy(tree, &mut rng));
+        let mut rotor = RotorPush::new(satn::tree::placement::random_occupancy(tree, &mut rng));
         let report = RotorPushAuditor::new(opt.occupancy().clone())
             .audit(&mut rotor, workload.requests())
             .unwrap();
@@ -61,8 +60,7 @@ fn measured_cost_stays_within_the_proven_factor_of_the_working_set_bound() {
     let mut rng = StdRng::seed_from_u64(11);
     let workload = synthetic::temporal(nodes, 30_000, 0.75, &mut rng);
     let mut rotor = RotorPush::new(satn::tree::placement::random_occupancy(tree, &mut rng));
-    let report =
-        satn::competitive_report(&mut rotor, nodes, workload.requests()).unwrap();
+    let report = satn::competitive_report(&mut rotor, nodes, workload.requests()).unwrap();
     assert!(report.working_set_bound > 0.0);
     // Generous constant: cost / WS-bound stays bounded (empirically ~2-6).
     assert!(

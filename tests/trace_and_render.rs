@@ -40,7 +40,7 @@ fn replaying_a_saved_trace_reproduces_the_costs_exactly() {
 fn traces_of_every_generator_roundtrip() {
     let mut rng = StdRng::seed_from_u64(4);
     let nodes = 255;
-    let workloads = vec![
+    let workloads = [
         synthetic::uniform(nodes, 1_000, &mut rng),
         synthetic::temporal(nodes, 1_000, 0.8, &mut rng),
         synthetic::zipf(nodes, 1_000, 1.7, &mut rng),
@@ -53,7 +53,12 @@ fn traces_of_every_generator_roundtrip() {
         save_trace(workload, &path).unwrap();
         let reloaded = load_trace(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert_eq!(reloaded.requests(), workload.requests(), "{}", workload.name());
+        assert_eq!(
+            reloaded.requests(),
+            workload.requests(),
+            "{}",
+            workload.name()
+        );
         assert_eq!(reloaded.num_elements(), workload.num_elements());
     }
 }
