@@ -1,6 +1,15 @@
 //! The experiments of the paper's evaluation (Section 6), one function per
 //! figure or table. Every function returns [`FigureResult`]s that the
 //! `experiments` binary prints and optionally exports as CSV.
+//!
+//! Since the `satn-sim` port, every measured cell (Q1–Q5) executes on the
+//! [`satn_sim::SimRunner`] engine via [`crate::measure_algorithms`], serving
+//! through the algorithms' batched fast paths. The golden-file tests in
+//! `tests/golden_experiments.rs` pin the Q1–Q4 outputs from the port
+//! onwards, so any later change to the serving pipeline that shifts a
+//! number is caught. (The same PR redefined the `temporal`/`combined`
+//! generators as collected streams, which changed those request sequences;
+//! the goldens therefore pin the stream-era numbers, not the seed repo's.)
 
 use crate::config::ExperimentConfig;
 use crate::measure::{cost_of, measure_algorithms};

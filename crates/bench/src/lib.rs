@@ -14,7 +14,8 @@
 //! * [`ExperimentConfig`] — sizes, repetitions and seeds (`--quick`,
 //!   default/standard, `--paper` presets),
 //! * [`measure_algorithms`] — run a set of algorithms on a workload with
-//!   repetitions and averaged per-request costs,
+//!   repetitions and averaged per-request costs; each cell executes as a
+//!   `satn-sim` scenario on the engine's batched serving path,
 //! * [`experiments`] — one function per figure/table, each returning a
 //!   [`FigureResult`] that renders as text or CSV.
 

@@ -1,9 +1,18 @@
 //! Measuring algorithm costs on workloads, with repetitions and averaging.
+//!
+//! Since the `satn-sim` port, every measurement streams its workload through
+//! the [`SimRunner`] engine and is served on the algorithms' batched fast
+//! paths ([`satn_core::SelfAdjustingTree::serve_batch`]). Seeds derive
+//! exactly as the pre-engine harness derived them, so for a fixed workload
+//! the engine reproduces the serve-loop numbers (the differential tests in
+//! `satn-sim` assert this, and the golden-file tests in
+//! `tests/golden_experiments.rs` pin the outputs from this PR forward).
 
 use crate::config::ExperimentConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use satn_core::{AlgorithmKind, SelfAdjustingTree};
+use satn_core::AlgorithmKind;
+use satn_sim::{Checkpoints, SimRunner};
 use satn_tree::{placement, CompleteTree, CostSummary};
 use satn_workloads::Workload;
 
@@ -48,15 +57,23 @@ pub fn measure_once(
     let mut algorithm = kind
         .instantiate(initial, algorithm_seed, workload.requests())
         .expect("workload elements must fit the tree");
-    algorithm
-        .serve_sequence(workload.requests())
+    SimRunner::new()
+        .run_stream(
+            algorithm.as_mut(),
+            workload.iter(),
+            workload.len(),
+            Checkpoints::final_only(),
+            &mut [],
+        )
         .expect("workload elements must fit the tree")
 }
 
 /// Measures a set of algorithms on one workload, averaging per-request costs
 /// over `config.repetitions` repetitions (each with its own random initial
 /// placement and algorithm seed), exactly as the paper's methodology
-/// prescribes.
+/// prescribes. Every `(algorithm, repetition)` cell executes through the
+/// engine via [`measure_once`], streaming the shared workload by reference —
+/// no per-cell copies of the request sequence.
 pub fn measure_algorithms(
     kinds: &[AlgorithmKind],
     tree: CompleteTree,

@@ -1,9 +1,9 @@
 //! **Max-Push** (Strict-MRU) — the MRU-maintaining baseline (Algorithm 2).
 
-use crate::ops::exchange_elements;
+use crate::ops::{exchange_elements, exchange_elements_unchecked};
 use crate::recency::RecencyTracker;
 use crate::traits::SelfAdjustingTree;
-use satn_tree::{ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
+use satn_tree::{CostSummary, ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
 
 /// The Max-Push algorithm (Algorithm 2 of the paper), also called
 /// Strict-MRU: it keeps more recently used elements closer to the root.
@@ -26,13 +26,20 @@ use satn_tree::{ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
 pub struct MaxPush {
     occupancy: Occupancy,
     recency: RecencyTracker,
+    /// Scratch buffer for the demotion victims, reused across requests by
+    /// the batched fast path so serving stays allocation-free.
+    victims: Vec<ElementId>,
 }
 
 impl MaxPush {
     /// Creates a Max-Push network starting from the given occupancy.
     pub fn new(occupancy: Occupancy) -> Self {
         let recency = RecencyTracker::new(occupancy.num_elements());
-        MaxPush { occupancy, recency }
+        MaxPush {
+            occupancy,
+            recency,
+            victims: Vec::new(),
+        }
     }
 
     /// Returns the recency tracker (exposed for analysis and tests).
@@ -90,6 +97,44 @@ impl SelfAdjustingTree for MaxPush {
         };
         self.recency.touch(element);
         Ok(cost)
+    }
+
+    /// The batched fast path: same victim selection and exchange sequence as
+    /// [`MaxPush::serve`], but with the reusable victim scratch buffer and
+    /// the unchecked exchange helper instead of a fresh [`MarkedRound`]
+    /// bitmap and path vectors per request. Max-Push is not restricted to
+    /// marked swaps in the paper's model, so skipping the marking discipline
+    /// changes nothing; the differential tests assert per-request
+    /// equivalence with [`MaxPush::serve`].
+    fn serve_batch(
+        &mut self,
+        requests: &[ElementId],
+        summary: &mut CostSummary,
+    ) -> Result<(), TreeError> {
+        for &element in requests {
+            self.occupancy.check_element(element)?;
+            let depth = self.occupancy.level_of(element);
+
+            let mut victims = std::mem::take(&mut self.victims);
+            victims.clear();
+            victims.extend((0..depth).map(|level| self.least_recently_used_at_level(level)));
+
+            let mut swaps = 0;
+            if depth > 0 {
+                swaps += exchange_elements_unchecked(&mut self.occupancy, element, victims[0]);
+                for level in (1..depth).rev() {
+                    swaps += exchange_elements_unchecked(
+                        &mut self.occupancy,
+                        victims[0],
+                        victims[level as usize],
+                    );
+                }
+            }
+            self.victims = victims;
+            self.recency.touch(element);
+            summary.record(ServeCost::new(u64::from(depth) + 1, swaps));
+        }
+        Ok(())
     }
 }
 

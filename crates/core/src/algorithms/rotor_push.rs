@@ -1,9 +1,10 @@
 //! **Rotor-Push** — the paper's deterministic self-adjusting tree network.
 
+use crate::ops::relocate_unchecked;
 use crate::pushdown::augmented_push_down;
 use crate::traits::SelfAdjustingTree;
 use satn_rotor::RotorState;
-use satn_tree::{ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
+use satn_tree::{CostSummary, ElementId, MarkedRound, NodeId, Occupancy, ServeCost, TreeError};
 
 /// The deterministic Rotor-Push algorithm (Section 3 of the paper).
 ///
@@ -90,6 +91,20 @@ impl RotorPush {
     }
 }
 
+/// Moves the element currently at `node` to the root via
+/// [`relocate_unchecked`] (pure parent swaps; `level(node)` of them).
+fn bubble_to_root_unchecked(occupancy: &mut Occupancy, node: NodeId) -> u64 {
+    let element = occupancy.element_at(node);
+    relocate_unchecked(occupancy, element, NodeId::ROOT)
+}
+
+/// Sinks the root's element down to `target` via [`relocate_unchecked`]
+/// (pure descent swaps; `level(target)` of them).
+fn sink_from_root_unchecked(occupancy: &mut Occupancy, target: NodeId) -> u64 {
+    let element = occupancy.element_at(NodeId::ROOT);
+    relocate_unchecked(occupancy, element, target)
+}
+
 impl SelfAdjustingTree for RotorPush {
     fn name(&self) -> &'static str {
         if self.flipping_enabled {
@@ -117,6 +132,47 @@ impl SelfAdjustingTree for RotorPush {
             self.rotors.flip(level);
         }
         Ok(cost)
+    }
+
+    fn rotors(&self) -> Option<&RotorState> {
+        Some(&self.rotors)
+    }
+
+    /// The allocation-free batched fast path: performs exactly the swap
+    /// sequence of the Lemma 1 push-down via unchecked adjacent swaps,
+    /// skipping the per-request marked-node bitmap of [`MarkedRound`]. The
+    /// marking discipline is statically satisfied — every swap below touches
+    /// a node on the access path, the global-path branch, or a node marked by
+    /// an earlier swap of the same round — and the differential tests assert
+    /// batch/serve equivalence per request.
+    fn serve_batch(
+        &mut self,
+        requests: &[ElementId],
+        summary: &mut CostSummary,
+    ) -> Result<(), TreeError> {
+        for &element in requests {
+            self.occupancy.check_element(element)?;
+            let u = self.occupancy.node_of(element);
+            let level = u.level();
+            let access = u64::from(level) + 1;
+            let mut swaps = 0;
+            if level > 0 {
+                let v = self.rotors.global_path_node(level);
+                if u == v {
+                    swaps += bubble_to_root_unchecked(&mut self.occupancy, u);
+                } else {
+                    swaps += bubble_to_root_unchecked(&mut self.occupancy, v);
+                    swaps += sink_from_root_unchecked(&mut self.occupancy, u);
+                    let parent_of_u = u.parent().expect("level >= 1 nodes have a parent");
+                    swaps += bubble_to_root_unchecked(&mut self.occupancy, parent_of_u);
+                }
+                if self.flipping_enabled {
+                    self.rotors.flip(level);
+                }
+            }
+            summary.record(ServeCost::new(access, swaps));
+        }
+        Ok(())
     }
 }
 

@@ -1,7 +1,9 @@
 //! The two static baselines: **Static-Oblivious** and **Static-Opt**.
 
 use crate::traits::SelfAdjustingTree;
-use satn_tree::{placement, CompleteTree, ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
+use satn_tree::{
+    placement, CompleteTree, CostSummary, ElementId, MarkedRound, Occupancy, ServeCost, TreeError,
+};
 
 /// The demand-oblivious static baseline: the initial (typically random) tree,
 /// never adjusted. Every request simply pays its current access cost.
@@ -34,6 +36,30 @@ impl SelfAdjustingTree for StaticOblivious {
         let round = MarkedRound::access(&mut self.occupancy, element)?;
         Ok(round.finish())
     }
+
+    fn serve_batch(
+        &mut self,
+        requests: &[ElementId],
+        summary: &mut CostSummary,
+    ) -> Result<(), TreeError> {
+        static_serve_batch(&self.occupancy, requests, summary)
+    }
+}
+
+/// The allocation-free batched fast path shared by the static baselines: the
+/// tree never changes, so each request's cost is read straight off the
+/// occupancy without opening a [`MarkedRound`] (which allocates a marked-node
+/// bitmap per request).
+fn static_serve_batch(
+    occupancy: &Occupancy,
+    requests: &[ElementId],
+    summary: &mut CostSummary,
+) -> Result<(), TreeError> {
+    for &request in requests {
+        occupancy.check_element(request)?;
+        summary.record(ServeCost::new(occupancy.access_cost(request), 0));
+    }
+    Ok(())
 }
 
 /// The static offline-optimal baseline of the paper's evaluation: elements
@@ -99,6 +125,14 @@ impl SelfAdjustingTree for StaticOpt {
     fn serve(&mut self, element: ElementId) -> Result<ServeCost, TreeError> {
         let round = MarkedRound::access(&mut self.occupancy, element)?;
         Ok(round.finish())
+    }
+
+    fn serve_batch(
+        &mut self,
+        requests: &[ElementId],
+        summary: &mut CostSummary,
+    ) -> Result<(), TreeError> {
+        static_serve_batch(&self.occupancy, requests, summary)
     }
 }
 

@@ -140,6 +140,31 @@ mod proptests {
         }
 
         #[test]
+        fn serve_batch_matches_a_serve_loop_for_every_algorithm(
+            requests in arb_requests(5, 80),
+            seed in any::<u64>(),
+        ) {
+            let tree = CompleteTree::with_levels(5).unwrap();
+            for kind in AlgorithmKind::ALL {
+                let mut reference = kind
+                    .instantiate(Occupancy::identity(tree), seed, &requests)
+                    .unwrap();
+                let mut batched = kind
+                    .instantiate(Occupancy::identity(tree), seed, &requests)
+                    .unwrap();
+                let mut reference_summary = satn_tree::CostSummary::new();
+                for &request in &requests {
+                    reference_summary.record(reference.serve(request).unwrap());
+                }
+                let mut batched_summary = satn_tree::CostSummary::new();
+                batched.serve_batch(&requests, &mut batched_summary).unwrap();
+                prop_assert_eq!(reference_summary, batched_summary, "{}", kind);
+                prop_assert_eq!(reference.occupancy(), batched.occupancy(), "{}", kind);
+                prop_assert!(batched.occupancy().is_consistent(), "{}", kind);
+            }
+        }
+
+        #[test]
         fn static_opt_is_never_worse_than_oblivious_on_access(
             requests in arb_requests(5, 120),
         ) {

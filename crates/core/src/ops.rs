@@ -6,7 +6,7 @@
 //! source and the destination, which is how the paper accounts for their
 //! adjustment cost.
 
-use satn_tree::{ElementId, MarkedRound, NodeId, TreeError};
+use satn_tree::{ElementId, MarkedRound, NodeId, Occupancy, TreeError};
 
 /// Moves `element` from its current node to `target` by swapping along the
 /// unique tree path (up to the lowest common ancestor, then down). Returns
@@ -82,10 +82,59 @@ pub fn exchange_elements(
     Ok(swaps)
 }
 
+/// The allocation-free counterpart of [`relocate`] used by batched fast
+/// paths: moves `element` to `target` with unchecked adjacent swaps along the
+/// unique tree path, without a [`MarkedRound`] bitmap or path vector. Returns
+/// the number of swaps (the tree distance).
+///
+/// Callers must pass a valid element and node; the swap sequence is
+/// identical to [`relocate`]'s, so the two are interchangeable cost- and
+/// state-wise (asserted by the tests below and the differential suite in
+/// `satn-sim`).
+pub fn relocate_unchecked(occupancy: &mut Occupancy, element: ElementId, target: NodeId) -> u64 {
+    let source = occupancy.node_of(element);
+    let lca = source.lowest_common_ancestor(target);
+    let mut swaps = 0;
+
+    let mut current = source;
+    while current != lca {
+        let parent = current.parent().expect("non-LCA node has a parent");
+        occupancy.swap_unchecked(parent, current);
+        current = parent;
+        swaps += 1;
+    }
+
+    for level in lca.level()..target.level() {
+        occupancy.swap_unchecked(
+            target.ancestor_at_level(level),
+            target.ancestor_at_level(level + 1),
+        );
+        swaps += 1;
+    }
+    swaps
+}
+
+/// The allocation-free counterpart of [`exchange_elements`]: swaps the
+/// positions of two elements with `2·dist − 1` unchecked adjacent swaps.
+pub fn exchange_elements_unchecked(
+    occupancy: &mut Occupancy,
+    first: ElementId,
+    second: ElementId,
+) -> u64 {
+    if first == second {
+        return 0;
+    }
+    let node_of_first = occupancy.node_of(first);
+    let node_of_second = occupancy.node_of(second);
+    let mut swaps = relocate_unchecked(occupancy, first, node_of_second);
+    swaps += relocate_unchecked(occupancy, second, node_of_first);
+    swaps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use satn_tree::{CompleteTree, Occupancy};
+    use satn_tree::CompleteTree;
 
     fn identity(levels: u32) -> Occupancy {
         Occupancy::identity(CompleteTree::with_levels(levels).unwrap())
@@ -173,6 +222,38 @@ mod tests {
         let mut round = MarkedRound::access(&mut occ, ElementId::new(1)).unwrap();
         assert!(relocate(&mut round, ElementId::new(99), NodeId::new(1)).is_err());
         assert!(relocate(&mut round, ElementId::new(1), NodeId::new(99)).is_err());
+    }
+
+    #[test]
+    fn unchecked_relocate_matches_marked_relocate() {
+        for (element, target) in [(11u32, 14u32), (9, 1), (2, 12), (5, 5), (7, 8)] {
+            let mut marked = identity(4);
+            let mut unchecked = identity(4);
+            let element = ElementId::new(element);
+            let target = NodeId::new(target);
+            let mut round = MarkedRound::access(&mut marked, element).unwrap();
+            let marked_swaps = relocate(&mut round, element, target).unwrap();
+            round.finish();
+            let unchecked_swaps = relocate_unchecked(&mut unchecked, element, target);
+            assert_eq!(marked_swaps, unchecked_swaps, "{element} -> {target}");
+            assert_eq!(marked, unchecked, "{element} -> {target}");
+        }
+    }
+
+    #[test]
+    fn unchecked_exchange_matches_marked_exchange() {
+        for (first, second) in [(12u32, 2u32), (3, 3), (1, 0), (14, 7)] {
+            let mut marked = identity(4);
+            let mut unchecked = identity(4);
+            let first = ElementId::new(first);
+            let second = ElementId::new(second);
+            let mut round = MarkedRound::access(&mut marked, first).unwrap();
+            let marked_swaps = exchange_elements(&mut round, first, second).unwrap();
+            round.finish();
+            let unchecked_swaps = exchange_elements_unchecked(&mut unchecked, first, second);
+            assert_eq!(marked_swaps, unchecked_swaps, "{first} <-> {second}");
+            assert_eq!(marked, unchecked, "{first} <-> {second}");
+        }
     }
 
     #[test]

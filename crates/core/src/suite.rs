@@ -31,6 +31,18 @@ pub enum AlgorithmKind {
 }
 
 impl AlgorithmKind {
+    /// Every algorithm of the crate, including the Move-To-Front strawman
+    /// (used by the simulation engine's full-coverage grids).
+    pub const ALL: [AlgorithmKind; 7] = [
+        AlgorithmKind::RotorPush,
+        AlgorithmKind::RandomPush,
+        AlgorithmKind::MoveHalf,
+        AlgorithmKind::MaxPush,
+        AlgorithmKind::StaticOblivious,
+        AlgorithmKind::StaticOpt,
+        AlgorithmKind::MoveToFront,
+    ];
+
     /// All algorithms compared in the paper's evaluation (Section 6), in the
     /// order used by the figures.
     pub const EVALUATED: [AlgorithmKind; 6] = [

@@ -1,5 +1,6 @@
 //! The common interface of all self-adjusting single-source tree networks.
 
+use satn_rotor::RotorState;
 use satn_tree::{CompleteTree, CostSummary, ElementId, Occupancy, ServeCost, TreeError};
 
 /// A self-adjusting single-source tree network.
@@ -37,16 +38,52 @@ pub trait SelfAdjustingTree {
         true
     }
 
+    /// The rotor pointer state, if the algorithm maintains one.
+    ///
+    /// Exposed so generic observers (e.g. the invariant hooks of `satn-sim`)
+    /// can check rotor-specific invariants without downcasting; algorithms
+    /// without rotors return `None`. (Named distinctly from
+    /// [`RotorPush::rotor_state`](crate::RotorPush::rotor_state), whose
+    /// concrete accessor returns `&RotorState` directly.)
+    fn rotors(&self) -> Option<&RotorState> {
+        None
+    }
+
+    /// Serves a batch of requests, recording every per-request cost into
+    /// `summary`.
+    ///
+    /// The default implementation loops over [`SelfAdjustingTree::serve`];
+    /// algorithms with cheap per-request state transitions override it with
+    /// an allocation-free fast path. Overrides must be observationally
+    /// identical to the default: same final occupancy, same per-request
+    /// costs (the differential tests in `satn-sim` assert this).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced while serving; `summary` contains
+    /// the costs of the requests served before the failure.
+    fn serve_batch(
+        &mut self,
+        requests: &[ElementId],
+        summary: &mut CostSummary,
+    ) -> Result<(), TreeError> {
+        for &request in requests {
+            summary.record(self.serve(request)?);
+        }
+        Ok(())
+    }
+
     /// Serves a whole request sequence and returns the aggregated costs.
+    ///
+    /// Routed through [`SelfAdjustingTree::serve_batch`], so algorithms with
+    /// a batched fast path accelerate existing callers transparently.
     ///
     /// # Errors
     ///
     /// Returns the first error produced by [`SelfAdjustingTree::serve`].
     fn serve_sequence(&mut self, requests: &[ElementId]) -> Result<CostSummary, TreeError> {
         let mut summary = CostSummary::new();
-        for &request in requests {
-            summary.record(self.serve(request)?);
-        }
+        self.serve_batch(requests, &mut summary)?;
         Ok(summary)
     }
 
@@ -83,6 +120,18 @@ impl<T: SelfAdjustingTree + ?Sized> SelfAdjustingTree for Box<T> {
 
     fn is_self_adjusting(&self) -> bool {
         (**self).is_self_adjusting()
+    }
+
+    fn rotors(&self) -> Option<&RotorState> {
+        (**self).rotors()
+    }
+
+    fn serve_batch(
+        &mut self,
+        requests: &[ElementId],
+        summary: &mut CostSummary,
+    ) -> Result<(), TreeError> {
+        (**self).serve_batch(requests, summary)
     }
 }
 

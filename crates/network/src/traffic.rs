@@ -89,20 +89,26 @@ impl Traffic {
         seen.len()
     }
 
-    /// The empirical entropy (bits) of the pair distribution.
-    pub fn empirical_entropy(&self) -> f64 {
-        if self.pairs.is_empty() {
-            return 0.0;
-        }
-        let mut counts: std::collections::HashMap<(u32, u32), u64> =
-            std::collections::HashMap::new();
+    /// Per-pair request counts, keyed by `(source, destination)` indices —
+    /// the shared basis of [`Traffic::empirical_entropy`] and
+    /// [`Traffic::top_pairs`].
+    pub fn pair_counts(&self) -> std::collections::HashMap<(u32, u32), u64> {
+        let mut counts = std::collections::HashMap::new();
         for pair in &self.pairs {
             *counts
                 .entry((pair.source.index(), pair.destination.index()))
                 .or_insert(0) += 1;
         }
-        let total = self.pairs.len() as f64;
         counts
+    }
+
+    /// The empirical entropy (bits) of the pair distribution.
+    pub fn empirical_entropy(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        let total = self.pairs.len() as f64;
+        self.pair_counts()
             .values()
             .map(|&count| {
                 let p = count as f64 / total;
@@ -124,14 +130,8 @@ impl Traffic {
 
     /// The `k` most frequent pairs, most frequent first.
     pub fn top_pairs(&self, k: usize) -> Vec<(HostPair, u64)> {
-        let mut counts: std::collections::HashMap<(u32, u32), u64> =
-            std::collections::HashMap::new();
-        for pair in &self.pairs {
-            *counts
-                .entry((pair.source.index(), pair.destination.index()))
-                .or_insert(0) += 1;
-        }
-        let mut ranked: Vec<(HostPair, u64)> = counts
+        let mut ranked: Vec<(HostPair, u64)> = self
+            .pair_counts()
             .into_iter()
             .map(|((s, d), count)| (HostPair::from((s, d)), count))
             .collect();
@@ -315,6 +315,37 @@ mod tests {
         assert_eq!(top.len(), 2);
         let hot_requests: u64 = top.iter().map(|&(_, count)| count).sum();
         assert!(hot_requests as f64 > 0.8 * traffic.len() as f64);
+    }
+
+    #[test]
+    fn pair_counts_back_both_entropy_and_top_pairs() {
+        let traffic = hotspot(16, 5_000, 3, 0.7, &mut rng(21));
+        let counts = traffic.pair_counts();
+        // The helper agrees with the traffic matrix on every cell…
+        let matrix = traffic.matrix();
+        for (&(s, d), &count) in &counts {
+            assert_eq!(matrix[s as usize][d as usize], count);
+        }
+        assert_eq!(counts.values().sum::<u64>(), traffic.len() as u64);
+        assert_eq!(counts.len(), traffic.distinct_pairs());
+        // …and both call sites derive from it consistently: top_pairs ranks
+        // the helper's counts, entropy sums over exactly its distribution.
+        let top = traffic.top_pairs(counts.len());
+        assert_eq!(top.len(), counts.len());
+        for (pair, count) in &top {
+            assert_eq!(
+                counts[&(pair.source.index(), pair.destination.index())],
+                *count
+            );
+        }
+        let entropy_from_counts: f64 = counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / traffic.len() as f64;
+                -p * p.log2()
+            })
+            .sum();
+        assert!((traffic.empirical_entropy() - entropy_from_counts).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! CI smoke test: runs the reduced scenario grid — every algorithm × four
+//! workload families × three tree sizes — twice: once stepwise with the
+//! invariant checks enabled, once on the batched `serve_batch` fast paths,
+//! and exits non-zero on any invariant violation or any divergence between
+//! the two serving modes.
+//!
+//! ```text
+//! sim-smoke [--requests N] [--seed S]
+//! ```
+
+use satn_core::AlgorithmKind;
+use satn_sim::{Checkpoints, ScenarioGrid, SimRunner, WorkloadSpec};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let mut requests = 5_000usize;
+    let mut seed = 2022u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(argument) = args.next() {
+        match argument.as_str() {
+            "--requests" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => requests = value,
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => seed = value,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: sim-smoke [--requests N] [--seed S]");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let mut grid = ScenarioGrid::new(
+        AlgorithmKind::ALL,
+        WorkloadSpec::paper_families(),
+        [5u32, 8, 10],
+        requests,
+        seed,
+    );
+    grid.checkpoints = Checkpoints::every(requests.div_ceil(4).max(1));
+
+    println!(
+        "# sim-smoke — {} scenarios ({} algorithms × {} workloads × {} sizes), {} requests each",
+        grid.len(),
+        grid.algorithms.len(),
+        grid.workloads.len(),
+        grid.levels.len(),
+        requests
+    );
+
+    let start = Instant::now();
+    let runner = SimRunner::new();
+    // Pass 1: stepwise serving with every invariant check attached.
+    let checked = match runner.run_grid(&grid, true) {
+        Ok(results) => results,
+        Err(failure) => {
+            let (scenario, error) = *failure;
+            eprintln!("scenario {} FAILED: {error}", scenario.name());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Pass 2: the batched serve_batch fast paths, no observers — must be
+    // observationally identical to the checked stepwise pass.
+    let batched = match runner.run_grid(&grid, false) {
+        Ok(results) => results,
+        Err(failure) => {
+            let (scenario, error) = *failure;
+            eprintln!("scenario {} FAILED (batched): {error}", scenario.name());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for ((scenario, checked_result), (_, batched_result)) in checked.iter().zip(&batched) {
+        if checked_result != batched_result {
+            eprintln!(
+                "scenario {} DIVERGED between stepwise and batched serving",
+                scenario.name()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{:<45} mean access {:>7.3}  mean adjust {:>7.3}",
+            scenario.name(),
+            checked_result.summary.mean_access(),
+            checked_result.summary.mean_adjustment()
+        );
+    }
+    println!(
+        "# all {} scenarios passed invariant checks and batched/stepwise agreement in {:.1?}",
+        checked.len(),
+        start.elapsed()
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sim-smoke [--requests N] [--seed S]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,208 @@
+//! Differential and property tests for the simulation engine: random request
+//! sequences across all seven `AlgorithmKind`s, with the occupancy-bijection
+//! and per-request cost invariants enforced at every checkpoint through the
+//! `SimRunner` invariant hooks, plus batch-vs-stepwise equivalence.
+
+use proptest::prelude::*;
+use satn_core::{AlgorithmKind, SelfAdjustingTree};
+use satn_sim::{
+    Checkpoints, InvariantObserver, InvariantViolation, Observer, Scenario, SimRunner, StepRecord,
+    WorkloadSpec,
+};
+use satn_tree::{CostSummary, ElementId, Occupancy};
+use satn_workloads::Workload;
+
+fn arb_requests(levels: u32, max_len: usize) -> impl Strategy<Value = Vec<ElementId>> {
+    let n = (1u32 << levels) - 1;
+    proptest::collection::vec((0..n).prop_map(ElementId::new), 1..max_len)
+}
+
+/// An observer that additionally cross-checks, at every checkpoint, that the
+/// occupancy bijection really is the identity under composition — the
+/// explicit `node_of ∘ element_of = id` form of the satellite task.
+#[derive(Default)]
+struct BijectionProbe {
+    checkpoints_seen: u64,
+}
+
+impl Observer for BijectionProbe {
+    fn on_checkpoint(
+        &mut self,
+        step: u64,
+        network: &dyn SelfAdjustingTree,
+    ) -> Result<(), InvariantViolation> {
+        self.checkpoints_seen += 1;
+        let occupancy = network.occupancy();
+        for node in occupancy.tree().nodes() {
+            if occupancy.node_of(occupancy.element_at(node)) != node {
+                return Err(InvariantViolation {
+                    step,
+                    algorithm: network.name().to_owned(),
+                    detail: format!("node_of(element_at({node})) != {node}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An observer that recomputes the adjustment cost from occupancy deltas:
+/// each swap moves exactly two elements one step, so the number of elements
+/// whose node changed during a request is at most `2 × adjustment + 1` (the
+/// requested element rides along the swap chain) and a request with zero
+/// reported swaps must leave every element in place. The baseline occupancy
+/// is captured by `on_start` (after any offline setup such as Static-Opt's
+/// layout), so the very first request is checked too.
+#[derive(Default)]
+struct SwapAccountingProbe {
+    before: Option<Occupancy>,
+}
+
+impl Observer for SwapAccountingProbe {
+    fn wants_steps(&self) -> bool {
+        true
+    }
+
+    fn on_start(&mut self, network: &dyn SelfAdjustingTree) -> Result<(), InvariantViolation> {
+        self.before = Some(network.occupancy().clone());
+        Ok(())
+    }
+
+    fn on_step(
+        &mut self,
+        record: &StepRecord,
+        network: &dyn SelfAdjustingTree,
+    ) -> Result<(), InvariantViolation> {
+        let after = network.occupancy();
+        let before = self
+            .before
+            .as_ref()
+            .expect("on_start captures the baseline before any step");
+        let moved = before
+            .iter()
+            .filter(|&(node, element)| after.node_of(element) != node)
+            .count() as u64;
+        let allowed = 2 * record.cost.adjustment;
+        if moved > allowed {
+            return Err(InvariantViolation {
+                step: record.step,
+                algorithm: network.name().to_owned(),
+                detail: format!(
+                    "{moved} elements moved but only {} swaps were reported",
+                    record.cost.adjustment
+                ),
+            });
+        }
+        self.before = Some(after.clone());
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The satellite property: random request sequences across all seven
+    /// algorithms keep the occupancy bijection and the per-request cost laws
+    /// (`access = level + 1`, adjustment accounting) at every checkpoint.
+    #[test]
+    fn all_algorithms_respect_invariants_at_every_checkpoint(
+        requests in arb_requests(5, 150),
+        seed in any::<u64>(),
+    ) {
+        let n = (1u32 << 5) - 1;
+        let workload = Workload::new("random", n, requests.clone());
+        for kind in AlgorithmKind::ALL {
+            let mut scenario = Scenario::new(
+                kind,
+                WorkloadSpec::Fixed(workload.clone()),
+                5,
+                requests.len(),
+                seed,
+            );
+            scenario.checkpoints = Checkpoints::every(16);
+            let mut invariants = InvariantObserver::new();
+            let mut bijection = BijectionProbe::default();
+            let mut accounting = SwapAccountingProbe::default();
+            let result = SimRunner::new()
+                .run_with(
+                    &scenario,
+                    &mut [&mut invariants, &mut bijection, &mut accounting],
+                )
+                .unwrap_or_else(|err| panic!("{kind}: {err}"));
+            prop_assert_eq!(result.summary.requests(), requests.len() as u64);
+            prop_assert!(invariants.checked_steps() == requests.len() as u64);
+            prop_assert!(bijection.checkpoints_seen >= 1);
+        }
+    }
+
+    /// Batched serving (the `serve_batch` fast paths) and stepwise serving
+    /// produce identical summaries and identical final states for every
+    /// algorithm on random sequences.
+    #[test]
+    fn batched_and_stepwise_grid_runs_are_equivalent(
+        requests in arb_requests(6, 200),
+        seed in any::<u64>(),
+    ) {
+        let n = (1u32 << 6) - 1;
+        let workload = Workload::new("random", n, requests.clone());
+        for kind in AlgorithmKind::ALL {
+            let scenario = Scenario::new(
+                kind,
+                WorkloadSpec::Fixed(workload.clone()),
+                6,
+                requests.len(),
+                seed,
+            );
+            let batched = SimRunner::new().run(&scenario).unwrap();
+            let mut invariants = InvariantObserver::new();
+            let stepwise = SimRunner::new()
+                .run_with(&scenario, &mut [&mut invariants])
+                .unwrap_or_else(|err| panic!("{kind}: {err}"));
+            prop_assert_eq!(&batched, &stepwise, "{}", kind);
+        }
+    }
+
+    /// Deterministic replay: the engine's checkpoint fingerprints coincide
+    /// across repeated runs of the same scenario for every algorithm and
+    /// every generative workload family.
+    #[test]
+    fn generative_scenarios_replay_deterministically(seed in any::<u64>()) {
+        for kind in [AlgorithmKind::RotorPush, AlgorithmKind::RandomPush, AlgorithmKind::MaxPush] {
+            for spec in WorkloadSpec::paper_families() {
+                let mut scenario = Scenario::new(kind, spec, 5, 400, seed);
+                scenario.checkpoints = Checkpoints::every(100);
+                prop_assert!(
+                    SimRunner::new().replay_matches(&scenario).unwrap(),
+                    "{} diverged",
+                    scenario.name()
+                );
+            }
+        }
+    }
+}
+
+/// Serving through `serve_batch` directly (no engine) also matches a manual
+/// serve loop — the trait-level contract the engine relies on.
+#[test]
+fn trait_level_batch_equivalence_on_a_fixed_sequence() {
+    let requests: Vec<ElementId> = (0u32..300).map(|i| ElementId::new((i * 13) % 63)).collect();
+    for kind in AlgorithmKind::ALL {
+        let tree = satn_tree::CompleteTree::with_levels(6).unwrap();
+        let mut reference = kind
+            .instantiate(Occupancy::identity(tree), 5, &requests)
+            .unwrap();
+        let mut batched = kind
+            .instantiate(Occupancy::identity(tree), 5, &requests)
+            .unwrap();
+        let mut reference_summary = CostSummary::new();
+        for &request in &requests {
+            reference_summary.record(reference.serve(request).unwrap());
+        }
+        let mut batched_summary = CostSummary::new();
+        batched
+            .serve_batch(&requests, &mut batched_summary)
+            .unwrap();
+        assert_eq!(reference_summary, batched_summary, "{kind}");
+        assert_eq!(reference.occupancy(), batched.occupancy(), "{kind}");
+    }
+}

@@ -25,18 +25,52 @@ use std::collections::HashMap;
 /// yields the requests; each distinct triple is an element, numbered in order
 /// of first appearance.
 pub fn from_text(name: impl Into<String>, text: &str) -> Workload {
-    let normalized = normalize(text);
-    let characters: Vec<char> = normalized.chars().collect();
-    let mut key_of_triple: HashMap<[char; 3], u32> = HashMap::new();
-    let mut requests = Vec::new();
-    for window in characters.windows(3) {
-        let triple = [window[0], window[1], window[2]];
-        let next_id = key_of_triple.len() as u32;
-        let id = *key_of_triple.entry(triple).or_insert(next_id);
-        requests.push(ElementId::new(id));
-    }
-    let num_elements = key_of_triple.len().max(1) as u32;
+    let mut stream = TripleStream::new(text);
+    let requests: Vec<ElementId> = stream.by_ref().collect();
+    let num_elements = stream.distinct_keys().max(1);
     Workload::new(name, num_elements, requests)
+}
+
+/// The streaming form of [`from_text`]: a lazy iterator over the 3-gram
+/// requests of a text, assigning element ids in order of first appearance.
+///
+/// After (or during) iteration, [`TripleStream::distinct_keys`] reports how
+/// many distinct triples — i.e. elements — have been seen so far.
+#[derive(Debug, Clone)]
+pub struct TripleStream {
+    characters: Vec<char>,
+    position: usize,
+    key_of_triple: HashMap<[char; 3], u32>,
+}
+
+impl TripleStream {
+    /// Creates the stream over `text` (normalised exactly like
+    /// [`from_text`]).
+    pub fn new(text: &str) -> Self {
+        TripleStream {
+            characters: normalize(text).chars().collect(),
+            position: 0,
+            key_of_triple: HashMap::new(),
+        }
+    }
+
+    /// The number of distinct triples seen so far.
+    pub fn distinct_keys(&self) -> u32 {
+        self.key_of_triple.len() as u32
+    }
+}
+
+impl Iterator for TripleStream {
+    type Item = ElementId;
+
+    fn next(&mut self) -> Option<ElementId> {
+        let window = self.characters.get(self.position..self.position + 3)?;
+        let triple = [window[0], window[1], window[2]];
+        self.position += 1;
+        let next_id = self.key_of_triple.len() as u32;
+        let id = *self.key_of_triple.entry(triple).or_insert(next_id);
+        Some(ElementId::new(id))
+    }
 }
 
 /// Normalises text the way the corpus experiment expects: lowercase letters

@@ -28,13 +28,21 @@ pub struct StackDistanceProfile {
 impl StackDistanceProfile {
     /// Computes the profile of a request sequence.
     pub fn new(requests: &[ElementId]) -> Self {
+        Self::from_stream(requests.iter().copied())
+    }
+
+    /// Computes the profile of a streaming request source without
+    /// materializing it.
+    pub fn from_stream(requests: impl Iterator<Item = ElementId>) -> Self {
         // LRU stack as a vector of element ids, most recently used first. The
         // naive O(m·s) maintenance (s = stack size) is fine for the trace
         // sizes used in the experiments.
         let mut stack: Vec<ElementId> = Vec::new();
         let mut histogram: Vec<u64> = Vec::new();
         let mut cold_misses = 0u64;
-        for &request in requests {
+        let mut total = 0u64;
+        for request in requests {
+            total += 1;
             match stack.iter().position(|&e| e == request) {
                 Some(position) => {
                     let distance = position + 1;
@@ -51,7 +59,7 @@ impl StackDistanceProfile {
         StackDistanceProfile {
             histogram,
             cold_misses,
-            requests: requests.len() as u64,
+            requests: total,
         }
     }
 

@@ -13,10 +13,9 @@
 //!   draws from a Zipf distribution over a *freshly shuffled* popularity
 //!   ranking, so the hot set moves and static layouts go stale.
 
-use crate::synthetic::ZipfSampler;
+use crate::stream::{MarkovBurstyStream, ShiftingHotspotStream};
 use crate::workload::Workload;
 use rand::Rng;
-use satn_tree::ElementId;
 
 /// A two-state Markov-modulated workload.
 ///
@@ -30,6 +29,9 @@ use satn_tree::ElementId;
 ///
 /// Panics if `num_elements < 2`, `hot_set_size` is zero or larger than the
 /// universe, or the probabilities are outside `[0, 1]`.
+/// This is the materialized form of
+/// [`MarkovBurstyStream`](crate::stream::MarkovBurstyStream); the two produce
+/// identical sequences for the same generator state.
 pub fn markov_bursty<R: Rng + ?Sized>(
     num_elements: u32,
     length: usize,
@@ -38,42 +40,15 @@ pub fn markov_bursty<R: Rng + ?Sized>(
     burst_persistence: f64,
     rng: &mut R,
 ) -> Workload {
-    assert!(num_elements >= 2, "need at least two elements");
-    assert!(
-        hot_set_size >= 1 && hot_set_size <= num_elements,
-        "hot set must be non-empty and fit the universe"
-    );
-    assert!(
-        (0.0..=1.0).contains(&burst_entry),
-        "probability out of range"
-    );
-    assert!(
-        (0.0..=1.0).contains(&burst_persistence),
-        "probability out of range"
-    );
-    // A random hot set.
-    let mut universe: Vec<u32> = (0..num_elements).collect();
-    for i in (1..universe.len()).rev() {
-        universe.swap(i, rng.gen_range(0..=i));
-    }
-    let hot: Vec<u32> = universe[..hot_set_size as usize].to_vec();
-
-    let mut bursting = false;
-    let requests: Vec<ElementId> = (0..length)
-        .map(|_| {
-            bursting = if bursting {
-                rng.gen_bool(burst_persistence)
-            } else {
-                rng.gen_bool(burst_entry)
-            };
-            let element = if bursting {
-                hot[rng.gen_range(0..hot.len())]
-            } else {
-                rng.gen_range(0..num_elements)
-            };
-            ElementId::new(element)
-        })
-        .collect();
+    let requests = MarkovBurstyStream::new(
+        num_elements,
+        hot_set_size,
+        burst_entry,
+        burst_persistence,
+        rng,
+    )
+    .take(length)
+    .collect();
     Workload::new(
         format!("markov-bursty-h{hot_set_size}"),
         num_elements,
@@ -88,6 +63,9 @@ pub fn markov_bursty<R: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `num_elements < 2`, `phases` is zero, or `a <= 1`.
+/// This is the materialized form of
+/// [`ShiftingHotspotStream`](crate::stream::ShiftingHotspotStream); the two
+/// produce identical sequences for the same generator state.
 pub fn shifting_hotspot<R: Rng + ?Sized>(
     num_elements: u32,
     length: usize,
@@ -95,23 +73,7 @@ pub fn shifting_hotspot<R: Rng + ?Sized>(
     a: f64,
     rng: &mut R,
 ) -> Workload {
-    assert!(num_elements >= 2, "need at least two elements");
-    assert!(phases >= 1, "need at least one phase");
-    assert!(a > 1.0, "the Zipf exponent must exceed 1");
-    let sampler = ZipfSampler::new(num_elements, a);
-    let phase_length = length.div_ceil(phases);
-    let mut requests = Vec::with_capacity(length);
-    let mut ranking: Vec<u32> = (0..num_elements).collect();
-    while requests.len() < length {
-        // Shuffle the popularity ranking for this phase.
-        for i in (1..ranking.len()).rev() {
-            ranking.swap(i, rng.gen_range(0..=i));
-        }
-        for _ in 0..phase_length.min(length - requests.len()) {
-            let rank = sampler.sample(rng);
-            requests.push(ElementId::new(ranking[rank.usize()]));
-        }
-    }
+    let requests = ShiftingHotspotStream::new(num_elements, length, phases, a, rng).collect();
     Workload::new(
         format!("shifting-hotspot-{phases}x-a{a}"),
         num_elements,

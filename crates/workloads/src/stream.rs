@@ -1,0 +1,441 @@
+//! Streaming request sources: every generator of this crate in
+//! `Iterator<Item = ElementId>` form.
+//!
+//! The materialized [`Workload`](crate::Workload) container is convenient for
+//! offline statistics (entropy, frequencies) but forces the whole request
+//! sequence into memory before the first request is served. The simulation
+//! engine (`satn-sim`) instead drives algorithms from *streams*: lazy
+//! iterators that draw one request at a time. Every materialized generator in
+//! [`crate::synthetic`] and [`crate::nonstationary`] is defined as the
+//! `collect` of the corresponding stream, so the two forms are byte-identical
+//! by construction (asserted by the tests in this module).
+//!
+//! Streams that draw randomness own their generator (`R: Rng`), which may be
+//! an owned `StdRng` or a `&mut` borrow — both satisfy the bound, so a caller
+//! can thread one generator through several successive streams exactly like
+//! the materialized API does.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use satn_workloads::stream::UniformStream;
+//! use satn_workloads::synthetic;
+//!
+//! let stream: Vec<_> = UniformStream::new(255, StdRng::seed_from_u64(7))
+//!     .take(1_000)
+//!     .collect();
+//! let materialized = synthetic::uniform(255, 1_000, &mut StdRng::seed_from_u64(7));
+//! assert_eq!(stream.as_slice(), materialized.requests());
+//! ```
+
+use crate::synthetic::ZipfSampler;
+use rand::Rng;
+use satn_tree::{ElementId, NodeId};
+
+/// An endless stream of uniform requests over `num_elements` elements.
+#[derive(Debug, Clone)]
+pub struct UniformStream<R> {
+    num_elements: u32,
+    rng: R,
+}
+
+impl<R: Rng> UniformStream<R> {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_elements` is zero.
+    pub fn new(num_elements: u32, rng: R) -> Self {
+        assert!(num_elements > 0, "the element universe must not be empty");
+        UniformStream { num_elements, rng }
+    }
+}
+
+impl<R: Rng> Iterator for UniformStream<R> {
+    type Item = ElementId;
+
+    fn next(&mut self) -> Option<ElementId> {
+        Some(ElementId::new(self.rng.gen_range(0..self.num_elements)))
+    }
+}
+
+/// An endless stream with temporal locality: each request after the first
+/// repeats its predecessor with probability `p`, and otherwise draws a fresh
+/// uniform element.
+#[derive(Debug, Clone)]
+pub struct TemporalStream<R> {
+    num_elements: u32,
+    repeat_probability: f64,
+    rng: R,
+    last: Option<ElementId>,
+}
+
+impl<R: Rng> TemporalStream<R> {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_elements` is zero or `repeat_probability` is outside
+    /// `[0, 1]`.
+    pub fn new(num_elements: u32, repeat_probability: f64, rng: R) -> Self {
+        assert!(num_elements > 0, "the element universe must not be empty");
+        assert!(
+            (0.0..=1.0).contains(&repeat_probability),
+            "repeat probability must be within [0, 1]"
+        );
+        TemporalStream {
+            num_elements,
+            repeat_probability,
+            rng,
+            last: None,
+        }
+    }
+}
+
+impl<R: Rng> Iterator for TemporalStream<R> {
+    type Item = ElementId;
+
+    fn next(&mut self) -> Option<ElementId> {
+        let next = match self.last {
+            Some(last) if self.rng.gen_bool(self.repeat_probability) => last,
+            _ => ElementId::new(self.rng.gen_range(0..self.num_elements)),
+        };
+        self.last = Some(next);
+        Some(next)
+    }
+}
+
+/// An endless stream of Zipf-distributed requests.
+#[derive(Debug, Clone)]
+pub struct ZipfStream<R> {
+    sampler: ZipfSampler,
+    rng: R,
+}
+
+impl<R: Rng> ZipfStream<R> {
+    /// Creates the stream (`a` is the Zipf exponent).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`ZipfSampler::new`].
+    pub fn new(num_elements: u32, a: f64, rng: R) -> Self {
+        ZipfStream {
+            sampler: ZipfSampler::new(num_elements, a),
+            rng,
+        }
+    }
+
+    /// Creates the stream from a prebuilt sampler.
+    pub fn from_sampler(sampler: ZipfSampler, rng: R) -> Self {
+        ZipfStream { sampler, rng }
+    }
+}
+
+impl<R: Rng> Iterator for ZipfStream<R> {
+    type Item = ElementId;
+
+    fn next(&mut self) -> Option<ElementId> {
+        Some(self.sampler.sample(&mut self.rng))
+    }
+}
+
+/// An endless stream combining spatial and temporal locality (the Q4
+/// workload): Zipf-distributed fresh draws, with the previous request
+/// repeated with probability `p`.
+#[derive(Debug, Clone)]
+pub struct CombinedStream<R> {
+    sampler: ZipfSampler,
+    repeat_probability: f64,
+    rng: R,
+    last: Option<ElementId>,
+}
+
+impl<R: Rng> CombinedStream<R> {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`ZipfSampler::new`], or if
+    /// `repeat_probability` is outside `[0, 1]`.
+    pub fn new(num_elements: u32, a: f64, repeat_probability: f64, rng: R) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&repeat_probability),
+            "repeat probability must be within [0, 1]"
+        );
+        CombinedStream {
+            sampler: ZipfSampler::new(num_elements, a),
+            repeat_probability,
+            rng,
+            last: None,
+        }
+    }
+}
+
+impl<R: Rng> Iterator for CombinedStream<R> {
+    type Item = ElementId;
+
+    fn next(&mut self) -> Option<ElementId> {
+        let next = match self.last {
+            Some(last) if self.rng.gen_bool(self.repeat_probability) => last,
+            _ => self.sampler.sample(&mut self.rng),
+        };
+        self.last = Some(next);
+        Some(next)
+    }
+}
+
+/// An endless deterministic stream cycling through the elements initially
+/// stored on the root-to-leaf path of `leaf_node_index` (the Move-To-Front
+/// lower-bound sequence).
+#[derive(Debug, Clone)]
+pub struct RoundRobinPathStream {
+    path: Vec<NodeId>,
+    position: usize,
+}
+
+impl RoundRobinPathStream {
+    /// Creates the stream for the path ending at `leaf_node_index`.
+    pub fn new(leaf_node_index: u32) -> Self {
+        RoundRobinPathStream {
+            path: NodeId::new(leaf_node_index).path_from_root(),
+            position: 0,
+        }
+    }
+
+    /// The number of elements on the path (the stream's period).
+    pub fn period(&self) -> usize {
+        self.path.len()
+    }
+}
+
+impl Iterator for RoundRobinPathStream {
+    type Item = ElementId;
+
+    fn next(&mut self) -> Option<ElementId> {
+        let node = self.path[self.position];
+        self.position = (self.position + 1) % self.path.len();
+        Some(ElementId::new(node.index()))
+    }
+}
+
+/// An endless two-state (calm / burst) Markov-modulated stream; see
+/// [`crate::nonstationary::markov_bursty`] for the model.
+#[derive(Debug, Clone)]
+pub struct MarkovBurstyStream<R> {
+    num_elements: u32,
+    hot: Vec<u32>,
+    burst_entry: f64,
+    burst_persistence: f64,
+    bursting: bool,
+    rng: R,
+}
+
+impl<R: Rng> MarkovBurstyStream<R> {
+    /// Creates the stream; the random hot set is drawn from `rng` up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of
+    /// [`crate::nonstationary::markov_bursty`].
+    pub fn new(
+        num_elements: u32,
+        hot_set_size: u32,
+        burst_entry: f64,
+        burst_persistence: f64,
+        mut rng: R,
+    ) -> Self {
+        assert!(num_elements >= 2, "need at least two elements");
+        assert!(
+            hot_set_size >= 1 && hot_set_size <= num_elements,
+            "hot set must be non-empty and fit the universe"
+        );
+        assert!(
+            (0.0..=1.0).contains(&burst_entry),
+            "probability out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&burst_persistence),
+            "probability out of range"
+        );
+        let mut universe: Vec<u32> = (0..num_elements).collect();
+        for i in (1..universe.len()).rev() {
+            universe.swap(i, rng.gen_range(0..=i));
+        }
+        universe.truncate(hot_set_size as usize);
+        MarkovBurstyStream {
+            num_elements,
+            hot: universe,
+            burst_entry,
+            burst_persistence,
+            bursting: false,
+            rng,
+        }
+    }
+}
+
+impl<R: Rng> Iterator for MarkovBurstyStream<R> {
+    type Item = ElementId;
+
+    fn next(&mut self) -> Option<ElementId> {
+        self.bursting = if self.bursting {
+            self.rng.gen_bool(self.burst_persistence)
+        } else {
+            self.rng.gen_bool(self.burst_entry)
+        };
+        let element = if self.bursting {
+            self.hot[self.rng.gen_range(0..self.hot.len())]
+        } else {
+            self.rng.gen_range(0..self.num_elements)
+        };
+        Some(ElementId::new(element))
+    }
+}
+
+/// A finite phase-shifting Zipf stream of `length` requests split into
+/// `phases` segments, each over a freshly shuffled popularity ranking; see
+/// [`crate::nonstationary::shifting_hotspot`] for the model.
+///
+/// Unlike the other streams this one is finite, because the phase length is
+/// defined in terms of the total sequence length.
+#[derive(Debug, Clone)]
+pub struct ShiftingHotspotStream<R> {
+    sampler: ZipfSampler,
+    ranking: Vec<u32>,
+    phase_length: usize,
+    remaining: usize,
+    until_reshuffle: usize,
+    rng: R,
+}
+
+impl<R: Rng> ShiftingHotspotStream<R> {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of
+    /// [`crate::nonstationary::shifting_hotspot`].
+    pub fn new(num_elements: u32, length: usize, phases: usize, a: f64, rng: R) -> Self {
+        assert!(num_elements >= 2, "need at least two elements");
+        assert!(phases >= 1, "need at least one phase");
+        assert!(a > 1.0, "the Zipf exponent must exceed 1");
+        ShiftingHotspotStream {
+            sampler: ZipfSampler::new(num_elements, a),
+            ranking: (0..num_elements).collect(),
+            phase_length: length.div_ceil(phases),
+            remaining: length,
+            until_reshuffle: 0,
+            rng,
+        }
+    }
+}
+
+impl<R: Rng> Iterator for ShiftingHotspotStream<R> {
+    type Item = ElementId;
+
+    fn next(&mut self) -> Option<ElementId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.until_reshuffle == 0 {
+            for i in (1..self.ranking.len()).rev() {
+                self.ranking.swap(i, self.rng.gen_range(0..=i));
+            }
+            self.until_reshuffle = self.phase_length;
+        }
+        self.until_reshuffle -= 1;
+        self.remaining -= 1;
+        let rank = self.sampler.sample(&mut self.rng);
+        Some(ElementId::new(self.ranking[rank.usize()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{nonstationary, synthetic};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// The acceptance criterion of the streaming refactor: every stream
+    /// produces a byte-identical sequence to its materialized counterpart.
+    #[test]
+    fn streams_match_materialized_generators_exactly() {
+        let n = 255;
+        let len = 4_000;
+
+        let stream: Vec<ElementId> = UniformStream::new(n, rng(1)).take(len).collect();
+        assert_eq!(stream, synthetic::uniform(n, len, &mut rng(1)).requests());
+
+        let stream: Vec<ElementId> = TemporalStream::new(n, 0.8, rng(2)).take(len).collect();
+        assert_eq!(
+            stream,
+            synthetic::temporal(n, len, 0.8, &mut rng(2)).requests()
+        );
+
+        let stream: Vec<ElementId> = ZipfStream::new(n, 1.6, rng(3)).take(len).collect();
+        assert_eq!(stream, synthetic::zipf(n, len, 1.6, &mut rng(3)).requests());
+
+        let stream: Vec<ElementId> = CombinedStream::new(n, 1.9, 0.6, rng(4)).take(len).collect();
+        assert_eq!(
+            stream,
+            synthetic::combined(n, len, 1.9, 0.6, &mut rng(4)).requests()
+        );
+
+        let stream: Vec<ElementId> = RoundRobinPathStream::new(126).take(21).collect();
+        assert_eq!(stream, synthetic::round_robin_path(127, 126, 3).requests());
+
+        let stream: Vec<ElementId> = MarkovBurstyStream::new(n, 8, 0.05, 0.95, rng(5))
+            .take(len)
+            .collect();
+        assert_eq!(
+            stream,
+            nonstationary::markov_bursty(n, len, 8, 0.05, 0.95, &mut rng(5)).requests()
+        );
+
+        let stream: Vec<ElementId> = ShiftingHotspotStream::new(n, len, 3, 2.0, rng(6)).collect();
+        assert_eq!(
+            stream,
+            nonstationary::shifting_hotspot(n, len, 3, 2.0, &mut rng(6)).requests()
+        );
+    }
+
+    #[test]
+    fn streams_accept_borrowed_generators() {
+        // A single generator threaded through two successive streams, exactly
+        // like the materialized API allows.
+        let mut shared = rng(9);
+        let first: Vec<ElementId> = UniformStream::new(15, &mut shared).take(10).collect();
+        let second: Vec<ElementId> = ZipfStream::new(15, 1.5, &mut shared).take(10).collect();
+        assert_eq!(first.len(), 10);
+        assert_eq!(second.len(), 10);
+    }
+
+    #[test]
+    fn temporal_stream_first_request_never_consults_the_repeat_coin() {
+        // With p = 1 every request after the first repeats the first draw.
+        let requests: Vec<ElementId> = TemporalStream::new(64, 1.0, rng(11)).take(50).collect();
+        assert!(requests.iter().all(|&e| e == requests[0]));
+    }
+
+    #[test]
+    fn shifting_hotspot_stream_is_finite() {
+        let stream = ShiftingHotspotStream::new(31, 100, 4, 2.0, rng(12));
+        assert_eq!(stream.count(), 100);
+    }
+
+    #[test]
+    fn round_robin_stream_reports_its_period() {
+        let stream = RoundRobinPathStream::new(14);
+        assert_eq!(stream.period(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn uniform_stream_rejects_empty_universe() {
+        UniformStream::new(0, rng(0));
+    }
+}

@@ -2,23 +2,32 @@
 //! uniform sequences, temporal locality (repeat probability `p`), spatial
 //! locality (Zipf parameter `a`) and their combination.
 
+use crate::stream::{CombinedStream, RoundRobinPathStream, TemporalStream, UniformStream};
 use crate::workload::Workload;
 use rand::Rng;
 use satn_tree::ElementId;
 
 /// Generates a sequence of `length` requests drawn uniformly at random from
 /// `num_elements` elements.
+///
+/// This is the materialized form of
+/// [`UniformStream`](crate::stream::UniformStream); the two produce identical
+/// sequences for the same generator state.
 pub fn uniform<R: Rng + ?Sized>(num_elements: u32, length: usize, rng: &mut R) -> Workload {
-    assert!(num_elements > 0, "the element universe must not be empty");
-    let requests = (0..length)
-        .map(|_| ElementId::new(rng.gen_range(0..num_elements)))
-        .collect();
+    let requests = UniformStream::new(num_elements, rng).take(length).collect();
     Workload::new(format!("uniform(n={num_elements})"), num_elements, requests)
 }
 
 /// Post-processes a sequence for temporal locality as in Section 6.1: for
 /// every position `i ≥ 1`, with probability `repeat_probability` the request
 /// is replaced by its predecessor.
+///
+/// Note: [`temporal`] and [`combined`] no longer go through this
+/// post-processing pass — they draw interleaved via the streaming generators
+/// — so `with_temporal_locality(&uniform(...))` and `temporal(...)` yield
+/// *different* sequences for the same generator state (the distribution is
+/// the same). This function remains for overlaying temporal locality onto
+/// arbitrary pre-recorded workloads (corpus books, loaded traces).
 ///
 /// # Panics
 ///
@@ -45,17 +54,27 @@ pub fn with_temporal_locality<R: Rng + ?Sized>(
     )
 }
 
-/// Generates a sequence with temporal locality: uniform requests
-/// post-processed with repeat probability `p` (the paper's Q2 workload).
+/// Generates a sequence with temporal locality: each request after the first
+/// repeats its predecessor with probability `p` and otherwise draws a fresh
+/// uniform element (the paper's Q2 workload).
+///
+/// This is the materialized form of
+/// [`TemporalStream`](crate::stream::TemporalStream); the two produce
+/// identical sequences for the same generator state.
 pub fn temporal<R: Rng + ?Sized>(
     num_elements: u32,
     length: usize,
     repeat_probability: f64,
     rng: &mut R,
 ) -> Workload {
-    let base = uniform(num_elements, length, rng);
-    with_temporal_locality(&base, repeat_probability, rng)
-        .with_name(format!("temporal(p={repeat_probability},n={num_elements})"))
+    let requests = TemporalStream::new(num_elements, repeat_probability, rng)
+        .take(length)
+        .collect();
+    Workload::new(
+        format!("temporal(p={repeat_probability},n={num_elements})"),
+        num_elements,
+        requests,
+    )
 }
 
 /// A sampler for the Zipf distribution over `num_elements` elements with
@@ -136,9 +155,15 @@ impl ZipfSampler {
 }
 
 /// Generates a Zipf-distributed sequence (the paper's Q3 workload).
+///
+/// This is the materialized form of
+/// [`ZipfStream`](crate::stream::ZipfStream); the two produce identical
+/// sequences for the same generator state.
 pub fn zipf<R: Rng + ?Sized>(num_elements: u32, length: usize, a: f64, rng: &mut R) -> Workload {
     let sampler = ZipfSampler::new(num_elements, a);
-    let requests = (0..length).map(|_| sampler.sample(rng)).collect();
+    let requests = crate::stream::ZipfStream::from_sampler(sampler, rng)
+        .take(length)
+        .collect();
     Workload::new(
         format!("zipf(a={a},n={num_elements})"),
         num_elements,
@@ -146,8 +171,12 @@ pub fn zipf<R: Rng + ?Sized>(num_elements: u32, length: usize, a: f64, rng: &mut
     )
 }
 
-/// Generates the combined workload of Q4: Zipf-distributed requests
-/// post-processed for temporal locality with repeat probability `p`.
+/// Generates the combined workload of Q4: Zipf-distributed fresh draws with
+/// the previous request repeated with probability `p`.
+///
+/// This is the materialized form of
+/// [`CombinedStream`](crate::stream::CombinedStream); the two produce
+/// identical sequences for the same generator state.
 pub fn combined<R: Rng + ?Sized>(
     num_elements: u32,
     length: usize,
@@ -155,23 +184,23 @@ pub fn combined<R: Rng + ?Sized>(
     repeat_probability: f64,
     rng: &mut R,
 ) -> Workload {
-    let base = zipf(num_elements, length, a, rng);
-    with_temporal_locality(&base, repeat_probability, rng).with_name(format!(
-        "combined(a={a},p={repeat_probability},n={num_elements})"
-    ))
+    let requests = CombinedStream::new(num_elements, a, repeat_probability, rng)
+        .take(length)
+        .collect();
+    Workload::new(
+        format!("combined(a={a},p={repeat_probability},n={num_elements})"),
+        num_elements,
+        requests,
+    )
 }
 
 /// Generates the round-robin root-to-leaf path workload used by the
 /// Move-To-Front lower-bound example (Section 1.1): the elements initially
 /// stored on the path to `leaf_node_index` are requested in round-robin order.
 pub fn round_robin_path(num_elements: u32, leaf_node_index: u32, rounds: usize) -> Workload {
-    let path = satn_tree::NodeId::new(leaf_node_index).path_from_root();
-    let mut requests = Vec::with_capacity(rounds * path.len());
-    for _ in 0..rounds {
-        for node in &path {
-            requests.push(ElementId::new(node.index()));
-        }
-    }
+    let stream = RoundRobinPathStream::new(leaf_node_index);
+    let length = rounds * stream.period();
+    let requests = stream.take(length).collect();
     Workload::new(
         format!("round-robin-path(leaf={leaf_node_index})"),
         num_elements,

@@ -105,31 +105,94 @@ pub fn write_trace<W: Write>(workload: &Workload, mut writer: W) -> Result<(), T
 /// header, [`TraceError::InvalidRequest`] / [`TraceError::RequestOutOfRange`]
 /// for malformed request lines, and [`TraceError::Io`] for reader failures.
 pub fn read_trace<R: Read>(reader: R) -> Result<Workload, TraceError> {
-    let reader = BufReader::new(reader);
-    let mut lines = reader.lines();
-    let header = lines.next().ok_or(TraceError::MissingHeader)??;
-    let (name, num_elements) = parse_header(&header).ok_or(TraceError::MissingHeader)?;
+    let mut stream = TraceStream::new(reader)?;
     let mut requests = Vec::new();
-    for (index, line) in lines.enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let element: u32 = trimmed.parse().map_err(|_| TraceError::InvalidRequest {
-            line: index + 2,
-            content: trimmed.to_owned(),
-        })?;
-        if element >= num_elements {
-            return Err(TraceError::RequestOutOfRange {
-                line: index + 2,
-                element,
-                num_elements,
-            });
-        }
-        requests.push(ElementId::new(element));
+    for request in stream.by_ref() {
+        requests.push(request?);
     }
-    Ok(Workload::new(name, num_elements, requests))
+    Ok(Workload::new(
+        stream.name().to_owned(),
+        stream.num_elements(),
+        requests,
+    ))
+}
+
+/// The streaming form of [`read_trace`]: parses the header eagerly, then
+/// yields one request per trace line without materializing the sequence.
+///
+/// Each item is a `Result`, so malformed lines surface exactly where they
+/// occur instead of aborting a whole bulk load.
+#[derive(Debug)]
+pub struct TraceStream<R> {
+    lines: std::io::Lines<BufReader<R>>,
+    name: String,
+    num_elements: u32,
+    line_number: usize,
+}
+
+impl<R: Read> TraceStream<R> {
+    /// Opens a stream over `reader`, parsing the header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::MissingHeader`] if the first line is not a valid
+    /// header and [`TraceError::Io`] for reader failures.
+    pub fn new(reader: R) -> Result<Self, TraceError> {
+        let mut lines = BufReader::new(reader).lines();
+        let header = lines.next().ok_or(TraceError::MissingHeader)??;
+        let (name, num_elements) = parse_header(&header).ok_or(TraceError::MissingHeader)?;
+        Ok(TraceStream {
+            lines,
+            name,
+            num_elements,
+            line_number: 1,
+        })
+    }
+
+    /// The workload name declared in the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The universe size declared in the header.
+    pub fn num_elements(&self) -> u32 {
+        self.num_elements
+    }
+}
+
+impl<R: Read> Iterator for TraceStream<R> {
+    type Item = Result<ElementId, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(err) => return Some(Err(TraceError::Io(err))),
+            };
+            self.line_number += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let element: u32 = match trimmed.parse() {
+                Ok(element) => element,
+                Err(_) => {
+                    return Some(Err(TraceError::InvalidRequest {
+                        line: self.line_number,
+                        content: trimmed.to_owned(),
+                    }))
+                }
+            };
+            if element >= self.num_elements {
+                return Some(Err(TraceError::RequestOutOfRange {
+                    line: self.line_number,
+                    element,
+                    num_elements: self.num_elements,
+                }));
+            }
+            return Some(Ok(ElementId::new(element)));
+        }
+    }
 }
 
 fn parse_header(header: &str) -> Option<(String, u32)> {

@@ -46,6 +46,12 @@ impl Workload {
         &self.requests
     }
 
+    /// The streaming form of a materialized workload: an iterator over its
+    /// requests, usable wherever a generator stream is expected.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = ElementId> + '_ {
+        self.requests.iter().copied()
+    }
+
     /// Number of requests.
     pub fn len(&self) -> usize {
         self.requests.len()
@@ -117,6 +123,15 @@ impl Workload {
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
+    }
+}
+
+impl<'a> IntoIterator for &'a Workload {
+    type Item = ElementId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ElementId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter().copied()
     }
 }
 

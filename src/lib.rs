@@ -18,6 +18,7 @@
 //! | [`compress`] | `satn-compress` | LZW compressor and the trace complexity map |
 //! | [`analysis`] | `satn-analysis` | working-set bounds, MRU reference, credit audits, Lemma 8 adversary |
 //! | [`network`] | `satn-network` | multi-source datacenter networks composed of per-source ego-trees |
+//! | [`sim`] | `satn-sim` | scenario-simulation engine: declarative grids, batched serving, invariant hooks, replay |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -49,6 +50,7 @@ pub use satn_compress as compress;
 pub use satn_core as core;
 pub use satn_network as network;
 pub use satn_rotor as rotor;
+pub use satn_sim as sim;
 pub use satn_tree as tree;
 pub use satn_workloads as workloads;
 
@@ -62,6 +64,9 @@ pub use satn_core::{
 };
 pub use satn_network::{Host, HostPair, SelfAdjustingNetwork};
 pub use satn_rotor::{RotorState, RotorWalk};
+pub use satn_sim::{
+    Checkpoints, InvariantObserver, Observer, Scenario, ScenarioGrid, SimRunner, WorkloadSpec,
+};
 pub use satn_tree::{
     CompleteTree, CostSummary, Direction, ElementId, NodeId, Occupancy, ServeCost, TreeError,
 };

@@ -1,0 +1,99 @@
+//! Regression test for the rotor-walk visit discrepancy: on complete trees
+//! of 3–10 levels, the per-node visit counts of the deterministic
+//! [`RotorWalk`] stay within a constant per node of the averaged
+//! [`RandomWalk`] visits — the Cooper–Doerr–Friedrich–Spencer property
+//! (*Deterministic Random Walks on Regular Trees*) that makes the
+//! derandomization of Random-Push work.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn::rotor::{max_discrepancy, visit_discrepancy, RandomWalk, RotorWalk};
+use satn::tree::CompleteTree;
+
+const RANDOM_AVERAGING_RUNS: u64 = 16;
+
+/// Per-node visit counts of `runs` independent random walks, averaged by
+/// keeping the counts summed and scaling the rotor counts up to match: the
+/// comparison happens on equal totals so [`visit_discrepancy`]'s
+/// normalisation is meaningful.
+fn averaged_random_counts(levels: u32, chips: u64, runs: u64, seed: u64) -> Vec<u64> {
+    let tree = CompleteTree::with_levels(levels).unwrap();
+    let slots = 1usize << (levels - 1);
+    let mut summed = vec![0u64; slots];
+    for run in 0..runs {
+        let mut walk = RandomWalk::new(tree, levels - 1, StdRng::seed_from_u64(seed ^ run));
+        for (slot, count) in walk.visit_counts(chips).into_iter().enumerate() {
+            summed[slot] += count;
+        }
+    }
+    summed
+}
+
+#[test]
+fn rotor_visits_stay_within_a_constant_of_the_averaged_random_walk() {
+    for levels in 3u32..=10 {
+        let target_level = levels - 1;
+        let slots = 1u64 << target_level;
+        // Enough chips that every slot is visited many times, plus a
+        // non-multiple remainder so rounding is exercised.
+        let chips = slots * 40 + 7;
+
+        let tree = CompleteTree::with_levels(levels).unwrap();
+        let mut rotor = RotorWalk::new(tree, target_level);
+        let rotor_counts = rotor.visit_counts(chips);
+
+        // The rotor walk on its own is balanced to within one visit per node
+        // of the uniform share — the paper's key structural property.
+        assert!(
+            max_discrepancy(&rotor_counts) <= 1.0 + 1e-9,
+            "levels {levels}: rotor self-discrepancy {}",
+            max_discrepancy(&rotor_counts)
+        );
+
+        // Against the averaged random walk: scale the rotor counts by the
+        // number of averaging runs so both vectors have the same total. The
+        // per-node gap then decomposes into the rotor's constant rounding
+        // (at most 1 visit per node, scaled by the averaging runs) plus the
+        // residual sampling noise of the finite random-walk average; eight
+        // standard deviations of that noise cover every slot with margin.
+        let random_counts = averaged_random_counts(
+            levels,
+            chips,
+            RANDOM_AVERAGING_RUNS,
+            0xD15C + u64::from(levels),
+        );
+        let scaled_rotor: Vec<u64> = rotor_counts
+            .iter()
+            .map(|&c| c * RANDOM_AVERAGING_RUNS)
+            .collect();
+        let noise_sigma = ((RANDOM_AVERAGING_RUNS * chips) as f64 / slots as f64).sqrt();
+        let per_node_bound = RANDOM_AVERAGING_RUNS as f64 + 8.0 * noise_sigma;
+        let total = (RANDOM_AVERAGING_RUNS * chips) as f64;
+        let discrepancy = visit_discrepancy(&scaled_rotor, &random_counts);
+        assert!(
+            discrepancy * total <= per_node_bound,
+            "levels {levels}: max per-node gap {} exceeds the constant-per-node bound {per_node_bound}",
+            discrepancy * total
+        );
+    }
+}
+
+#[test]
+fn rotor_walk_never_loses_to_the_random_walk_on_balance() {
+    for levels in 3u32..=10 {
+        let tree = CompleteTree::with_levels(levels).unwrap();
+        let target_level = levels - 1;
+        let chips = (1u64 << target_level) * 25 + 3;
+        let mut rotor = RotorWalk::new(tree, target_level);
+        let mut random = RandomWalk::new(
+            tree,
+            target_level,
+            StdRng::seed_from_u64(99 + u64::from(levels)),
+        );
+        assert!(
+            max_discrepancy(&rotor.visit_counts(chips))
+                <= max_discrepancy(&random.visit_counts(chips)) + 1e-9,
+            "levels {levels}"
+        );
+    }
+}
