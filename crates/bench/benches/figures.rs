@@ -26,6 +26,7 @@ fn bench_config() -> ExperimentConfig {
         seed: 2022,
         corpus_scale: 0.02,
         output_dir: None,
+        parallelism: satn_exec::Parallelism::Auto,
     }
 }
 

@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use satn_core::pushdown::augmented_push_down;
 use satn_core::{AlgorithmKind, SelfAdjustingTree};
 use satn_rotor::{RotorGraph, RotorState};
-use satn_tree::{placement, CompleteTree, ElementId, MarkedRound, NodeId, Occupancy};
+use satn_tree::{placement, CompleteTree, ElementId, MarkScratch, MarkedRound, NodeId, Occupancy};
 use satn_workloads::synthetic;
 
 const LEVELS: u32 = 10; // 1023 nodes
@@ -21,11 +21,30 @@ fn bench_tree_primitives(c: &mut Criterion) {
     let tree = CompleteTree::with_levels(LEVELS).unwrap();
     let mut group = c.benchmark_group("tree-primitives");
 
+    // The allocating walk vs. the allocation-free iterator over the same
+    // nodes: the delta between these two benchmarks is the per-path heap
+    // traffic removed from the serve hot path (both fold the path's node
+    // indices so neither can cheat via a size shortcut).
     group.bench_function("node-root-path", |b| {
         b.iter(|| {
             let mut total = 0usize;
             for node in tree.nodes() {
-                total += black_box(node.path_from_root().len());
+                total += black_box(
+                    node.path_from_root()
+                        .iter()
+                        .map(|n| n.usize())
+                        .sum::<usize>(),
+                );
+            }
+            total
+        })
+    });
+
+    group.bench_function("node-ancestors", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for node in tree.nodes() {
+                total += black_box(node.ancestors().map(|n| n.usize()).sum::<usize>());
             }
             total
         })
@@ -48,6 +67,22 @@ fn bench_tree_primitives(c: &mut Criterion) {
         b.iter(|| {
             let element = occupancy.element_at(leaf);
             let mut round = MarkedRound::access(&mut occupancy, element).unwrap();
+            let node = round.occupancy().node_of(element);
+            round.bubble_to_root(node).unwrap();
+            black_box(round.finish())
+        })
+    });
+
+    // Same round as above but opened through a reused MarkScratch — the
+    // allocation-free hot path of the serve loop.
+    group.bench_function("marked-round-reused-scratch", |b| {
+        let mut occupancy = Occupancy::identity(tree);
+        let leaf = NodeId::new(tree.num_nodes() - 1);
+        let mut scratch = MarkScratch::new();
+        b.iter(|| {
+            let element = occupancy.element_at(leaf);
+            let mut round =
+                MarkedRound::access_reusing(&mut occupancy, element, &mut scratch).unwrap();
             let node = round.occupancy().node_of(element);
             round.bubble_to_root(node).unwrap();
             black_box(round.finish())

@@ -1,0 +1,154 @@
+//! Perf-trajectory harness for the parallel execution layer: times the
+//! reduced 84-cell sim-smoke grid (7 algorithms × 4 workload families ×
+//! 3 tree sizes) serial vs. parallel — median of `--runs` timed runs each —
+//! verifies the two modes produce byte-identical results, and writes the
+//! data point as JSON.
+//!
+//! ```text
+//! bench-report [--requests N] [--runs K] [--threads N|auto|serial] [--out PATH]
+//! ```
+//!
+//! The committed `BENCH_PR3.json` at the repository root is the first data
+//! point of this trajectory; rerun on any machine with
+//! `cargo run --release -p satn-bench --bin bench-report`.
+
+use satn_core::AlgorithmKind;
+use satn_exec::Parallelism;
+use satn_sim::{Checkpoints, ScenarioGrid, ScenarioResult, SimRunner};
+use satn_sim::{Scenario, WorkloadSpec};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench-report [--requests N] [--runs K] [--threads N|auto|serial] [--out PATH]"
+    );
+    ExitCode::FAILURE
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+fn time_grid(
+    runner: &SimRunner,
+    grid: &ScenarioGrid,
+    runs: usize,
+) -> (Vec<f64>, Vec<(Scenario, ScenarioResult)>) {
+    let mut samples = Vec::with_capacity(runs);
+    let mut last = Vec::new();
+    for _ in 0..runs {
+        let started = Instant::now();
+        last = runner.run_grid(grid, false).unwrap_or_else(|failure| {
+            panic!("scenario {} failed: {}", failure.0.name(), failure.1)
+        });
+        samples.push(started.elapsed().as_secs_f64() * 1_000.0);
+    }
+    (samples, last)
+}
+
+fn json_array(samples: &[f64]) -> String {
+    let entries: Vec<String> = samples.iter().map(|ms| format!("{ms:.3}")).collect();
+    format!("[{}]", entries.join(", "))
+}
+
+fn main() -> ExitCode {
+    let mut requests = 5_000usize;
+    let mut runs = 5usize;
+    let mut parallelism = Parallelism::Auto;
+    let mut out = "BENCH_PR3.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(argument) = args.next() {
+        match argument.as_str() {
+            "--requests" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => requests = value,
+                None => return usage(),
+            },
+            "--runs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) if value > 0 => runs = value,
+                _ => return usage(),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => parallelism = value,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench-report [--requests N] [--runs K] [--threads N|auto|serial] [--out PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let mut grid = ScenarioGrid::new(
+        AlgorithmKind::ALL,
+        WorkloadSpec::paper_families(),
+        [5u32, 8, 10],
+        requests,
+        2022,
+    );
+    grid.checkpoints = Checkpoints::every(requests.div_ceil(4).max(1));
+    let threads = parallelism.threads();
+    println!(
+        "# bench-report — {} cells, {} requests each, serial vs {} workers, median of {} runs",
+        grid.len(),
+        requests,
+        threads,
+        runs
+    );
+
+    let serial_runner = SimRunner::new().with_parallelism(Parallelism::Serial);
+    let parallel_runner = SimRunner::new().with_parallelism(parallelism);
+
+    // Warm-up (untimed) run per mode, then the timed runs.
+    let _ = serial_runner.run_grid(&grid, false);
+    let (mut serial_ms, serial_results) = time_grid(&serial_runner, &grid, runs);
+    let _ = parallel_runner.run_grid(&grid, false);
+    let (mut parallel_ms, parallel_results) = time_grid(&parallel_runner, &grid, runs);
+
+    // The determinism oracle: parallel must reproduce serial bit for bit.
+    if serial_results != parallel_results {
+        eprintln!("FATAL: parallel grid diverged from the serial grid");
+        return ExitCode::FAILURE;
+    }
+    println!("# determinism check passed: parallel fingerprints == serial fingerprints");
+
+    let serial_median = median_ms(&mut serial_ms);
+    let parallel_median = median_ms(&mut parallel_ms);
+    let speedup = serial_median / parallel_median;
+    println!(
+        "# serial median {serial_median:.1} ms | parallel median {parallel_median:.1} ms | speedup {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sim-smoke-grid\",\n  \"grid_cells\": {},\n  \"requests_per_cell\": {},\n  \"runs\": {},\n  \"available_threads\": {},\n  \"parallel_workers\": {},\n  \"serial_ms\": {},\n  \"parallel_ms\": {},\n  \"serial_median_ms\": {:.3},\n  \"parallel_median_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"deterministic\": true\n}}\n",
+        grid.len(),
+        requests,
+        runs,
+        Parallelism::Auto.threads(),
+        threads,
+        json_array(&serial_ms),
+        json_array(&parallel_ms),
+        serial_median,
+        parallel_median,
+        speedup,
+    );
+    if let Err(error) = std::fs::write(&out, json) {
+        eprintln!("failed to write {out}: {error}");
+        return ExitCode::FAILURE;
+    }
+    println!("# wrote {out}");
+    ExitCode::SUCCESS
+}

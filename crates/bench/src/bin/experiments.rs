@@ -12,7 +12,7 @@ use satn_bench::{experiments, extensions, ExperimentConfig, FigureResult};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: experiments [--quick | --paper] [--out DIR] [all|table1|q1|q2|q3|q4|q4b|q5|q5map|lemma8|audit|mtf|extensions|ablation|convergence|entropy|network ...]"
+    "usage: experiments [--quick | --paper] [--out DIR] [--threads N|auto|serial] [all|table1|q1|q2|q3|q4|q4b|q5|q5map|lemma8|audit|mtf|extensions|ablation|convergence|entropy|network ...]"
 }
 
 fn main() -> ExitCode {
@@ -38,6 +38,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => match args.next().and_then(|value| value.parse().ok()) {
+                Some(parallelism) => config.parallelism = parallelism,
+                None => {
+                    eprintln!(
+                        "--threads requires a count, \"auto\", or \"serial\"\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -54,8 +64,12 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "# satn experiments — {} nodes, {} requests, {} repetitions (seed {})\n",
-        config.nodes, config.requests, config.repetitions, config.seed
+        "# satn experiments — {} nodes, {} requests, {} repetitions (seed {}), {} workers\n",
+        config.nodes,
+        config.requests,
+        config.repetitions,
+        config.seed,
+        config.parallelism.threads()
     );
 
     let mut results: Vec<FigureResult> = Vec::new();

@@ -1,5 +1,6 @@
 //! Experiment configuration: sizes, repetitions, seeds and output handling.
 
+use satn_exec::Parallelism;
 use std::path::PathBuf;
 
 /// Scale and reproducibility settings shared by all experiments.
@@ -25,6 +26,10 @@ pub struct ExperimentConfig {
     pub corpus_scale: f64,
     /// Directory for CSV output (`None` disables file output).
     pub output_dir: Option<PathBuf>,
+    /// Worker budget for the measurement pool: every `(algorithm,
+    /// repetition)` cell is an independent deterministic run, so this only
+    /// changes wall-clock time, never a number in a figure.
+    pub parallelism: Parallelism,
 }
 
 impl ExperimentConfig {
@@ -37,6 +42,7 @@ impl ExperimentConfig {
             seed: 2022,
             corpus_scale: 1.0,
             output_dir: None,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -49,6 +55,7 @@ impl ExperimentConfig {
             seed: 2022,
             corpus_scale: 0.2,
             output_dir: None,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -61,6 +68,7 @@ impl ExperimentConfig {
             seed: 2022,
             corpus_scale: 0.05,
             output_dir: None,
+            parallelism: Parallelism::Auto,
         }
     }
 

@@ -209,6 +209,7 @@ mod tests {
             seed: 13,
             corpus_scale: 0.02,
             output_dir: None,
+            parallelism: satn_exec::Parallelism::Auto,
         }
     }
 

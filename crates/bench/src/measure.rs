@@ -12,6 +12,7 @@ use crate::config::ExperimentConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use satn_core::AlgorithmKind;
+use satn_exec::ordered_map;
 use satn_sim::{Checkpoints, SimRunner};
 use satn_tree::{placement, CompleteTree, CostSummary};
 use satn_workloads::Workload;
@@ -74,24 +75,38 @@ pub fn measure_once(
 /// prescribes. Every `(algorithm, repetition)` cell executes through the
 /// engine via [`measure_once`], streaming the shared workload by reference —
 /// no per-cell copies of the request sequence.
+///
+/// Cells fan out over the `satn-exec` pool (`config.parallelism` workers);
+/// each is an independent deterministic run and the averages accumulate in
+/// the same fixed `(kind, repetition)` order as the serial loop, so the
+/// figures — including the golden CSV snapshots — are bit-identical at any
+/// thread count.
 pub fn measure_algorithms(
     kinds: &[AlgorithmKind],
     tree: CompleteTree,
     workload: &Workload,
     config: &ExperimentConfig,
 ) -> Vec<AlgorithmCost> {
+    let repetitions = config.repetitions.max(1);
+    let cells: Vec<(AlgorithmKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| (0..repetitions).map(move |repetition| (kind, repetition)))
+        .collect();
+    let summaries = ordered_map(&cells, config.parallelism, |&(kind, repetition)| {
+        let seed = config.seed_for(repetition);
+        measure_once(kind, tree, workload, seed, seed ^ 0x5DEECE66D)
+    });
     kinds
         .iter()
-        .map(|&kind| {
+        .enumerate()
+        .map(|(kind_index, &kind)| {
             let mut access = 0.0;
             let mut adjustment = 0.0;
-            for repetition in 0..config.repetitions.max(1) {
-                let seed = config.seed_for(repetition);
-                let summary = measure_once(kind, tree, workload, seed, seed ^ 0x5DEECE66D);
+            for summary in &summaries[kind_index * repetitions..(kind_index + 1) * repetitions] {
                 access += summary.mean_access();
                 adjustment += summary.mean_adjustment();
             }
-            let reps = config.repetitions.max(1) as f64;
+            let reps = repetitions as f64;
             AlgorithmCost {
                 algorithm: kind,
                 mean_access: access / reps,
@@ -123,6 +138,7 @@ mod tests {
             seed: 7,
             corpus_scale: 0.05,
             output_dir: None,
+            parallelism: satn_exec::Parallelism::Auto,
         }
     }
 

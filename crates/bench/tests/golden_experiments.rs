@@ -23,6 +23,7 @@ fn golden_config() -> ExperimentConfig {
         seed: 11,
         corpus_scale: 0.02,
         output_dir: None,
+        parallelism: satn_exec::Parallelism::Auto,
     }
 }
 

@@ -250,8 +250,9 @@ impl AblationKind {
     }
 
     /// Builds the variant starting from the given occupancy. `seed` is used
-    /// only by [`AblationKind::Scrambled`].
-    pub fn instantiate(self, initial: Occupancy, seed: u64) -> Box<dyn SelfAdjustingTree> {
+    /// only by [`AblationKind::Scrambled`]. The instance is `Send`, like
+    /// every algorithm, so ablation sweeps parallelise per variant.
+    pub fn instantiate(self, initial: Occupancy, seed: u64) -> Box<dyn SelfAdjustingTree + Send> {
         match self {
             AblationKind::Standard => Box::new(crate::RotorPush::new(initial)),
             AblationKind::Frozen => Box::new(crate::RotorPush::without_flipping(initial)),

@@ -25,3 +25,23 @@ pub use move_to_front::MoveToFront;
 pub use random_push::RandomPush;
 pub use rotor_push::RotorPush;
 pub use static_tree::{StaticOblivious, StaticOpt};
+
+// The parallel execution layer (`satn-exec`) constructs algorithm instances
+// inside worker threads; every algorithm must therefore stay
+// `Send + 'static`. These compile-time assertions turn an accidental
+// `Rc`/`RefCell`/borrow into a build error instead of a distant trait bound
+// failure in `satn-sim`.
+#[allow(dead_code)]
+fn _assert_parallel_safe() {
+    fn assert_send<T: Send + 'static>() {}
+    assert_send::<RotorPush>();
+    assert_send::<RandomPush>();
+    assert_send::<MoveHalf>();
+    assert_send::<MaxPush>();
+    assert_send::<StaticOpt>();
+    assert_send::<StaticOblivious>();
+    assert_send::<MoveToFront>();
+    assert_send::<LazyRotorPush>();
+    assert_send::<ScrambledRotorPush>();
+    assert_send::<Box<dyn crate::SelfAdjustingTree + Send>>();
+}

@@ -73,8 +73,8 @@ mod tests {
         let mut alg = MoveToFront::new(identity(levels));
         // The rightmost leaf of a tree with `levels` levels has index 2^levels - 2.
         let path: Vec<ElementId> = NodeId::new((1 << levels) - 2)
-            .path_from_root()
-            .iter()
+            .ancestors()
+            .rev()
             .map(|n| ElementId::new(n.index()))
             .collect();
         // Warm up one round, then measure.

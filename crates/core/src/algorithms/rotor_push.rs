@@ -4,7 +4,9 @@ use crate::ops::relocate_unchecked;
 use crate::pushdown::augmented_push_down;
 use crate::traits::SelfAdjustingTree;
 use satn_rotor::RotorState;
-use satn_tree::{CostSummary, ElementId, MarkedRound, NodeId, Occupancy, ServeCost, TreeError};
+use satn_tree::{
+    CostSummary, ElementId, MarkScratch, MarkedRound, NodeId, Occupancy, ServeCost, TreeError,
+};
 
 /// The deterministic Rotor-Push algorithm (Section 3 of the paper).
 ///
@@ -34,6 +36,9 @@ pub struct RotorPush {
     occupancy: Occupancy,
     rotors: RotorState,
     flipping_enabled: bool,
+    /// Reused marking buffer: `serve` opens its [`MarkedRound`] through this
+    /// scratch so the steady-state request path performs no heap allocation.
+    scratch: MarkScratch,
 }
 
 impl RotorPush {
@@ -45,6 +50,7 @@ impl RotorPush {
             occupancy,
             rotors,
             flipping_enabled: true,
+            scratch: MarkScratch::new(),
         }
     }
 
@@ -64,6 +70,7 @@ impl RotorPush {
             occupancy,
             rotors,
             flipping_enabled: true,
+            scratch: MarkScratch::new(),
         }
     }
 
@@ -77,6 +84,7 @@ impl RotorPush {
             occupancy,
             rotors,
             flipping_enabled: false,
+            scratch: MarkScratch::new(),
         }
     }
 
@@ -122,7 +130,8 @@ impl SelfAdjustingTree for RotorPush {
         self.occupancy.check_element(element)?;
         let u = self.occupancy.node_of(element);
         let level = u.level();
-        let mut round = MarkedRound::access(&mut self.occupancy, element)?;
+        let mut round =
+            MarkedRound::access_reusing(&mut self.occupancy, element, &mut self.scratch)?;
         if level > 0 {
             let v = self.rotors.global_path_node(level);
             augmented_push_down(&mut round, u, v)?;

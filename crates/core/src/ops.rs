@@ -45,11 +45,11 @@ pub fn relocate(
         swaps += 1;
     }
 
-    // Walk it down from the LCA to the target.
-    let descent = target.path_from_root();
-    let lca_position = lca.level() as usize;
-    for pair in descent[lca_position..].windows(2) {
-        round.swap(pair[0], pair[1])?;
+    // Walk it down from the LCA to the target (allocation-free descent:
+    // `ancestors().rev()` is the root-to-target path, skipped past the LCA).
+    for node in target.ancestors().rev().skip(lca.level() as usize + 1) {
+        let parent = node.parent().expect("descent nodes below the root");
+        round.swap(parent, node)?;
         swaps += 1;
     }
     Ok(swaps)

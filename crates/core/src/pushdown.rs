@@ -95,7 +95,7 @@ pub fn push_down_specification(
 ) -> Vec<(satn_tree::ElementId, NodeId)> {
     assert!(occupancy.tree().contains(u) && occupancy.tree().contains(v));
     assert_eq!(u.level(), v.level());
-    let mut cycle = v.path_from_root();
+    let mut cycle: Vec<NodeId> = v.ancestors().rev().collect();
     if u != v {
         cycle.push(u);
     }

@@ -92,6 +92,9 @@ impl AlgorithmKind {
     /// * `sequence` — the full request sequence, needed only by the offline
     ///   [`StaticOpt`] baseline to compute element frequencies.
     ///
+    /// The returned instance is `Send` so the parallel execution layer
+    /// (`satn-exec`) can construct and drive algorithms on worker threads.
+    ///
     /// # Errors
     ///
     /// Returns [`TreeError::ElementOutOfRange`] if `sequence` refers to an
@@ -101,7 +104,7 @@ impl AlgorithmKind {
         initial: Occupancy,
         seed: u64,
         sequence: &[ElementId],
-    ) -> Result<Box<dyn SelfAdjustingTree>, TreeError> {
+    ) -> Result<Box<dyn SelfAdjustingTree + Send>, TreeError> {
         Ok(match self {
             AlgorithmKind::RotorPush => Box::new(RotorPush::new(initial)),
             AlgorithmKind::RandomPush => Box::new(RandomPush::with_seed(initial, seed)),

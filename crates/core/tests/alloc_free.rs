@@ -1,0 +1,97 @@
+//! Verifies the PR-3 acceptance criterion directly: **zero heap allocations
+//! per served request** on the Rotor-Push steady-state path, for both the
+//! per-request `serve` path (ancestor iteration + the reused `MarkScratch`)
+//! and the batched `serve_batch` fast path.
+//!
+//! The test installs a counting global allocator and measures the exact
+//! number of allocations across thousands of steady-state requests. It is
+//! deliberately the only test in this integration binary so no concurrent
+//! test can perturb the counter.
+
+// The counting allocator must implement `GlobalAlloc`, which is an unsafe
+// trait; this is the one place in the workspace that needs it, and it only
+// delegates to `System` after bumping a counter.
+#![allow(unsafe_code)]
+
+use satn_core::{RotorPush, SelfAdjustingTree};
+use satn_tree::{CompleteTree, CostSummary, ElementId, Occupancy};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A deterministic request pattern mixing levels (same recurrence the
+/// rotor-push unit tests use), precomputed so the measurement loop itself
+/// performs no workload generation.
+fn steady_state_requests(num_elements: u32, count: usize) -> Vec<ElementId> {
+    (0..count)
+        .map(|step| ElementId::new(((step as u32) * 17 + 3) % num_elements))
+        .collect()
+}
+
+#[test]
+fn rotor_push_steady_state_serves_without_allocating() {
+    let tree = CompleteTree::with_levels(10).unwrap();
+    let requests = steady_state_requests(tree.num_nodes(), 4_096);
+
+    // --- serve(): the per-request path through MarkedRound. ---
+    let mut network = RotorPush::new(Occupancy::identity(tree));
+    // Warm up: the first requests grow the reused MarkScratch once.
+    for &element in &requests[..64] {
+        network.serve(element).unwrap();
+    }
+    let before = allocations();
+    let mut total = 0u64;
+    for &element in &requests {
+        total += network.serve(element).unwrap().total();
+    }
+    let serve_allocations = allocations() - before;
+    assert!(total > 0);
+    assert_eq!(
+        serve_allocations,
+        0,
+        "serve() allocated {serve_allocations} times over {} steady-state requests",
+        requests.len()
+    );
+
+    // --- serve_batch(): the batched fast path. ---
+    let mut network = RotorPush::new(Occupancy::identity(tree));
+    let mut warmup = CostSummary::new();
+    network.serve_batch(&requests[..64], &mut warmup).unwrap();
+    let mut summary = CostSummary::new();
+    let before = allocations();
+    network.serve_batch(&requests, &mut summary).unwrap();
+    let batch_allocations = allocations() - before;
+    assert_eq!(summary.requests() as usize, requests.len());
+    assert_eq!(
+        batch_allocations,
+        0,
+        "serve_batch() allocated {batch_allocations} times over {} steady-state requests",
+        requests.len()
+    );
+}

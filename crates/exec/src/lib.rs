@@ -1,0 +1,316 @@
+//! # satn-exec
+//!
+//! The deterministic parallel execution layer of the workspace: a std-only
+//! scoped worker pool that fans independent work items out over threads and
+//! merges the results back **in input order**.
+//!
+//! Everything in this repository is deterministic by construction — rotor
+//! walks are the paper's whole point — so the contract of this crate is
+//! strict: for a pure function `f`, [`ordered_map`] returns exactly
+//! `items.iter().map(f).collect()`, bit for bit, regardless of thread count
+//! or scheduling. Parallelism changes wall-clock time and nothing else,
+//! which is what lets `satn-sim` checkpoint fingerprints and `satn-bench`
+//! golden files act as oracles for the parallel engine.
+//!
+//! ## Design
+//!
+//! * No dependencies (the build environment has no crates.io access; no
+//!   rayon). Workers are [`std::thread::scope`] threads, so borrowed inputs
+//!   need no `'static` gymnastics.
+//! * Work distribution is a chunked atomic work queue: workers claim the
+//!   next chunk of indices with a single `fetch_add`, so load balancing is
+//!   dynamic (a slow cell never serializes the grid) while claim overhead
+//!   stays one atomic per chunk.
+//! * Each worker buffers `(index, result)` pairs locally; the caller's
+//!   thread merges them back into input order after the scope joins. No
+//!   locks anywhere on the hot path.
+//!
+//! ## Example
+//!
+//! ```
+//! use satn_exec::{ordered_map, Parallelism};
+//!
+//! let squares = ordered_map(&[1u64, 2, 3, 4], Parallelism::Auto, |&n| n * n);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! // Identical output at any thread count — determinism is the contract.
+//! assert_eq!(squares, ordered_map(&[1u64, 2, 3, 4], Parallelism::Serial, |&n| n * n));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads an execution-layer call may use.
+///
+/// The default is [`Parallelism::Auto`] — all available cores. Every mode
+/// produces bit-identical results; the knob only trades wall-clock time for
+/// CPU usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// One worker: run on the calling thread, no threads spawned.
+    Serial,
+    /// Exactly this many workers (`0` and `1` both mean serial).
+    Threads(usize),
+    /// One worker per available core ([`std::thread::available_parallelism`]).
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// Resolves the mode to a concrete worker count (always at least 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Maps a CLI-style thread count to a mode: `0` means [`Parallelism::Auto`],
+    /// `1` means [`Parallelism::Serial`], anything else a fixed count.
+    pub fn from_thread_count(threads: usize) -> Self {
+        match threads {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Serial,
+            n => Parallelism::Threads(n),
+        }
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Serial => f.write_str("serial"),
+            Parallelism::Threads(n) => write!(f, "{n}"),
+            Parallelism::Auto => write!(f, "auto({})", self.threads()),
+        }
+    }
+}
+
+/// Error returned when parsing an unrecognised parallelism spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseParallelismError {
+    input: String,
+}
+
+impl fmt::Display for ParseParallelismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown parallelism {:?} (expected \"auto\", \"serial\", or a thread count)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseParallelismError {}
+
+impl FromStr for Parallelism {
+    type Err = ParseParallelismError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" | "all" => Ok(Parallelism::Auto),
+            "serial" | "1" => Ok(Parallelism::Serial),
+            other => other
+                .parse::<usize>()
+                .map(Parallelism::from_thread_count)
+                .map_err(|_| ParseParallelismError {
+                    input: s.to_owned(),
+                }),
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to `parallelism` worker threads, returning the
+/// results **in input order** — the parallel, deterministic equivalent of
+/// `items.iter().map(f).collect()`.
+///
+/// Work is claimed one item at a time, which suits the coarse work items of
+/// this workspace (a scenario cell runs for milliseconds to seconds); use
+/// [`ordered_map_chunked`] for fine-grained items.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` after all workers have stopped.
+pub fn ordered_map<T, R, F>(items: &[T], parallelism: Parallelism, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    ordered_map_chunked(items, parallelism, 1, f)
+}
+
+/// [`ordered_map`] with an explicit claim-chunk size: each `fetch_add` on the
+/// shared work counter hands a worker `chunk` consecutive items. Larger
+/// chunks amortise claim overhead for very cheap `f`; chunking never affects
+/// the output, only the schedule.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero; propagates the first panic raised by `f`.
+pub fn ordered_map_chunked<T, R, F>(
+    items: &[T],
+    parallelism: Parallelism,
+    chunk: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(chunk > 0, "the claim-chunk size must be positive");
+    let workers = parallelism.threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next_chunk = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = next_chunk.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            return local;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for index in start..end {
+                            local.push((index, f(&items[index])));
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(local) => local,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (index, result) in buckets.into_iter().flatten() {
+        debug_assert!(slots[index].is_none(), "index {index} claimed twice");
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn preserves_input_order_at_every_parallelism() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|&n| n.wrapping_mul(31) ^ 7).collect();
+        for parallelism in [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(5),
+            Parallelism::Auto,
+        ] {
+            let got = ordered_map(&items, parallelism, |&n| n.wrapping_mul(31) ^ 7);
+            assert_eq!(got, expected, "{parallelism:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_item_exactly_once() {
+        let items: Vec<usize> = (0..100).collect();
+        for chunk in [1usize, 3, 7, 64, 1000] {
+            let got = ordered_map_chunked(&items, Parallelism::Threads(4), chunk, |&n| n);
+            assert_eq!(got, items, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(ordered_map(&empty, Parallelism::Auto, |&n| n).is_empty());
+        assert_eq!(
+            ordered_map(&[9u32], Parallelism::Threads(8), |&n| n + 1),
+            [10]
+        );
+    }
+
+    #[test]
+    fn multiple_worker_threads_actually_run() {
+        // With more blocking items than workers and a barrier-ish workload,
+        // at least two distinct threads must participate (skipped on a
+        // single-core machine, where the pool rightly stays serial).
+        if Parallelism::Auto.threads() < 2 {
+            return;
+        }
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        ordered_map(&items, Parallelism::Threads(4), |&n| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            n
+        });
+        assert!(seen.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn borrowed_non_static_inputs_work() {
+        let words = ["rotor".to_owned(), "walk".to_owned()];
+        let lengths = ordered_map(&words, Parallelism::Threads(2), |w| w.len());
+        assert_eq!(lengths, vec![5, 4]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            ordered_map(&[1, 2, 3], Parallelism::Threads(2), |&n| {
+                assert!(n != 2, "boom");
+                n
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn parallelism_resolution_and_parsing() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Threads(0).threads(), 1);
+        assert_eq!(Parallelism::Threads(6).threads(), 6);
+        assert!(Parallelism::Auto.threads() >= 1);
+        assert_eq!(Parallelism::from_thread_count(0), Parallelism::Auto);
+        assert_eq!(Parallelism::from_thread_count(1), Parallelism::Serial);
+        assert_eq!(Parallelism::from_thread_count(3), Parallelism::Threads(3));
+        assert_eq!("auto".parse::<Parallelism>().unwrap(), Parallelism::Auto);
+        assert_eq!(
+            "serial".parse::<Parallelism>().unwrap(),
+            Parallelism::Serial
+        );
+        assert_eq!("4".parse::<Parallelism>().unwrap(), Parallelism::Threads(4));
+        assert_eq!("0".parse::<Parallelism>().unwrap(), Parallelism::Auto);
+        assert!("fast".parse::<Parallelism>().is_err());
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_chunk_is_rejected() {
+        ordered_map_chunked(&[1], Parallelism::Serial, 0, |&n: &i32| n);
+    }
+}

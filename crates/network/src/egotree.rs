@@ -32,7 +32,7 @@ use satn_tree::{CompleteTree, ElementId, NodeId, Occupancy, ServeCost};
 pub struct EgoTree {
     source: Host,
     num_hosts: u32,
-    algorithm: Box<dyn SelfAdjustingTree>,
+    algorithm: Box<dyn SelfAdjustingTree + Send>,
     kind: AlgorithmKind,
 }
 

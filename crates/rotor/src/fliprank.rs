@@ -25,10 +25,11 @@ impl RotorState {
             self.tree().contains(node),
             "node {node} is not part of the tree"
         );
-        let path = node.path_from_root();
+        // Allocation-free ancestor walk: every non-root node on the path
+        // contributes 2^{ℓ(parent)} when its parent's pointer misses it.
         let mut rank = 0u64;
-        for pair in path.windows(2) {
-            let (ancestor, child) = (pair[0], pair[1]);
+        for child in node.ancestors().take_while(|n| !n.is_root()) {
+            let ancestor = child.parent().expect("non-root nodes have a parent");
             if self.pointed_child(ancestor) != child {
                 rank += 1u64 << ancestor.level();
             }

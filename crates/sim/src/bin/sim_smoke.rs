@@ -4,18 +4,23 @@
 //! and exits non-zero on any invariant violation or any divergence between
 //! the two serving modes.
 //!
+//! Both passes run on the `satn-exec` worker pool; `--threads` bounds the
+//! pool (default: all cores, `--threads 1` = serial) and never changes any
+//! result, only the per-phase wall-clock times printed at the end.
+//!
 //! ```text
-//! sim-smoke [--requests N] [--seed S]
+//! sim-smoke [--requests N] [--seed S] [--threads N|auto|serial]
 //! ```
 
 use satn_core::AlgorithmKind;
-use satn_sim::{Checkpoints, ScenarioGrid, SimRunner, WorkloadSpec};
+use satn_sim::{Checkpoints, Parallelism, ScenarioGrid, SimRunner, WorkloadSpec};
 use std::process::ExitCode;
 use std::time::Instant;
 
 fn main() -> ExitCode {
     let mut requests = 5_000usize;
     let mut seed = 2022u64;
+    let mut parallelism = Parallelism::Auto;
     let mut args = std::env::args().skip(1);
     while let Some(argument) = args.next() {
         match argument.as_str() {
@@ -27,8 +32,12 @@ fn main() -> ExitCode {
                 Some(value) => seed = value,
                 None => return usage(),
             },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => parallelism = value,
+                None => return usage(),
+            },
             "--help" | "-h" => {
-                println!("usage: sim-smoke [--requests N] [--seed S]");
+                println!("usage: sim-smoke [--requests N] [--seed S] [--threads N|auto|serial]");
                 return ExitCode::SUCCESS;
             }
             _ => return usage(),
@@ -45,17 +54,18 @@ fn main() -> ExitCode {
     grid.checkpoints = Checkpoints::every(requests.div_ceil(4).max(1));
 
     println!(
-        "# sim-smoke — {} scenarios ({} algorithms × {} workloads × {} sizes), {} requests each",
+        "# sim-smoke — {} scenarios ({} algorithms × {} workloads × {} sizes), {} requests each, {} workers",
         grid.len(),
         grid.algorithms.len(),
         grid.workloads.len(),
         grid.levels.len(),
-        requests
+        requests,
+        parallelism.threads()
     );
 
-    let start = Instant::now();
-    let runner = SimRunner::new();
+    let runner = SimRunner::new().with_parallelism(parallelism);
     // Pass 1: stepwise serving with every invariant check attached.
+    let checked_started = Instant::now();
     let checked = match runner.run_grid(&grid, true) {
         Ok(results) => results,
         Err(failure) => {
@@ -64,8 +74,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let checked_elapsed = checked_started.elapsed();
     // Pass 2: the batched serve_batch fast paths, no observers — must be
     // observationally identical to the checked stepwise pass.
+    let batched_started = Instant::now();
     let batched = match runner.run_grid(&grid, false) {
         Ok(results) => results,
         Err(failure) => {
@@ -74,6 +86,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let batched_elapsed = batched_started.elapsed();
 
     for ((scenario, checked_result), (_, batched_result)) in checked.iter().zip(&batched) {
         if checked_result != batched_result {
@@ -91,14 +104,17 @@ fn main() -> ExitCode {
         );
     }
     println!(
+        "# phase 1 (stepwise + invariants): {checked_elapsed:.1?}   phase 2 (batched): {batched_elapsed:.1?}"
+    );
+    println!(
         "# all {} scenarios passed invariant checks and batched/stepwise agreement in {:.1?}",
         checked.len(),
-        start.elapsed()
+        checked_elapsed + batched_elapsed
     );
     ExitCode::SUCCESS
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: sim-smoke [--requests N] [--seed S]");
+    eprintln!("usage: sim-smoke [--requests N] [--seed S] [--threads N|auto|serial]");
     ExitCode::FAILURE
 }

@@ -69,3 +69,24 @@ pub use scenario::{Checkpoints, InitialPlacement, Scenario, ScenarioGrid, Worklo
 
 // Re-exported so scenario construction needs no extra imports.
 pub use satn_core::AlgorithmKind;
+// Re-exported so callers can configure grid-run parallelism without a
+// direct `satn-exec` dependency.
+pub use satn_exec::Parallelism;
+
+// Grid cells cross `satn-exec` worker threads as whole values: the scenario
+// goes out, the result (or error) comes back. Everything involved must stay
+// `Send`; the runner itself must be shareable (`Sync`) since workers borrow
+// it for per-cell configuration.
+#[allow(dead_code)]
+fn _assert_parallel_safe() {
+    fn assert_send<T: Send + 'static>() {}
+    fn assert_sync<T: Sync + 'static>() {}
+    assert_send::<Scenario>();
+    assert_sync::<Scenario>();
+    assert_send::<ScenarioGrid>();
+    assert_send::<ScenarioResult>();
+    assert_send::<SimError>();
+    assert_sync::<SimRunner>();
+    assert_send::<InvariantObserver>();
+    assert_send::<SnapshotObserver>();
+}

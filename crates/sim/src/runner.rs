@@ -5,6 +5,7 @@
 use crate::observer::{InvariantViolation, Observer, StepRecord};
 use crate::scenario::{Checkpoints, Scenario, ScenarioGrid};
 use satn_core::SelfAdjustingTree;
+use satn_exec::{ordered_map, Parallelism};
 use satn_tree::{CostSummary, ElementId, TreeError};
 use std::fmt;
 
@@ -78,12 +79,21 @@ impl ScenarioResult {
 /// observer asks for per-step records, in which case it serves one request at
 /// a time and surrounds each with the observation bookkeeping.
 ///
+/// Grid runs ([`SimRunner::run_grid`]) fan scenario cells out over the
+/// `satn-exec` worker pool (default: one worker per core). Every cell
+/// constructs its own algorithm instance, workload stream, and observers, so
+/// nothing is shared mutably between workers, and
+/// [`satn_exec::ordered_map`]'s in-order merge makes the parallel grid
+/// bit-identical to the serial one — checkpoint fingerprints included.
+///
 /// The engine is stateless between runs; all per-run state lives in the
 /// scenario, the algorithm instance, and the observers.
 #[derive(Debug, Clone, Copy)]
 pub struct SimRunner {
     /// Upper bound on the number of requests buffered per serving batch.
     batch_size: usize,
+    /// Worker budget for grid runs (never affects results, only wall-clock).
+    parallelism: Parallelism,
 }
 
 /// The default serving batch size (requests buffered per `serve_batch` call).
@@ -96,10 +106,12 @@ impl Default for SimRunner {
 }
 
 impl SimRunner {
-    /// Creates an engine with the default batch size.
+    /// Creates an engine with the default batch size, using all available
+    /// cores for grid runs.
     pub fn new() -> Self {
         SimRunner {
             batch_size: DEFAULT_BATCH_SIZE,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -110,7 +122,23 @@ impl SimRunner {
     /// Panics if `batch_size` is zero.
     pub fn with_batch_size(batch_size: usize) -> Self {
         assert!(batch_size > 0, "the batch size must be positive");
-        SimRunner { batch_size }
+        SimRunner {
+            batch_size,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Sets the worker budget for grid runs (builder style). The choice
+    /// never changes results — only how many cells run concurrently.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured grid-run worker budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Runs a scenario with no custom observers: serves the whole stream on
@@ -188,28 +216,53 @@ impl SimRunner {
         self.drive(network, stream, length, checkpoints, observers, None)
     }
 
-    /// Runs every cell of a grid, returning `(scenario, result)` pairs in
-    /// grid order; `check_invariants` attaches a fresh
-    /// [`crate::InvariantObserver`] to every cell.
+    /// Runs every cell of a grid on the worker pool, returning
+    /// `(scenario, result)` pairs in grid order; `check_invariants` attaches
+    /// a fresh [`crate::InvariantObserver`] to every cell.
+    ///
+    /// Cells are independent by construction — each worker instantiates its
+    /// own algorithm, stream, and observer from the scenario value — and the
+    /// pool merges results in grid order, so the outcome is byte-identical
+    /// at every [`Parallelism`] (the `parallel_determinism` regression test
+    /// and the `bench-report` harness both assert this).
     ///
     /// # Errors
     ///
-    /// Fails fast on the first erroring cell, identifying it by name via the
-    /// returned scenario (boxed: scenarios can carry whole fixed workloads).
+    /// Returns the erroring cell that comes first in grid order, identifying
+    /// it by the returned scenario (boxed: scenarios can carry whole fixed
+    /// workloads). A one-worker run fails fast at that cell; a parallel run
+    /// lets in-flight cells finish but still reports by grid order, not
+    /// completion order, so the reported cell is identical either way.
     #[allow(clippy::type_complexity)]
     pub fn run_grid(
         &self,
         grid: &ScenarioGrid,
         check_invariants: bool,
     ) -> Result<Vec<(Scenario, ScenarioResult)>, Box<(Scenario, SimError)>> {
-        let mut results = Vec::with_capacity(grid.len());
-        for scenario in grid.scenarios() {
-            let outcome = if check_invariants {
+        let run_cell = |scenario: &Scenario| {
+            if check_invariants {
                 let mut invariants = crate::InvariantObserver::new();
-                self.run_with(&scenario, &mut [&mut invariants])
+                self.run_with(scenario, &mut [&mut invariants])
             } else {
-                self.run(&scenario)
-            };
+                self.run(scenario)
+            }
+        };
+        if self.parallelism.threads() <= 1 {
+            // Serial: preserve fail-fast — stop at the first erroring cell
+            // instead of running the rest of the grid.
+            let mut results = Vec::with_capacity(grid.len());
+            for scenario in grid.scenarios() {
+                match run_cell(&scenario) {
+                    Ok(result) => results.push((scenario, result)),
+                    Err(err) => return Err(Box::new((scenario, err))),
+                }
+            }
+            return Ok(results);
+        }
+        let scenarios: Vec<Scenario> = grid.scenarios().collect();
+        let outcomes = ordered_map(&scenarios, self.parallelism, run_cell);
+        let mut results = Vec::with_capacity(scenarios.len());
+        for (scenario, outcome) in scenarios.into_iter().zip(outcomes) {
             match outcome {
                 Ok(result) => results.push((scenario, result)),
                 Err(err) => return Err(Box::new((scenario, err))),

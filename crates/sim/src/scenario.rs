@@ -92,12 +92,15 @@ impl WorkloadSpec {
     /// seeded deterministically: the same arguments always produce the same
     /// sequence. [`WorkloadSpec::Fixed`] streams borrow the stored sequence
     /// instead of copying it.
+    ///
+    /// The stream is `Send` so scenario cells can be generated and served
+    /// inside `satn-exec` worker threads.
     pub fn stream(
         &self,
         num_elements: u32,
         length: usize,
         seed: u64,
-    ) -> Box<dyn Iterator<Item = ElementId> + '_> {
+    ) -> Box<dyn Iterator<Item = ElementId> + Send + '_> {
         let rng = StdRng::seed_from_u64(seed);
         match self {
             WorkloadSpec::Uniform => Box::new(UniformStream::new(num_elements, rng).take(length)),
@@ -323,7 +326,7 @@ impl Scenario {
     }
 
     /// The request stream of this scenario.
-    pub fn stream(&self) -> Box<dyn Iterator<Item = ElementId> + '_> {
+    pub fn stream(&self) -> Box<dyn Iterator<Item = ElementId> + Send + '_> {
         self.workload
             .stream(self.num_elements(), self.requests, self.workload_seed())
     }
@@ -337,7 +340,7 @@ impl Scenario {
     ///
     /// Returns [`TreeError::ElementOutOfRange`] if the workload mentions an
     /// element outside the tree.
-    pub fn instantiate(&self) -> Result<Box<dyn SelfAdjustingTree>, TreeError> {
+    pub fn instantiate(&self) -> Result<Box<dyn SelfAdjustingTree + Send>, TreeError> {
         self.instantiate_with(&self.offline_sequence().unwrap_or_default())
     }
 
@@ -353,7 +356,7 @@ impl Scenario {
     pub fn instantiate_with(
         &self,
         sequence: &[ElementId],
-    ) -> Result<Box<dyn SelfAdjustingTree>, TreeError> {
+    ) -> Result<Box<dyn SelfAdjustingTree + Send>, TreeError> {
         self.algorithm
             .instantiate(self.initial_occupancy(), self.algorithm_seed(), sequence)
     }

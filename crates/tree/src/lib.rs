@@ -50,10 +50,24 @@ mod topology;
 
 pub use cost::{CostSummary, ServeCost};
 pub use error::TreeError;
-pub use node::{Direction, ElementId, NodeId};
+pub use node::{Ancestors, Direction, ElementId, NodeId};
 pub use occupancy::Occupancy;
-pub use swap::{FreeSwapSession, MarkedRound};
+pub use swap::{FreeSwapSession, MarkScratch, MarkedRound};
 pub use topology::CompleteTree;
+
+// The parallel execution layer (`satn-exec`) moves these across worker
+// threads; keep them `Send + Sync + 'static` by construction.
+#[allow(dead_code)]
+fn _assert_parallel_safe() {
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<CompleteTree>();
+    assert_send_sync::<Occupancy>();
+    assert_send_sync::<CostSummary>();
+    assert_send_sync::<ServeCost>();
+    assert_send_sync::<MarkScratch>();
+    assert_send_sync::<TreeError>();
+    assert_send_sync::<Ancestors>();
+}
 
 #[cfg(test)]
 mod proptests {
@@ -84,6 +98,17 @@ mod proptests {
         fn directions_roundtrip(index in 0u32..100_000) {
             let node = NodeId::new(index);
             prop_assert_eq!(NodeId::from_directions(&node.directions_from_root()), node);
+        }
+
+        #[test]
+        fn ancestors_iterator_matches_reversed_root_path(index in 0u32..1_000_000) {
+            let node = NodeId::new(index);
+            let mut reversed_path = node.path_from_root();
+            reversed_path.reverse();
+            prop_assert_eq!(node.ancestors().collect::<Vec<_>>(), reversed_path);
+            prop_assert_eq!(node.ancestors().rev().collect::<Vec<_>>(), node.path_from_root());
+            prop_assert_eq!(node.ancestors().len() as u32, node.level() + 1);
+            prop_assert_eq!(node.ancestors().next_back(), Some(NodeId::ROOT));
         }
 
         #[test]

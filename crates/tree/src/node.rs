@@ -150,17 +150,41 @@ impl NodeId {
         la <= lb && other.ancestor_at_level(la) == self
     }
 
+    /// Returns an allocation-free iterator over this node and its ancestors,
+    /// ascending from `self` to [`NodeId::ROOT`] (inclusive on both ends).
+    ///
+    /// This is the hot-path replacement for [`NodeId::path_from_root`]: the
+    /// iterator is double-ended (`.rev()` walks the root-to-node descent),
+    /// exact-sized, and every step is O(1) index arithmetic — no `Vec`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use satn_tree::NodeId;
+    ///
+    /// let node = NodeId::new(12);
+    /// let up: Vec<NodeId> = node.ancestors().collect();
+    /// assert_eq!(up, vec![NodeId::new(12), NodeId::new(5), NodeId::new(2), NodeId::ROOT]);
+    /// let down: Vec<NodeId> = node.ancestors().rev().collect();
+    /// assert_eq!(down, node.path_from_root());
+    /// ```
+    #[inline]
+    pub const fn ancestors(self) -> Ancestors {
+        Ancestors {
+            node: self,
+            low: 0,
+            high: self.level(),
+            exhausted: false,
+        }
+    }
+
     /// Returns the path from the root to this node, inclusive on both ends.
     ///
     /// The returned vector has `self.level() + 1` entries and starts at
-    /// [`NodeId::ROOT`].
+    /// [`NodeId::ROOT`]. Prefer [`NodeId::ancestors`] (optionally reversed)
+    /// on hot paths — it performs the same walk without allocating.
     pub fn path_from_root(self) -> Vec<NodeId> {
-        let level = self.level();
-        let mut path = Vec::with_capacity(level as usize + 1);
-        for d in 0..=level {
-            path.push(self.ancestor_at_level(d));
-        }
-        path
+        self.ancestors().rev().collect()
     }
 
     /// Returns the sequence of left/right directions taken from the root to
@@ -238,6 +262,70 @@ impl From<NodeId> for usize {
         id.0 as usize
     }
 }
+
+/// Allocation-free iterator over a node and its ancestors, created by
+/// [`NodeId::ancestors`].
+///
+/// Yields nodes in ascending order (deepest first, root last); reversing it
+/// yields the root-to-node descent. Every step is O(1) bit arithmetic via
+/// [`NodeId::ancestor_at_level`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ancestors {
+    node: NodeId,
+    /// Shallowest level still to be yielded (from the back).
+    low: u32,
+    /// Deepest level still to be yielded (from the front).
+    high: u32,
+    exhausted: bool,
+}
+
+impl Iterator for Ancestors {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.exhausted {
+            return None;
+        }
+        let item = self.node.ancestor_at_level(self.high);
+        if self.high == self.low {
+            self.exhausted = true;
+        } else {
+            self.high -= 1;
+        }
+        Some(item)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = if self.exhausted {
+            0
+        } else {
+            (self.high - self.low) as usize + 1
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl DoubleEndedIterator for Ancestors {
+    #[inline]
+    fn next_back(&mut self) -> Option<NodeId> {
+        if self.exhausted {
+            return None;
+        }
+        let item = self.node.ancestor_at_level(self.low);
+        if self.low == self.high {
+            self.exhausted = true;
+        } else {
+            self.low += 1;
+        }
+        Some(item)
+    }
+}
+
+impl ExactSizeIterator for Ancestors {}
+
+impl std::iter::FusedIterator for Ancestors {}
 
 /// Direction of a child edge in the binary tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -398,6 +486,61 @@ mod tests {
             assert!(pair[0].is_parent_of(pair[1]));
         }
         assert_eq!(path.len() as u32, n.level() + 1);
+    }
+
+    #[test]
+    fn ancestors_ascend_from_node_to_root() {
+        let node = NodeId::new(12);
+        let up: Vec<NodeId> = node.ancestors().collect();
+        assert_eq!(
+            up,
+            vec![
+                NodeId::new(12),
+                NodeId::new(5),
+                NodeId::new(2),
+                NodeId::ROOT
+            ]
+        );
+        assert_eq!(
+            NodeId::ROOT.ancestors().collect::<Vec<_>>(),
+            vec![NodeId::ROOT]
+        );
+    }
+
+    #[test]
+    fn ancestors_match_path_from_root_reversed_on_many_nodes() {
+        for index in 0..2048u32 {
+            let node = NodeId::new(index);
+            let mut expected = node.path_from_root();
+            assert_eq!(
+                node.ancestors().rev().collect::<Vec<_>>(),
+                expected,
+                "descending, node {index}"
+            );
+            expected.reverse();
+            assert_eq!(
+                node.ancestors().collect::<Vec<_>>(),
+                expected,
+                "ascending, node {index}"
+            );
+            assert_eq!(node.ancestors().len() as u32, node.level() + 1);
+        }
+    }
+
+    #[test]
+    fn ancestors_is_a_well_behaved_double_ended_iterator() {
+        let node = NodeId::new(11); // path 0 - 2 - 5 - 11
+        let mut iter = node.ancestors();
+        assert_eq!(iter.len(), 4);
+        assert_eq!(iter.next(), Some(NodeId::new(11)));
+        assert_eq!(iter.next_back(), Some(NodeId::ROOT));
+        assert_eq!(iter.next_back(), Some(NodeId::new(2)));
+        assert_eq!(iter.len(), 1);
+        assert_eq!(iter.next(), Some(NodeId::new(5)));
+        assert_eq!(iter.next(), None);
+        assert_eq!(iter.next_back(), None);
+        assert_eq!(iter.next(), None); // fused
+        assert_eq!(iter.len(), 0);
     }
 
     #[test]

@@ -13,6 +13,89 @@ use crate::error::TreeError;
 use crate::node::{ElementId, NodeId};
 use crate::occupancy::Occupancy;
 
+/// Reusable marking scratch for [`MarkedRound`]s.
+///
+/// A round needs one "is this node marked?" bit per tree node. Allocating
+/// that bitmap per request is the dominant heap traffic of the serve hot
+/// path, so algorithms keep a `MarkScratch` alive across requests and open
+/// rounds through [`MarkedRound::access_reusing`]. Clearing between rounds is
+/// O(1): each round stamps marks with a fresh epoch instead of zeroing the
+/// buffer (the buffer is re-zeroed only on the ~never-happening epoch wrap).
+#[derive(Debug, Clone, Default)]
+pub struct MarkScratch {
+    /// `stamps[node] == epoch` means the node is marked in the open round.
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl MarkScratch {
+    /// Creates an empty scratch; the first round sizes it to its tree.
+    pub fn new() -> Self {
+        MarkScratch::default()
+    }
+
+    /// Starts a new round over `num_nodes` nodes with every mark cleared.
+    fn begin(&mut self, num_nodes: usize) {
+        if self.stamps.len() < num_nodes {
+            self.stamps.resize(num_nodes, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: stale stamps from 2^32 rounds ago could collide.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, node: NodeId) {
+        self.stamps[node.usize()] = self.epoch;
+    }
+
+    /// Marks every node on the root-to-`target` path — the one ancestor walk
+    /// shared by [`MarkedRound::access`] and [`MarkedRound::mark_root_path`].
+    #[inline]
+    fn mark_root_path(&mut self, target: NodeId) {
+        for ancestor in target.ancestors() {
+            self.mark(ancestor);
+        }
+    }
+
+    #[inline]
+    fn is_marked(&self, node: NodeId) -> bool {
+        self.stamps
+            .get(node.usize())
+            .is_some_and(|&stamp| stamp == self.epoch)
+    }
+}
+
+/// The marking store of a round: owned (compatibility path, one allocation
+/// per round) or borrowed from a caller-held [`MarkScratch`] (hot path, no
+/// per-round allocation).
+#[derive(Debug)]
+enum Marks<'a> {
+    Owned(MarkScratch),
+    Reused(&'a mut MarkScratch),
+}
+
+impl Marks<'_> {
+    #[inline]
+    fn get(&self) -> &MarkScratch {
+        match self {
+            Marks::Owned(scratch) => scratch,
+            Marks::Reused(scratch) => scratch,
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self) -> &mut MarkScratch {
+        match self {
+            Marks::Owned(scratch) => scratch,
+            Marks::Reused(scratch) => scratch,
+        }
+    }
+}
+
 /// One round of serving a request: the access plus a sequence of marked swaps.
 ///
 /// Created by [`MarkedRound::access`]; finished by [`MarkedRound::finish`],
@@ -38,7 +121,7 @@ use crate::occupancy::Occupancy;
 #[derive(Debug)]
 pub struct MarkedRound<'a> {
     occupancy: &'a mut Occupancy,
-    marked: Vec<bool>,
+    marks: Marks<'a>,
     requested: ElementId,
     access_cost: u64,
     swaps: u64,
@@ -48,20 +131,46 @@ impl<'a> MarkedRound<'a> {
     /// Accesses `element`, paying `ℓ(element) + 1`, and marks the nodes of the
     /// root-to-element path.
     ///
+    /// Allocates a fresh marking buffer for the round; serve loops should
+    /// prefer [`MarkedRound::access_reusing`] with a long-lived
+    /// [`MarkScratch`], which opens an identical round without allocating.
+    ///
     /// # Errors
     ///
     /// Returns [`TreeError::ElementOutOfRange`] if the element does not exist.
     pub fn access(occupancy: &'a mut Occupancy, element: ElementId) -> Result<Self, TreeError> {
+        Self::access_with_marks(occupancy, element, Marks::Owned(MarkScratch::new()))
+    }
+
+    /// Accesses `element` exactly like [`MarkedRound::access`], but marks
+    /// nodes in the caller's reusable `scratch` instead of allocating — the
+    /// allocation-free serve hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::ElementOutOfRange`] if the element does not exist.
+    pub fn access_reusing(
+        occupancy: &'a mut Occupancy,
+        element: ElementId,
+        scratch: &'a mut MarkScratch,
+    ) -> Result<Self, TreeError> {
+        Self::access_with_marks(occupancy, element, Marks::Reused(scratch))
+    }
+
+    fn access_with_marks(
+        occupancy: &'a mut Occupancy,
+        element: ElementId,
+        mut marks: Marks<'a>,
+    ) -> Result<Self, TreeError> {
         occupancy.check_element(element)?;
         let node = occupancy.node_of(element);
         let access_cost = node.level() as u64 + 1;
-        let mut marked = vec![false; occupancy.num_elements() as usize];
-        for ancestor in node.path_from_root() {
-            marked[ancestor.usize()] = true;
-        }
+        let scratch = marks.get_mut();
+        scratch.begin(occupancy.num_elements() as usize);
+        scratch.mark_root_path(node);
         Ok(MarkedRound {
             occupancy,
-            marked,
+            marks,
             requested: element,
             access_cost,
             swaps: 0,
@@ -83,7 +192,7 @@ impl<'a> MarkedRound<'a> {
     /// Returns `true` if `node` is currently marked.
     #[inline]
     pub fn is_marked(&self, node: NodeId) -> bool {
-        self.marked.get(node.usize()).copied().unwrap_or(false)
+        self.marks.get().is_marked(node)
     }
 
     /// Number of swaps performed so far in this round.
@@ -107,9 +216,7 @@ impl<'a> MarkedRound<'a> {
     /// Returns [`TreeError::NodeOutOfRange`] if `target` is not in the tree.
     pub fn mark_root_path(&mut self, target: NodeId) -> Result<(), TreeError> {
         self.occupancy.tree().check_node(target)?;
-        for ancestor in target.path_from_root() {
-            self.marked[ancestor.usize()] = true;
-        }
+        self.marks.get_mut().mark_root_path(target);
         Ok(())
     }
 
@@ -137,8 +244,9 @@ impl<'a> MarkedRound<'a> {
             });
         }
         self.occupancy.swap_unchecked(a, b);
-        self.marked[a.usize()] = true;
-        self.marked[b.usize()] = true;
+        let scratch = self.marks.get_mut();
+        scratch.mark(a);
+        scratch.mark(b);
         self.swaps += 1;
         Ok(())
     }
@@ -184,10 +292,10 @@ impl<'a> MarkedRound<'a> {
     ///
     /// Propagates the errors of [`MarkedRound::swap`].
     pub fn sink_from_root(&mut self, target: NodeId) -> Result<u64, TreeError> {
-        let path = target.path_from_root();
         let mut used = 0;
-        for pair in path.windows(2) {
-            self.swap(pair[0], pair[1])?;
+        for node in target.ancestors().rev().skip(1) {
+            let parent = node.parent().expect("descent nodes below the root");
+            self.swap(parent, node)?;
             used += 1;
         }
         Ok(used)
@@ -353,6 +461,74 @@ mod tests {
         round.sink_from_root(NodeId::new(14)).unwrap();
         round.finish();
         assert_eq!(occ.element_at(NodeId::new(14)), ElementId::new(0));
+    }
+
+    #[test]
+    fn reused_scratch_rounds_match_owned_rounds() {
+        let mut owned_occ = setup(4);
+        let mut reused_occ = setup(4);
+        let mut scratch = MarkScratch::new();
+        // Several consecutive rounds: the scratch must reset between them so
+        // marks from an earlier round never leak into a later one.
+        for element in [9u32, 14, 3, 9, 0] {
+            let element = ElementId::new(element);
+            let mut owned = MarkedRound::access(&mut owned_occ, element).unwrap();
+            let mut reused =
+                MarkedRound::access_reusing(&mut reused_occ, element, &mut scratch).unwrap();
+            for node in (0..15u32).map(NodeId::new) {
+                assert_eq!(owned.is_marked(node), reused.is_marked(node), "{node}");
+            }
+            let node = owned.occupancy().node_of(element);
+            owned.bubble_to_root(node).unwrap();
+            reused.bubble_to_root(node).unwrap();
+            assert_eq!(owned.finish(), reused.finish());
+            assert_eq!(owned_occ, reused_occ);
+        }
+    }
+
+    #[test]
+    fn reused_scratch_enforces_the_marking_rule() {
+        let mut occ = setup(4);
+        let mut scratch = MarkScratch::new();
+        let mut round =
+            MarkedRound::access_reusing(&mut occ, ElementId::new(0), &mut scratch).unwrap();
+        assert!(matches!(
+            round.swap(NodeId::new(2), NodeId::new(6)).unwrap_err(),
+            TreeError::UnmarkedSwap { .. }
+        ));
+        round.swap(NodeId::new(0), NodeId::new(2)).unwrap();
+        round.swap(NodeId::new(2), NodeId::new(6)).unwrap();
+        round.finish();
+        // The next round starts clean: node 6 is no longer marked.
+        let round = MarkedRound::access_reusing(&mut occ, ElementId::new(0), &mut scratch).unwrap();
+        let requested_node = round.occupancy().node_of(ElementId::new(0));
+        assert!(round.is_marked(requested_node));
+        assert!(!round.is_marked(NodeId::new(14)));
+    }
+
+    #[test]
+    fn scratch_survives_epoch_wrap_and_tree_growth() {
+        let mut scratch = MarkScratch::new();
+        // Force the epoch to the wrap boundary, then run a round: stale
+        // stamps must not count as marks.
+        scratch.epoch = u32::MAX - 1;
+        let mut occ = setup(3);
+        for _ in 0..4 {
+            let round =
+                MarkedRound::access_reusing(&mut occ, ElementId::new(6), &mut scratch).unwrap();
+            let node = round.occupancy().node_of(ElementId::new(6));
+            for probe in (0..7u32).map(NodeId::new) {
+                let on_path = probe.is_ancestor_of_or_equal(node);
+                assert_eq!(round.is_marked(probe), on_path, "{probe}");
+            }
+            round.finish();
+        }
+        // The same scratch serves a bigger tree by growing once.
+        let mut big = setup(5);
+        let round =
+            MarkedRound::access_reusing(&mut big, ElementId::new(30), &mut scratch).unwrap();
+        assert!(round.is_marked(NodeId::new(30)));
+        assert!(!round.is_marked(NodeId::new(29)));
     }
 
     #[test]

@@ -349,6 +349,24 @@ impl<R: Rng> Iterator for ShiftingHotspotStream<R> {
     }
 }
 
+// Scenario cells build their request streams inside `satn-exec` worker
+// threads; every generative stream must therefore stay `Send + 'static`
+// (with the concrete `StdRng` driver used across the workspace).
+#[allow(dead_code)]
+fn _assert_parallel_safe() {
+    use rand::rngs::StdRng;
+    fn assert_send<T: Send + 'static>() {}
+    assert_send::<UniformStream<StdRng>>();
+    assert_send::<TemporalStream<StdRng>>();
+    assert_send::<ZipfStream<StdRng>>();
+    assert_send::<CombinedStream<StdRng>>();
+    assert_send::<RoundRobinPathStream>();
+    assert_send::<MarkovBurstyStream<StdRng>>();
+    assert_send::<ShiftingHotspotStream<StdRng>>();
+    assert_send::<crate::corpus::TripleStream>();
+    assert_send::<crate::Workload>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,7 @@
 //! | [`analysis`] | `satn-analysis` | working-set bounds, MRU reference, credit audits, Lemma 8 adversary |
 //! | [`network`] | `satn-network` | multi-source datacenter networks composed of per-source ego-trees |
 //! | [`sim`] | `satn-sim` | scenario-simulation engine: declarative grids, batched serving, invariant hooks, replay |
+//! | [`exec`] | `satn-exec` | deterministic parallel execution layer: scoped worker pool, order-preserving fan-out |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -48,6 +49,7 @@
 pub use satn_analysis as analysis;
 pub use satn_compress as compress;
 pub use satn_core as core;
+pub use satn_exec as exec;
 pub use satn_network as network;
 pub use satn_rotor as rotor;
 pub use satn_sim as sim;
@@ -62,6 +64,7 @@ pub use satn_core::{
     AlgorithmKind, MaxPush, MoveHalf, MoveToFront, RandomPush, RotorPush, SelfAdjustingTree,
     StaticOblivious, StaticOpt,
 };
+pub use satn_exec::{ordered_map, Parallelism};
 pub use satn_network::{Host, HostPair, SelfAdjustingNetwork};
 pub use satn_rotor::{RotorState, RotorWalk};
 pub use satn_sim::{
