@@ -1,21 +1,26 @@
 //! Perf-trajectory harness for the parallel execution layer: times the
 //! reduced 84-cell sim-smoke grid (7 algorithms × 4 workload families ×
 //! 3 tree sizes) serial vs. parallel — median of `--runs` timed runs each —
-//! verifies the two modes produce byte-identical results, and writes the
-//! data point as JSON.
+//! verifies the two modes produce byte-identical results, and adds a
+//! **shard-scaling section**: the sharded serving engine at S = 1/2/4/8
+//! shards, 1 thread vs. all threads, requests/sec with the per-shard
+//! fingerprint oracle checked against the serial run. The data point is
+//! written as JSON.
 //!
 //! ```text
 //! bench-report [--requests N] [--runs K] [--threads N|auto|serial] [--out PATH]
 //! ```
 //!
-//! The committed `BENCH_PR3.json` at the repository root is the first data
-//! point of this trajectory; rerun on any machine with
+//! The committed `BENCH_PR3.json` / `BENCH_PR4.json` files at the repository
+//! root are the data points of this trajectory; rerun on any machine with
 //! `cargo run --release -p satn-bench --bin bench-report`.
 
 use satn_core::AlgorithmKind;
 use satn_exec::Parallelism;
+use satn_serve::{EngineReport, ShardedEngine};
 use satn_sim::{Checkpoints, ScenarioGrid, ScenarioResult, SimRunner};
-use satn_sim::{Scenario, WorkloadSpec};
+use satn_sim::{Scenario, ShardRouter, ShardedScenario, WorkloadSpec};
+use satn_tree::ElementId;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -58,11 +63,83 @@ fn json_array(samples: &[f64]) -> String {
     format!("[{}]", entries.join(", "))
 }
 
+/// Times one sharded engine run over a pre-materialized request buffer;
+/// returns the wall-clock milliseconds and the final report.
+fn time_sharded(
+    scenario: &ShardedScenario,
+    requests: &[ElementId],
+    parallelism: Parallelism,
+) -> (f64, EngineReport) {
+    let mut engine = ShardedEngine::from_scenario(scenario, parallelism)
+        .expect("shard construction cannot fail on a valid scenario")
+        .with_drain_threshold(4_096);
+    let started = Instant::now();
+    engine
+        .submit_burst(requests)
+        .and_then(|()| engine.finish())
+        .map(|report| (started.elapsed().as_secs_f64() * 1_000.0, report))
+        .unwrap_or_else(|error| panic!("sharded run {} failed: {error}", scenario.name()))
+}
+
+/// The shard-scaling sweep: S = 1/2/4/8 shards, serial vs. `threads`
+/// workers, median of `runs` timed runs each, with the fingerprint oracle
+/// (parallel per-shard reports byte-identical to serial). Returns the JSON
+/// fragment, or `None` if the oracle fails.
+fn shard_scaling_json(
+    requests_per_run: usize,
+    runs: usize,
+    parallelism: Parallelism,
+) -> Option<String> {
+    let mut sections = Vec::new();
+    for shards in [1u32, 2, 4, 8] {
+        let scenario = ShardedScenario::new(
+            AlgorithmKind::RotorPush,
+            WorkloadSpec::Combined { a: 1.9, p: 0.75 },
+            shards,
+            8,
+            requests_per_run,
+            2022,
+        );
+        let requests: Vec<ElementId> = scenario.stream().collect();
+
+        let mut serial_ms = Vec::with_capacity(runs);
+        let mut parallel_ms = Vec::with_capacity(runs);
+        let (_, serial_reference) = time_sharded(&scenario, &requests, Parallelism::Serial);
+        for _ in 0..runs {
+            let (elapsed, report) = time_sharded(&scenario, &requests, Parallelism::Serial);
+            if report != serial_reference {
+                eprintln!("FATAL: serial sharded replay diverged at S={shards}");
+                return None;
+            }
+            serial_ms.push(elapsed);
+            let (elapsed, report) = time_sharded(&scenario, &requests, parallelism);
+            if report != serial_reference {
+                eprintln!("FATAL: parallel sharded run diverged from serial at S={shards}");
+                return None;
+            }
+            parallel_ms.push(elapsed);
+        }
+        let serial_median = median_ms(&mut serial_ms);
+        let parallel_median = median_ms(&mut parallel_ms);
+        let serial_rps = requests_per_run as f64 / (serial_median / 1_000.0);
+        let parallel_rps = requests_per_run as f64 / (parallel_median / 1_000.0);
+        println!(
+            "# shards {shards}: serial {serial_median:.1} ms ({serial_rps:.0} req/s) | parallel {parallel_median:.1} ms ({parallel_rps:.0} req/s) | oracle ok"
+        );
+        sections.push(format!(
+            "    {{ \"shards\": {shards}, \"router\": \"{}\", \"serial_median_ms\": {serial_median:.3}, \"parallel_median_ms\": {parallel_median:.3}, \"serial_requests_per_s\": {serial_rps:.0}, \"parallel_requests_per_s\": {parallel_rps:.0}, \"speedup\": {:.3}, \"deterministic\": true }}",
+            ShardRouter::Hash,
+            serial_median / parallel_median,
+        ));
+    }
+    Some(format!("[\n{}\n  ]", sections.join(",\n")))
+}
+
 fn main() -> ExitCode {
     let mut requests = 5_000usize;
     let mut runs = 5usize;
     let mut parallelism = Parallelism::Auto;
-    let mut out = "BENCH_PR3.json".to_owned();
+    let mut out = "BENCH_PR4.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(argument) = args.next() {
         match argument.as_str() {
@@ -132,8 +209,14 @@ fn main() -> ExitCode {
         "# serial median {serial_median:.1} ms | parallel median {parallel_median:.1} ms | speedup {speedup:.2}x"
     );
 
+    // Shard-scaling section: the serving engine at S = 1/2/4/8 shards,
+    // serial vs. the configured worker budget, per-shard fingerprint oracle.
+    let Some(sharded_json) = shard_scaling_json(40 * requests, runs, parallelism) else {
+        return ExitCode::FAILURE;
+    };
+
     let json = format!(
-        "{{\n  \"benchmark\": \"sim-smoke-grid\",\n  \"grid_cells\": {},\n  \"requests_per_cell\": {},\n  \"runs\": {},\n  \"available_threads\": {},\n  \"parallel_workers\": {},\n  \"serial_ms\": {},\n  \"parallel_ms\": {},\n  \"serial_median_ms\": {:.3},\n  \"parallel_median_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"deterministic\": true\n}}\n",
+        "{{\n  \"benchmark\": \"sim-smoke-grid\",\n  \"grid_cells\": {},\n  \"requests_per_cell\": {},\n  \"runs\": {},\n  \"available_threads\": {},\n  \"parallel_workers\": {},\n  \"serial_ms\": {},\n  \"parallel_ms\": {},\n  \"serial_median_ms\": {:.3},\n  \"parallel_median_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"deterministic\": true,\n  \"shard_scaling\": {}\n}}\n",
         grid.len(),
         requests,
         runs,
@@ -144,6 +227,7 @@ fn main() -> ExitCode {
         serial_median,
         parallel_median,
         speedup,
+        sharded_json,
     );
     if let Err(error) = std::fs::write(&out, json) {
         eprintln!("failed to write {out}: {error}");

@@ -3,7 +3,9 @@
 use crate::ops::{exchange_elements, exchange_elements_unchecked};
 use crate::recency::RecencyTracker;
 use crate::traits::SelfAdjustingTree;
-use satn_tree::{CostSummary, ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
+use satn_tree::{
+    CostSummary, ElementId, MarkScratch, MarkedRound, Occupancy, ServeCost, TreeError,
+};
 
 /// The Max-Push algorithm (Algorithm 2 of the paper), also called
 /// Strict-MRU: it keeps more recently used elements closer to the root.
@@ -27,8 +29,11 @@ pub struct MaxPush {
     occupancy: Occupancy,
     recency: RecencyTracker,
     /// Scratch buffer for the demotion victims, reused across requests by
-    /// the batched fast path so serving stays allocation-free.
+    /// both serve paths so serving stays allocation-free.
     victims: Vec<ElementId>,
+    /// Reused marking buffer: `serve` opens its [`MarkedRound`] through this
+    /// scratch so the steady-state request path performs no heap allocation.
+    scratch: MarkScratch,
 }
 
 impl MaxPush {
@@ -39,6 +44,7 @@ impl MaxPush {
             occupancy,
             recency,
             victims: Vec::new(),
+            scratch: MarkScratch::new(),
         }
     }
 
@@ -74,13 +80,18 @@ impl SelfAdjustingTree for MaxPush {
 
         // Select the demotion victims before anything moves: the least
         // recently used element of every level 0, …, depth − 1 (the level-0
-        // victim is simply the current root element).
-        let victims: Vec<ElementId> = (0..depth)
-            .map(|level| self.least_recently_used_at_level(level))
-            .collect();
+        // victim is simply the current root element). The victim buffer and
+        // the marking scratch are per-instance, so steady-state serving
+        // allocates nothing.
+        let mut victims = std::mem::take(&mut self.victims);
+        victims.clear();
+        victims.extend((0..depth).map(|level| self.least_recently_used_at_level(level)));
 
-        let cost = {
-            let mut round = MarkedRound::access(&mut self.occupancy, element)?;
+        // The buffer must return to `self.victims` on every exit, including
+        // the error paths, or the next serve would silently reallocate it.
+        let cost = (|| {
+            let mut round =
+                MarkedRound::access_reusing(&mut self.occupancy, element, &mut self.scratch)?;
             if depth > 0 {
                 // The requested element trades places with the old root
                 // element, which temporarily lands on the vacated deep node …
@@ -93,8 +104,10 @@ impl SelfAdjustingTree for MaxPush {
                     exchange_elements(&mut round, victims[0], victims[level as usize])?;
                 }
             }
-            round.finish()
-        };
+            Ok(round.finish())
+        })();
+        self.victims = victims;
+        let cost = cost?;
         self.recency.touch(element);
         Ok(cost)
     }

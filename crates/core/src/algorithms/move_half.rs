@@ -3,7 +3,7 @@
 use crate::ops::exchange_elements;
 use crate::recency::RecencyTracker;
 use crate::traits::SelfAdjustingTree;
-use satn_tree::{ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
+use satn_tree::{ElementId, MarkScratch, MarkedRound, Occupancy, ServeCost, TreeError};
 
 /// The Move-Half algorithm (Algorithm 1 of the paper).
 ///
@@ -17,13 +17,20 @@ use satn_tree::{ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
 pub struct MoveHalf {
     occupancy: Occupancy,
     recency: RecencyTracker,
+    /// Reused marking buffer: `serve` opens its [`MarkedRound`] through this
+    /// scratch so the steady-state request path performs no heap allocation.
+    scratch: MarkScratch,
 }
 
 impl MoveHalf {
     /// Creates a Move-Half network starting from the given occupancy.
     pub fn new(occupancy: Occupancy) -> Self {
         let recency = RecencyTracker::new(occupancy.num_elements());
-        MoveHalf { occupancy, recency }
+        MoveHalf {
+            occupancy,
+            recency,
+            scratch: MarkScratch::new(),
+        }
     }
 
     /// Returns the recency tracker (exposed for analysis and tests).
@@ -57,12 +64,14 @@ impl SelfAdjustingTree for MoveHalf {
         self.occupancy.check_element(element)?;
         let level = self.occupancy.level_of(element);
         let cost = if level == 0 {
-            let round = MarkedRound::access(&mut self.occupancy, element)?;
+            let round =
+                MarkedRound::access_reusing(&mut self.occupancy, element, &mut self.scratch)?;
             round.finish()
         } else {
             let halfway = level / 2;
             let partner = self.least_recently_used_at_level(halfway);
-            let mut round = MarkedRound::access(&mut self.occupancy, element)?;
+            let mut round =
+                MarkedRound::access_reusing(&mut self.occupancy, element, &mut self.scratch)?;
             exchange_elements(&mut round, element, partner)?;
             round.finish()
         };

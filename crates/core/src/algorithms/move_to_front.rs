@@ -1,7 +1,7 @@
 //! The naive **Move-To-Front** generalisation — the strawman of Section 1.1.
 
 use crate::traits::SelfAdjustingTree;
-use satn_tree::{ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
+use satn_tree::{ElementId, MarkScratch, MarkedRound, Occupancy, ServeCost, TreeError};
 
 /// The immediate generalisation of the list-update Move-To-Front rule: upon a
 /// request, swap the accessed element along its access path all the way to
@@ -15,12 +15,18 @@ use satn_tree::{ElementId, MarkedRound, Occupancy, ServeCost, TreeError};
 #[derive(Debug, Clone)]
 pub struct MoveToFront {
     occupancy: Occupancy,
+    /// Reused marking buffer: `serve` opens its [`MarkedRound`] through this
+    /// scratch so the steady-state request path performs no heap allocation.
+    scratch: MarkScratch,
 }
 
 impl MoveToFront {
     /// Creates a Move-To-Front network starting from the given occupancy.
     pub fn new(occupancy: Occupancy) -> Self {
-        MoveToFront { occupancy }
+        MoveToFront {
+            occupancy,
+            scratch: MarkScratch::new(),
+        }
     }
 }
 
@@ -36,7 +42,8 @@ impl SelfAdjustingTree for MoveToFront {
     fn serve(&mut self, element: ElementId) -> Result<ServeCost, TreeError> {
         self.occupancy.check_element(element)?;
         let node = self.occupancy.node_of(element);
-        let mut round = MarkedRound::access(&mut self.occupancy, element)?;
+        let mut round =
+            MarkedRound::access_reusing(&mut self.occupancy, element, &mut self.scratch)?;
         round.bubble_to_root(node)?;
         Ok(round.finish())
     }

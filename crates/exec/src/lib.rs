@@ -43,6 +43,7 @@ use std::fmt;
 use std::num::NonZeroUsize;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 
 /// How many worker threads an execution-layer call may use.
 ///
@@ -212,11 +213,114 @@ where
         .collect()
 }
 
+/// Runs `f` over every item on up to `parallelism` worker threads — with
+/// **exclusive mutable access** to each item — and feeds the results to
+/// `consume` on the calling thread **in input order, streamed as each
+/// result's prefix completes**: `consume(i, r)` is invoked as soon as the
+/// results of items `0..=i` all exist, without waiting for the rest of the
+/// input (the "streaming variant" of [`ordered_map`] the sharded serving
+/// engine drains batches through).
+///
+/// Items are claimed dynamically (a slow item never serializes the rest) and
+/// each worker gets `&mut T`, so the items themselves can be stateful workers
+/// — e.g. a shard holding a tree plus its pending request batch. Like every
+/// primitive of this crate, the observable outcome (item states after the
+/// call, the `(index, result)` sequence seen by `consume`) is bit-identical
+/// at every thread count; only wall-clock time changes.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` after all workers have stopped.
+pub fn for_each_ordered<T, R, F, C>(items: &mut [T], parallelism: Parallelism, f: F, mut consume: C)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    let workers = parallelism.threads().min(items.len());
+    if workers <= 1 {
+        for (index, item) in items.iter_mut().enumerate() {
+            consume(index, f(index, item));
+        }
+        return;
+    }
+
+    let total = items.len();
+    // Workers pull `(index, &mut item)` pairs from a shared hand-out queue
+    // (one short lock per claim — items here are coarse, a whole batch of
+    // requests each) and push results through a channel; the calling thread
+    // reorders arrivals into input order and consumes completed prefixes.
+    let queue = Mutex::new(items.iter_mut().enumerate());
+    std::thread::scope(|scope| {
+        let (sender, receiver) = mpsc::channel::<(usize, R)>();
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let sender = sender.clone();
+                let queue = &queue;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let claimed = queue.lock().expect("claim lock never poisons").next();
+                    let Some((index, item)) = claimed else { return };
+                    // A send can only fail if the consumer panicked and the
+                    // receiver is gone; stop quietly, the panic wins.
+                    if sender.send((index, f(index, item))).is_err() {
+                        return;
+                    }
+                })
+            })
+            .collect();
+        drop(sender);
+
+        let mut pending: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        let mut cursor = 0usize;
+        while let Ok((index, result)) = receiver.recv() {
+            debug_assert!(pending[index].is_none(), "item {index} finished twice");
+            pending[index] = Some(result);
+            while cursor < total {
+                match pending[cursor].take() {
+                    Some(ready) => {
+                        consume(cursor, ready);
+                        cursor += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        assert_eq!(cursor, total, "every item is consumed exactly once");
+    });
+}
+
+/// Maps `f` over `items` with mutable access, returning the results in input
+/// order — [`ordered_map`] for stateful work items. Built on
+/// [`for_each_ordered`], so results are collected as their prefix completes.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+pub fn ordered_map_mut<T, R, F>(items: &mut [T], parallelism: Parallelism, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let mut results = Vec::with_capacity(items.len());
+    for_each_ordered(items, parallelism, f, |index, result| {
+        debug_assert_eq!(index, results.len());
+        results.push(result);
+    });
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::sync::Mutex;
 
     #[test]
     fn preserves_input_order_at_every_parallelism() {
@@ -312,5 +416,106 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_chunk_is_rejected() {
         ordered_map_chunked(&[1], Parallelism::Serial, 0, |&n: &i32| n);
+    }
+
+    #[test]
+    fn for_each_ordered_streams_prefixes_in_input_order() {
+        let mut items: Vec<u64> = (0..137).collect();
+        for parallelism in [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(7),
+            Parallelism::Auto,
+        ] {
+            let mut seen: Vec<(usize, u64)> = Vec::new();
+            for_each_ordered(
+                &mut items,
+                parallelism,
+                |index, item| {
+                    *item += 1;
+                    *item * index as u64
+                },
+                |index, result| seen.push((index, result)),
+            );
+            // Consumption is strictly in input order, every item exactly once.
+            let indices: Vec<usize> = seen.iter().map(|&(i, _)| i).collect();
+            assert_eq!(
+                indices,
+                (0..items.len()).collect::<Vec<_>>(),
+                "{parallelism:?}"
+            );
+        }
+        // The mutations applied by all four passes accumulated determinately.
+        assert_eq!(items[0], 4);
+        assert_eq!(items[136], 140);
+    }
+
+    #[test]
+    fn for_each_ordered_mutates_items_exactly_once() {
+        let mut items = vec![0u32; 513];
+        for_each_ordered(
+            &mut items,
+            Parallelism::Threads(4),
+            |_, item| *item += 1,
+            |_, ()| {},
+        );
+        assert!(items.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn ordered_map_mut_matches_serial_map() {
+        let mut serial: Vec<u64> = (0..100).collect();
+        let mut parallel = serial.clone();
+        let expected = ordered_map_mut(&mut serial, Parallelism::Serial, |i, n| {
+            *n ^= 0xF0;
+            *n + i as u64
+        });
+        let got = ordered_map_mut(&mut parallel, Parallelism::Threads(5), |i, n| {
+            *n ^= 0xF0;
+            *n + i as u64
+        });
+        assert_eq!(expected, got);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn for_each_ordered_worker_panics_propagate() {
+        let mut items: Vec<i32> = (0..32).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for_each_ordered(
+                &mut items,
+                Parallelism::Threads(3),
+                |_, n| {
+                    assert!(*n != 17, "boom");
+                    *n
+                },
+                |_, _| {},
+            );
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn for_each_ordered_handles_empty_and_singleton() {
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_ordered(
+            &mut empty,
+            Parallelism::Auto,
+            |_, n| *n,
+            |_, _| unreachable!(),
+        );
+        let mut one = vec![41u8];
+        let mut seen = Vec::new();
+        for_each_ordered(
+            &mut one,
+            Parallelism::Threads(8),
+            |_, n| {
+                *n += 1;
+                *n
+            },
+            |i, r| seen.push((i, r)),
+        );
+        assert_eq!(seen, vec![(0, 42)]);
+        assert_eq!(one, vec![42]);
     }
 }

@@ -1,0 +1,52 @@
+//! The shared drain harness of the serving engines.
+//!
+//! Both [`ShardedEngine`](crate::ShardedEngine) and
+//! [`SourceShardedEngine`](crate::SourceShardedEngine) drain the same way:
+//! one `satn-exec` worker per shard serves the shard's pending batch into a
+//! fresh batch summary, results stream back **in shard order** via
+//! [`satn_exec::for_each_ordered`], batch summaries merge into the
+//! [`ShardedCostSummary`], and the reported failure — if any — is the one of
+//! the lowest-indexed failing shard, independent of completion order. That
+//! merge discipline is the determinism-sensitive part, so it lives here
+//! exactly once.
+
+use satn_exec::{for_each_ordered, Parallelism};
+use satn_tree::{CostSummary, ShardedCostSummary};
+
+/// Drains every shard concurrently: `serve` consumes a shard's pending batch
+/// and returns the batch's cost summary plus its outcome. Summaries merge
+/// into `accounting` in shard order (every shard's served prefix is always
+/// accounted, failed or not); the error of the first failing shard **in
+/// shard order** is returned.
+///
+/// # Errors
+///
+/// `Err((shard, error))` for the lowest-indexed failing shard.
+pub(crate) fn drain_shards<S, E, F>(
+    shards: &mut [S],
+    parallelism: Parallelism,
+    accounting: &mut ShardedCostSummary,
+    serve: F,
+) -> Result<(), (u32, E)>
+where
+    S: Send,
+    E: Send,
+    F: Fn(&mut S) -> (CostSummary, Result<(), E>) + Sync,
+{
+    let mut failure: Option<(u32, E)> = None;
+    for_each_ordered(
+        shards,
+        parallelism,
+        |_, shard| serve(shard),
+        |index, (delta, outcome)| {
+            accounting.merge_into_shard(index as u32, &delta);
+            if let (Err(error), None) = (outcome, failure.as_ref()) {
+                failure = Some((index as u32, error));
+            }
+        },
+    );
+    match failure {
+        Some(failure) => Err(failure),
+        None => Ok(()),
+    }
+}

@@ -1,0 +1,400 @@
+//! The ego-tree-per-source serving mode: source-affinity sharding over
+//! `satn-network` ego-trees.
+//!
+//! In the multi-source composition of the paper's introduction every source
+//! host maintains its own self-adjusting ego-tree over the other hosts. That
+//! maps onto sharded serving directly: requests `(source, destination)` are
+//! routed by [`ShardRouter::SourceAffinity`] (`source mod shards`), so all
+//! of one source's requests — and hence all mutations of that source's
+//! ego-tree — land on a single shard, and shards drain concurrently with no
+//! shared state. Seeds match [`satn_network::SelfAdjustingNetwork`]
+//! (`seed + source`), so a serial `SelfAdjustingNetwork` replay of the same
+//! trace is a byte-exact oracle for any concurrent run.
+
+use crate::error::ServeError;
+use satn_exec::Parallelism;
+use satn_network::{EgoTree, Host, HostPair, NetworkError};
+use satn_sim::AlgorithmKind;
+use satn_tree::{snapshot, CostSummary, ShardedCostSummary};
+use satn_workloads::shard::ShardRouter;
+use std::fmt;
+
+/// One source-affinity shard: the ego-trees of its owned sources (source `s`
+/// is owned by shard `s mod S` and stored at position `s div S`) plus the
+/// pending batch of requests.
+struct EgoShard {
+    trees: Vec<EgoTree>,
+    pending: Vec<HostPair>,
+}
+
+/// Sharded serving over per-source ego-trees.
+pub struct SourceShardedEngine {
+    shards: Vec<EgoShard>,
+    num_hosts: u32,
+    parallelism: Parallelism,
+    accounting: ShardedCostSummary,
+    drain_threshold: usize,
+    pending_total: usize,
+    drains: u64,
+    submitted: u64,
+}
+
+impl SourceShardedEngine {
+    /// Builds an engine of `shards` shards over a network of `num_hosts`
+    /// hosts, every ego-tree managed by `kind` and seeded per source with
+    /// `seed + source` (the [`satn_network::SelfAdjustingNetwork`]
+    /// derivation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Network`] for invalid sizes or offline
+    /// algorithms (which need a trace the streaming engine cannot provide).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(
+        num_hosts: u32,
+        shards: u32,
+        kind: AlgorithmKind,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> Result<Self, ServeError> {
+        assert!(shards > 0, "a partition needs at least one shard");
+        let mut built: Vec<EgoShard> = (0..shards)
+            .map(|_| EgoShard {
+                trees: Vec::new(),
+                pending: Vec::new(),
+            })
+            .collect();
+        for source in 0..num_hosts {
+            let shard = ShardRouter::SourceAffinity.shard_of_source(source, shards);
+            let tree = EgoTree::new(
+                Host::new(source),
+                num_hosts,
+                kind,
+                seed.wrapping_add(u64::from(source)),
+            )
+            .map_err(|error| ServeError::Network { shard, error })?;
+            built[shard as usize].trees.push(tree);
+        }
+        Ok(SourceShardedEngine {
+            shards: built,
+            num_hosts,
+            parallelism,
+            accounting: ShardedCostSummary::new(shards),
+            drain_threshold: crate::engine::DEFAULT_DRAIN_THRESHOLD,
+            pending_total: 0,
+            drains: 0,
+            submitted: 0,
+        })
+    }
+
+    /// Overrides the automatic-drain threshold (builder style; never affects
+    /// results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    #[must_use]
+    pub fn with_drain_threshold(mut self, threshold: usize) -> Self {
+        assert!(threshold > 0, "the drain threshold must be positive");
+        self.drain_threshold = threshold;
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Number of hosts in the network.
+    pub fn num_hosts(&self) -> u32 {
+        self.num_hosts
+    }
+
+    /// Requests submitted so far (served or still buffered).
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Routes one `(source, destination)` request to the shard owning the
+    /// source, draining once the buffered total reaches the threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Network`] for unknown hosts or self-loops (nothing is
+    /// enqueued), or a drain error.
+    pub fn submit(&mut self, pair: HostPair) -> Result<(), ServeError> {
+        let shard = ShardRouter::SourceAffinity.shard_of_source(pair.source.index(), self.shards());
+        if pair.source.index() >= self.num_hosts || pair.destination.index() >= self.num_hosts {
+            let host = if pair.source.index() >= self.num_hosts {
+                pair.source
+            } else {
+                pair.destination
+            };
+            return Err(ServeError::Network {
+                shard,
+                error: NetworkError::UnknownHost {
+                    host,
+                    num_hosts: self.num_hosts,
+                },
+            });
+        }
+        if pair.source == pair.destination {
+            return Err(ServeError::Network {
+                shard,
+                error: NetworkError::SelfLoop { host: pair.source },
+            });
+        }
+        self.shards[shard as usize].pending.push(pair);
+        self.pending_total += 1;
+        self.submitted += 1;
+        if self.pending_total >= self.drain_threshold {
+            self.drain()?;
+        }
+        Ok(())
+    }
+
+    /// Submits a whole trace in order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SourceShardedEngine::submit`].
+    pub fn submit_trace(&mut self, trace: &[HostPair]) -> Result<(), ServeError> {
+        for &pair in trace {
+            self.submit(pair)?;
+        }
+        Ok(())
+    }
+
+    /// Serves every pending per-shard batch concurrently, one worker per
+    /// shard, merging batch summaries back in shard order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Network`] for the failing shard that comes
+    /// first in shard order. Every shard's batch is served and accounted up
+    /// to its own failure point; the unserved tail of a failing batch is
+    /// discarded, so [`SourceShardedReport::requests`] reports what was
+    /// actually accounted.
+    pub fn drain(&mut self) -> Result<(), ServeError> {
+        if self.pending_total == 0 {
+            return Ok(());
+        }
+        self.drains += 1;
+        self.pending_total = 0;
+        let shard_count = self.shards.len() as u32;
+        crate::drain::drain_shards(
+            &mut self.shards,
+            self.parallelism,
+            &mut self.accounting,
+            |shard| {
+                let mut delta = CostSummary::new();
+                let mut outcome = Ok(());
+                for index in 0..shard.pending.len() {
+                    let pair = shard.pending[index];
+                    let tree = &mut shard.trees[(pair.source.index() / shard_count) as usize];
+                    match tree.serve(pair.destination) {
+                        Ok(cost) => delta.record(cost),
+                        Err(error) => {
+                            outcome = Err(error);
+                            break;
+                        }
+                    }
+                }
+                shard.pending.clear();
+                (delta, outcome)
+            },
+        )
+        .map_err(|(shard, error)| ServeError::Network { shard, error })
+    }
+
+    /// The per-shard cost accounting of everything served so far.
+    pub fn accounting(&self) -> &ShardedCostSummary {
+        &self.accounting
+    }
+
+    /// The replay fingerprint of one shard: the occupancy snapshots of its
+    /// owned sources' ego-trees, concatenated in source order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is out of range.
+    pub fn fingerprint(&self, shard: u32) -> String {
+        let mut fingerprint = String::new();
+        for tree in &self.shards[shard as usize].trees {
+            fingerprint.push_str(&format!("source {}\n", tree.source()));
+            fingerprint.push_str(&snapshot::occupancy_to_string(tree.occupancy()));
+        }
+        fingerprint
+    }
+
+    /// Drains any remaining batches and emits the final per-shard report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final drain's error.
+    pub fn finish(mut self) -> Result<SourceShardedReport, ServeError> {
+        self.drain()?;
+        let per_shard = (0..self.shards())
+            .map(|shard| crate::engine::ShardReport {
+                shard,
+                elements: self.shards[shard as usize].trees.len() as u32,
+                summary: *self.accounting.shard(shard),
+                fingerprint: self.fingerprint(shard),
+            })
+            .collect();
+        Ok(SourceShardedReport {
+            per_shard,
+            merged: self.accounting.merged(),
+            drains: self.drains,
+            requests: self.accounting.requests(),
+        })
+    }
+}
+
+impl fmt::Debug for SourceShardedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SourceShardedEngine")
+            .field("shards", &self.shards())
+            .field("num_hosts", &self.num_hosts)
+            .field("parallelism", &self.parallelism)
+            .field("submitted", &self.submitted)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The outcome of an ego-tree sharded run (same shape as
+/// [`crate::EngineReport`]; `elements` counts the shard's owned sources).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceShardedReport {
+    /// Per-shard summaries and fingerprints, in shard order.
+    pub per_shard: Vec<crate::engine::ShardReport>,
+    /// The shard-order merge of every per-shard summary.
+    pub merged: CostSummary,
+    /// Number of drains the run used.
+    pub drains: u64,
+    /// Total requests served and accounted (equals the submitted count on a
+    /// clean run; smaller if a drain failed and discarded a batch tail).
+    pub requests: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use satn_network::SelfAdjustingNetwork;
+
+    fn trace(num_hosts: u32, length: usize, seed: u64) -> Vec<HostPair> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..length)
+            .map(|_| loop {
+                let source = rng.gen_range(0..num_hosts);
+                let destination = rng.gen_range(0..num_hosts);
+                if source != destination {
+                    return HostPair::from((source, destination));
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_ego_serving_matches_the_serial_network_replay() {
+        let num_hosts = 24;
+        let seed = 5;
+        let trace = trace(num_hosts, 2_000, 99);
+        for kind in [AlgorithmKind::RotorPush, AlgorithmKind::MaxPush] {
+            let mut engine =
+                SourceShardedEngine::new(num_hosts, 4, kind, seed, Parallelism::Threads(3))
+                    .unwrap()
+                    .with_drain_threshold(173);
+            engine.submit_trace(&trace).unwrap();
+            let report = engine.finish().unwrap();
+            assert_eq!(report.requests, 2_000);
+
+            let mut reference = SelfAdjustingNetwork::new(num_hosts, kind, seed).unwrap();
+            reference.serve_trace(&trace).unwrap();
+            // Per-shard costs are the merge of the shard's sources' costs.
+            for shard in 0..4u32 {
+                let mut expected = CostSummary::new();
+                for source in (shard..num_hosts).step_by(4) {
+                    expected.merge(reference.cost_of_source(Host::new(source)));
+                }
+                assert_eq!(
+                    report.per_shard[shard as usize].summary, expected,
+                    "{kind} shard {shard}"
+                );
+                // Fingerprints: every owned source's ego-tree occupancy.
+                let mut expected_fingerprint = String::new();
+                for source in (shard..num_hosts).step_by(4) {
+                    expected_fingerprint.push_str(&format!("source {}\n", Host::new(source)));
+                    expected_fingerprint.push_str(&snapshot::occupancy_to_string(
+                        reference.ego_tree(Host::new(source)).occupancy(),
+                    ));
+                }
+                assert_eq!(
+                    report.per_shard[shard as usize].fingerprint, expected_fingerprint,
+                    "{kind} shard {shard} fingerprint"
+                );
+            }
+            assert_eq!(report.merged, *reference.total_cost());
+        }
+    }
+
+    #[test]
+    fn thread_count_and_cadence_never_change_ego_results() {
+        let trace = trace(16, 1_200, 3);
+        let mut reports = Vec::new();
+        for (threshold, parallelism) in [
+            (1usize, Parallelism::Serial),
+            (97, Parallelism::Threads(2)),
+            (1_000_000, Parallelism::Threads(5)),
+        ] {
+            let mut engine =
+                SourceShardedEngine::new(16, 3, AlgorithmKind::RotorPush, 11, parallelism)
+                    .unwrap()
+                    .with_drain_threshold(threshold);
+            engine.submit_trace(&trace).unwrap();
+            reports.push(engine.finish().unwrap());
+        }
+        // Drain counts differ by construction; everything observable about
+        // the served requests must not.
+        assert_eq!(reports[0].per_shard, reports[1].per_shard);
+        assert_eq!(reports[0].merged, reports[1].merged);
+        assert_eq!(reports[1].per_shard, reports[2].per_shard);
+        assert_eq!(reports[1].merged, reports[2].merged);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_without_side_effects() {
+        let mut engine =
+            SourceShardedEngine::new(8, 2, AlgorithmKind::RotorPush, 0, Parallelism::Serial)
+                .unwrap();
+        assert!(matches!(
+            engine.submit(HostPair::from((9u32, 1u32))).unwrap_err(),
+            ServeError::Network {
+                error: NetworkError::UnknownHost { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            engine.submit(HostPair::from((3u32, 3u32))).unwrap_err(),
+            ServeError::Network {
+                error: NetworkError::SelfLoop { .. },
+                ..
+            }
+        ));
+        let report = engine.finish().unwrap();
+        assert_eq!(report.requests, 0);
+    }
+
+    #[test]
+    fn offline_algorithms_are_rejected_at_construction() {
+        let err = SourceShardedEngine::new(8, 2, AlgorithmKind::StaticOpt, 0, Parallelism::Serial)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Network { .. }));
+    }
+}

@@ -1,0 +1,460 @@
+//! The sharded multi-tree serving engine.
+
+use crate::error::ServeError;
+use crate::ingest::{IngestMessage, IngestQueue};
+use satn_core::SelfAdjustingTree;
+use satn_exec::Parallelism;
+use satn_sim::ShardedScenario;
+use satn_tree::{snapshot, CostSummary, ElementId, ShardedCostSummary};
+use satn_workloads::shard::Partition;
+use std::fmt;
+
+/// Pending requests buffered across all shards before an automatic drain.
+pub const DEFAULT_DRAIN_THRESHOLD: usize = 4_096;
+
+/// One shard: its tree plus the batch of localized requests accumulated for
+/// the next drain.
+struct Shard {
+    tree: Box<dyn SelfAdjustingTree + Send>,
+    pending: Vec<ElementId>,
+}
+
+/// The sharded serving engine: `S` independent per-shard trees partitioning
+/// the element universe, fed through a [`Partition`] router, drained
+/// concurrently on the `satn-exec` pool.
+///
+/// Requests enter via [`ShardedEngine::submit`] (or a whole
+/// [`IngestQueue`] via [`ShardedEngine::serve_queue`]), are routed to their
+/// owning shard and buffered; once the buffered total reaches the drain
+/// threshold, every shard's batch is served through the allocation-free
+/// [`SelfAdjustingTree::serve_batch`] fast path — one worker per shard batch,
+/// results merged back **in shard order** via
+/// [`satn_exec::for_each_ordered`], so per-shard cost totals, the merged
+/// summary, and the per-shard occupancy fingerprints are bit-identical at
+/// every thread count and every drain cadence. The serial reference replay
+/// ([`ShardedScenario::shard_scenarios`] driven by
+/// [`satn_sim::SimRunner`]) is therefore a byte-exact oracle for any
+/// concurrent run.
+pub struct ShardedEngine {
+    partition: Partition,
+    shards: Vec<Shard>,
+    accounting: ShardedCostSummary,
+    parallelism: Parallelism,
+    drain_threshold: usize,
+    pending_total: usize,
+    drains: u64,
+    submitted: u64,
+}
+
+impl ShardedEngine {
+    /// Assembles an engine from a partition and one pre-built tree per shard
+    /// (shard `s`'s tree serves local ids `0..` of `partition.owned(s)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree count differs from the partition's shard count.
+    pub fn new(
+        partition: Partition,
+        trees: Vec<Box<dyn SelfAdjustingTree + Send>>,
+        parallelism: Parallelism,
+    ) -> Self {
+        assert_eq!(
+            trees.len() as u32,
+            partition.shards(),
+            "one tree per shard is required"
+        );
+        let shards: Vec<Shard> = trees
+            .into_iter()
+            .map(|tree| Shard {
+                tree,
+                pending: Vec::new(),
+            })
+            .collect();
+        let accounting = ShardedCostSummary::new(partition.shards());
+        ShardedEngine {
+            partition,
+            shards,
+            accounting,
+            parallelism,
+            drain_threshold: DEFAULT_DRAIN_THRESHOLD,
+            pending_total: 0,
+            drains: 0,
+            submitted: 0,
+        }
+    }
+
+    /// Builds the engine a [`ShardedScenario`] describes: the scenario's
+    /// partition, with every shard tree instantiated exactly as the
+    /// scenario's standalone per-shard reference scenarios build theirs
+    /// (same levels, same derived seeds, same initial placement — that is
+    /// what makes the serial replay a byte-exact oracle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Tree`] if a shard's algorithm cannot be
+    /// instantiated (e.g. an offline layout over an invalid sequence).
+    pub fn from_scenario(
+        scenario: &ShardedScenario,
+        parallelism: Parallelism,
+    ) -> Result<Self, ServeError> {
+        let partition = scenario.partition();
+        let mut trees = Vec::with_capacity(partition.shards() as usize);
+        for (shard, shard_scenario) in scenario.shard_scenarios().iter().enumerate() {
+            // `instantiate` hands offline algorithms their per-shard
+            // sequence itself (the scenario's Fixed workload carries it).
+            let tree = shard_scenario
+                .instantiate()
+                .map_err(|error| ServeError::Tree {
+                    shard: shard as u32,
+                    error,
+                })?;
+            trees.push(tree);
+        }
+        Ok(ShardedEngine::new(partition, trees, parallelism))
+    }
+
+    /// Overrides the automatic-drain threshold (builder style). The cadence
+    /// never changes any result — only how much is buffered between drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    #[must_use]
+    pub fn with_drain_threshold(mut self, threshold: usize) -> Self {
+        assert!(threshold > 0, "the drain threshold must be positive");
+        self.drain_threshold = threshold;
+        self
+    }
+
+    /// The engine's element-to-shard assignment.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The worker budget used for drains.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Requests submitted so far (served or still buffered).
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Drains triggered so far.
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
+    /// The per-shard cost accounting of everything served so far (buffered
+    /// requests are not yet included — call [`ShardedEngine::drain`] first).
+    pub fn accounting(&self) -> &ShardedCostSummary {
+        &self.accounting
+    }
+
+    /// Routes one request to its owning shard's batch, draining every shard
+    /// once the buffered total reaches the threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::OutOfUniverse`] for foreign elements (nothing is
+    /// enqueued), or a drain error.
+    pub fn submit(&mut self, element: ElementId) -> Result<(), ServeError> {
+        let (shard, local) =
+            self.partition
+                .localize(element)
+                .ok_or_else(|| ServeError::OutOfUniverse {
+                    element,
+                    universe: self.partition.universe(),
+                })?;
+        self.shards[shard as usize].pending.push(local);
+        self.pending_total += 1;
+        self.submitted += 1;
+        if self.pending_total >= self.drain_threshold {
+            self.drain()?;
+        }
+        Ok(())
+    }
+
+    /// Submits a burst of requests in order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedEngine::submit`], failing at the first
+    /// offending request.
+    pub fn submit_burst(&mut self, burst: &[ElementId]) -> Result<(), ServeError> {
+        for &element in burst {
+            self.submit(element)?;
+        }
+        Ok(())
+    }
+
+    /// Serves every pending per-shard batch concurrently on the pool: one
+    /// worker per non-empty shard batch, each through
+    /// [`SelfAdjustingTree::serve_batch`]; batch summaries are merged back
+    /// in shard order as their prefix completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Tree`] for the failing shard that comes first
+    /// in shard order. Every shard's batch is still served (and accounted)
+    /// up to its own failure point; the unserved tail of a failing batch is
+    /// discarded, so [`EngineReport::requests`] reports what was actually
+    /// accounted, not what was submitted.
+    pub fn drain(&mut self) -> Result<(), ServeError> {
+        if self.pending_total == 0 {
+            return Ok(());
+        }
+        self.drains += 1;
+        self.pending_total = 0;
+        crate::drain::drain_shards(
+            &mut self.shards,
+            self.parallelism,
+            &mut self.accounting,
+            |shard| {
+                let mut delta = CostSummary::new();
+                let outcome = if shard.pending.is_empty() {
+                    Ok(())
+                } else {
+                    shard.tree.serve_batch(&shard.pending, &mut delta)
+                };
+                shard.pending.clear();
+                (delta, outcome)
+            },
+        )
+        .map_err(|(shard, error)| ServeError::Tree { shard, error })
+    }
+
+    /// Consumes an ingestion queue to completion: bursts are submitted in
+    /// arrival order (auto-draining at the threshold), flush messages force
+    /// a drain, and sender shutdown triggers a final drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first submit or drain error.
+    pub fn serve_queue(&mut self, queue: &IngestQueue) -> Result<(), ServeError> {
+        loop {
+            match queue.recv() {
+                Some(IngestMessage::Request(element)) => self.submit(element)?,
+                Some(IngestMessage::Burst(burst)) => self.submit_burst(&burst)?,
+                Some(IngestMessage::Flush) => self.drain()?,
+                None => return self.drain(),
+            }
+        }
+    }
+
+    /// The replay fingerprint of one shard: its tree's occupancy snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is out of range.
+    pub fn fingerprint(&self, shard: u32) -> String {
+        snapshot::occupancy_to_string(self.shards[shard as usize].tree.occupancy())
+    }
+
+    /// Drains any remaining batches and emits the final report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final drain's error.
+    pub fn finish(mut self) -> Result<EngineReport, ServeError> {
+        self.drain()?;
+        let per_shard = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| ShardReport {
+                shard: index as u32,
+                elements: self.partition.owned(index as u32).len() as u32,
+                summary: *self.accounting.shard(index as u32),
+                fingerprint: snapshot::occupancy_to_string(shard.tree.occupancy()),
+            })
+            .collect();
+        Ok(EngineReport {
+            per_shard,
+            merged: self.accounting.merged(),
+            drains: self.drains,
+            requests: self.accounting.requests(),
+        })
+    }
+}
+
+impl fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards())
+            .field("universe", &self.partition.universe())
+            .field("router", &self.partition.router())
+            .field("parallelism", &self.parallelism)
+            .field("submitted", &self.submitted)
+            .field("drains", &self.drains)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The final state of one shard after a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The shard index.
+    pub shard: u32,
+    /// Elements the shard owns.
+    pub elements: u32,
+    /// Everything this shard served, in per-request detail totals.
+    pub summary: CostSummary,
+    /// The shard's deterministic replay fingerprint (occupancy snapshot).
+    pub fingerprint: String,
+}
+
+/// The outcome of a sharded serving run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Per-shard summaries and fingerprints, in shard order.
+    pub per_shard: Vec<ShardReport>,
+    /// The shard-order merge of every per-shard summary.
+    pub merged: CostSummary,
+    /// Number of drains the run used (cadence never affects results).
+    pub drains: u64,
+    /// Total requests served and accounted (equals the submitted count on a
+    /// clean run; smaller if a drain failed and discarded a batch tail).
+    pub requests: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::ingest_channel;
+    use satn_sim::{AlgorithmKind, ShardRouter, SimRunner, WorkloadSpec};
+
+    fn scenario(algorithm: AlgorithmKind, router: ShardRouter) -> ShardedScenario {
+        let mut s = ShardedScenario::new(
+            algorithm,
+            WorkloadSpec::Combined { a: 1.5, p: 0.6 },
+            4,
+            5,
+            3_000,
+            13,
+        );
+        s.router = router;
+        s
+    }
+
+    #[test]
+    fn engine_matches_the_serial_reference_replay() {
+        let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Hash);
+        let mut engine = ShardedEngine::from_scenario(&sharded, Parallelism::Threads(3))
+            .unwrap()
+            .with_drain_threshold(257);
+        for element in sharded.stream() {
+            engine.submit(element).unwrap();
+        }
+        let report = engine.finish().unwrap();
+        assert_eq!(report.requests, 3_000);
+        assert!(report.drains >= 3_000 / 257);
+
+        let runner = SimRunner::new();
+        for (shard, reference) in sharded.shard_scenarios().iter().enumerate() {
+            let expected = runner.run(reference).unwrap();
+            let got = &report.per_shard[shard];
+            assert_eq!(got.summary, expected.summary, "shard {shard} costs");
+            assert_eq!(
+                got.fingerprint,
+                expected.final_snapshot(),
+                "shard {shard} fingerprint"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_cadence_and_thread_count_never_change_results() {
+        let sharded = scenario(AlgorithmKind::MaxPush, ShardRouter::Range);
+        let mut reports = Vec::new();
+        for (threshold, parallelism) in [
+            (1usize, Parallelism::Serial),
+            (64, Parallelism::Threads(2)),
+            (100_000, Parallelism::Threads(7)),
+        ] {
+            let mut engine = ShardedEngine::from_scenario(&sharded, parallelism)
+                .unwrap()
+                .with_drain_threshold(threshold);
+            let requests: Vec<ElementId> = sharded.stream().collect();
+            engine.submit_burst(&requests).unwrap();
+            reports.push(engine.finish().unwrap());
+        }
+        assert_eq!(reports[0].per_shard, reports[1].per_shard);
+        assert_eq!(reports[0].merged, reports[1].merged);
+        assert_eq!(reports[1].per_shard, reports[2].per_shard);
+        assert_eq!(reports[1].merged, reports[2].merged);
+    }
+
+    #[test]
+    fn queue_fed_runs_match_direct_submission() {
+        let sharded = scenario(AlgorithmKind::MoveHalf, ShardRouter::SourceAffinity);
+
+        let mut direct = ShardedEngine::from_scenario(&sharded, Parallelism::Threads(2)).unwrap();
+        for element in sharded.stream() {
+            direct.submit(element).unwrap();
+        }
+        let direct_report = direct.finish().unwrap();
+
+        let mut queued = ShardedEngine::from_scenario(&sharded, Parallelism::Threads(2)).unwrap();
+        let (sender, queue) = ingest_channel(8);
+        let requests: Vec<ElementId> = sharded.stream().collect();
+        let producer = std::thread::spawn(move || {
+            for chunk in requests.chunks(97) {
+                sender.send_burst(chunk.to_vec()).unwrap();
+            }
+            sender.flush().unwrap();
+        });
+        queued.serve_queue(&queue).unwrap();
+        producer.join().unwrap();
+        let queued_report = queued.finish().unwrap();
+
+        assert_eq!(direct_report, queued_report);
+    }
+
+    #[test]
+    fn merged_summary_is_the_shard_order_merge() {
+        let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Range);
+        let mut engine = ShardedEngine::from_scenario(&sharded, Parallelism::Serial).unwrap();
+        for element in sharded.stream() {
+            engine.submit(element).unwrap();
+        }
+        engine.drain().unwrap();
+        let merged = engine.accounting().merged();
+        let report = engine.finish().unwrap();
+        let mut recombined = CostSummary::new();
+        for shard in &report.per_shard {
+            recombined.merge(&shard.summary);
+        }
+        assert_eq!(report.merged, recombined);
+        assert_eq!(report.merged, merged);
+        assert_eq!(report.merged.requests(), 3_000);
+    }
+
+    #[test]
+    fn foreign_elements_are_rejected_without_side_effects() {
+        let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Hash);
+        let mut engine = ShardedEngine::from_scenario(&sharded, Parallelism::Serial).unwrap();
+        let universe = sharded.universe();
+        let err = engine.submit(ElementId::new(universe)).unwrap_err();
+        assert!(matches!(err, ServeError::OutOfUniverse { .. }));
+        assert!(err.to_string().contains("outside"));
+        let report = engine.finish().unwrap();
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.drains, 0);
+    }
+
+    #[test]
+    fn debug_output_names_the_configuration() {
+        let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Hash);
+        let engine = ShardedEngine::from_scenario(&sharded, Parallelism::Serial).unwrap();
+        let rendered = format!("{engine:?}");
+        assert!(rendered.contains("ShardedEngine"));
+        assert!(rendered.contains("universe"));
+    }
+}

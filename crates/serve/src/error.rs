@@ -1,0 +1,57 @@
+//! Errors of the sharded serving engines.
+
+use satn_network::NetworkError;
+use satn_tree::{ElementId, TreeError};
+use std::fmt;
+
+/// An error produced while building or driving a sharded serving engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A submitted request names an element outside the engine's universe.
+    OutOfUniverse {
+        /// The offending element.
+        element: ElementId,
+        /// Size of the engine's element universe.
+        universe: u32,
+    },
+    /// A shard's tree failed while instantiating or serving.
+    Tree {
+        /// The shard the failure occurred on.
+        shard: u32,
+        /// The underlying tree error.
+        error: TreeError,
+    },
+    /// An ego-tree shard failed while instantiating or serving.
+    Network {
+        /// The shard the failure occurred on.
+        shard: u32,
+        /// The underlying network error.
+        error: NetworkError,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::OutOfUniverse { element, universe } => {
+                write!(
+                    f,
+                    "request {element} is outside the {universe}-element universe"
+                )
+            }
+            ServeError::Tree { shard, error } => write!(f, "shard {shard}: {error}"),
+            ServeError::Network { shard, error } => write!(f, "shard {shard}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::OutOfUniverse { .. } => None,
+            ServeError::Tree { error, .. } => Some(error),
+            ServeError::Network { error, .. } => Some(error),
+        }
+    }
+}

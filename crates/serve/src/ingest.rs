@@ -1,0 +1,175 @@
+//! Channel-based request ingestion: a bounded MPSC front door for the
+//! serving engines.
+//!
+//! Producers (workload generators, sockets, test threads) hold cloneable
+//! [`IngestSender`]s and push requests or request bursts; the engine owns the
+//! single [`IngestQueue`] consumer and serves messages in arrival order. The
+//! channel is **bounded**, so a producer that outruns the engine blocks on
+//! [`IngestSender::send_burst`] — backpressure instead of unbounded memory.
+//!
+//! The drain/flush protocol: a [`IngestSender::flush`] message forces the
+//! engine to drain every pending per-shard batch before reading further
+//! input; dropping all senders closes the queue, upon which the engine
+//! drains once more and returns. Determinism: the per-shard request order is
+//! the queue arrival order, so a single producer (or any externally ordered
+//! producer set) yields bit-identical replays at every thread count.
+
+use satn_tree::ElementId;
+use std::fmt;
+use std::sync::mpsc;
+
+/// One message of the ingestion protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestMessage {
+    /// A single request (no per-message heap allocation on the producer).
+    Request(ElementId),
+    /// A burst of requests to route and enqueue in burst order.
+    Burst(Vec<ElementId>),
+    /// Force a drain of all pending per-shard batches before continuing.
+    Flush,
+}
+
+/// Error returned when sending into a queue whose consumer is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestClosed;
+
+impl fmt::Display for IngestClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("the ingest queue consumer is gone")
+    }
+}
+
+impl std::error::Error for IngestClosed {}
+
+/// The producer half: cloneable, blocking on a full queue (backpressure).
+#[derive(Debug, Clone)]
+pub struct IngestSender {
+    inner: mpsc::SyncSender<IngestMessage>,
+}
+
+impl IngestSender {
+    /// Enqueues a single request (allocation-free on the producer side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestClosed`] if the consumer has been dropped.
+    pub fn send(&self, element: ElementId) -> Result<(), IngestClosed> {
+        self.inner
+            .send(IngestMessage::Request(element))
+            .map_err(|_| IngestClosed)
+    }
+
+    /// Enqueues a burst of requests (served in burst order), blocking while
+    /// the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestClosed`] if the consumer has been dropped.
+    pub fn send_burst(&self, burst: Vec<ElementId>) -> Result<(), IngestClosed> {
+        self.inner
+            .send(IngestMessage::Burst(burst))
+            .map_err(|_| IngestClosed)
+    }
+
+    /// Asks the engine to drain all pending per-shard batches before reading
+    /// further input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestClosed`] if the consumer has been dropped.
+    pub fn flush(&self) -> Result<(), IngestClosed> {
+        self.inner
+            .send(IngestMessage::Flush)
+            .map_err(|_| IngestClosed)
+    }
+}
+
+/// The consumer half, owned by the serving engine.
+#[derive(Debug)]
+pub struct IngestQueue {
+    inner: mpsc::Receiver<IngestMessage>,
+}
+
+impl IngestQueue {
+    /// Blocks for the next message; `None` once every sender is dropped and
+    /// the queue is empty (the shutdown signal).
+    pub fn recv(&self) -> Option<IngestMessage> {
+        self.inner.recv().ok()
+    }
+}
+
+/// Creates a bounded ingestion channel holding at most `capacity` queued
+/// messages (bursts count as one message each).
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (a zero-capacity rendezvous channel would
+/// deadlock single-threaded producers).
+pub fn ingest_channel(capacity: usize) -> (IngestSender, IngestQueue) {
+    assert!(capacity > 0, "the ingest queue capacity must be positive");
+    let (sender, receiver) = mpsc::sync_channel(capacity);
+    (
+        IngestSender { inner: sender },
+        IngestQueue { inner: receiver },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_arrive_in_send_order() {
+        let (sender, queue) = ingest_channel(16);
+        sender.send(ElementId::new(1)).unwrap();
+        sender
+            .send_burst(vec![ElementId::new(2), ElementId::new(3)])
+            .unwrap();
+        sender.flush().unwrap();
+        drop(sender);
+        assert_eq!(
+            queue.recv(),
+            Some(IngestMessage::Request(ElementId::new(1)))
+        );
+        assert_eq!(
+            queue.recv(),
+            Some(IngestMessage::Burst(vec![
+                ElementId::new(2),
+                ElementId::new(3)
+            ]))
+        );
+        assert_eq!(queue.recv(), Some(IngestMessage::Flush));
+        assert_eq!(queue.recv(), None);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let (sender, queue) = ingest_channel(1);
+        sender.send(ElementId::new(0)).unwrap();
+        // The queue is full: a second send must block until the consumer
+        // makes room. Run it on a helper thread and unblock it by receiving.
+        let helper = std::thread::spawn(move || sender.send(ElementId::new(1)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(queue.recv().is_some());
+        helper.join().unwrap().unwrap();
+        assert_eq!(
+            queue.recv(),
+            Some(IngestMessage::Request(ElementId::new(1)))
+        );
+    }
+
+    #[test]
+    fn sending_into_a_dropped_queue_errors() {
+        let (sender, queue) = ingest_channel(4);
+        drop(queue);
+        assert_eq!(sender.send(ElementId::new(0)), Err(IngestClosed));
+        assert_eq!(sender.flush(), Err(IngestClosed));
+        assert!(IngestClosed.to_string().contains("consumer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_capacity_is_rejected() {
+        ingest_channel(0);
+    }
+}

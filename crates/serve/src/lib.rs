@@ -1,0 +1,102 @@
+//! # satn-serve
+//!
+//! The sharded multi-tree serving engine: the production-scale front of the
+//! workspace, serving a global request stream across `S` independent
+//! per-shard self-adjusting trees.
+//!
+//! ```text
+//!                          ┌──────────────── satn-serve ────────────────┐
+//!  producers               │   ShardRouter        per-shard batches     │
+//!  (workloads,   bounded   │   (hash/range/       ┌─────┐   satn-exec   │
+//!   sockets,  ── MPSC ───▶ │    source-affinity) ─▶ S₀  │── pool ──┐    │
+//!   tests)       IngestQueue                      ├─────┤  drains  │    │
+//!                 + flush  │                    ─▶ S₁  │  batches  ▼    │
+//!                protocol  │                      ├─────┤   shard-order │
+//!                          │                    ─▶ ⋮   │   merge:      │
+//!                          │                      └─────┘   costs +     │
+//!                          │                               fingerprints │
+//!                          └────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`ShardedEngine`] — `S` per-shard trees (any
+//!   [`AlgorithmKind`](satn_sim::AlgorithmKind)) partitioning the element
+//!   universe via a [`Partition`] built from a pluggable
+//!   [`ShardRouter`] policy; requests buffer per shard and drain
+//!   concurrently through the allocation-free `serve_batch` fast path, one
+//!   `satn-exec` worker per shard batch,
+//! * [`SourceShardedEngine`] — the ego-tree-per-source mode backed by
+//!   `satn-network`: source-affinity routing groups each source's ego-tree
+//!   onto one shard,
+//! * [`ingest_channel`] / [`IngestQueue`] — the bounded channel-based
+//!   ingestion layer with backpressure and a drain/flush protocol,
+//! * [`EngineReport`] — per-shard cost summaries and occupancy
+//!   **fingerprints** plus the shard-order merged summary.
+//!
+//! ## Determinism contract
+//!
+//! Everything is bit-identical at every thread count, drain cadence, and
+//! burst shape: per-shard request order is submission order, shards share no
+//! state, and results merge in shard order. The serial reference replay —
+//! [`satn_sim::ShardedScenario::shard_scenarios`] driven one shard at a time
+//! by [`satn_sim::SimRunner`] — reproduces the engine's per-shard cost
+//! summaries and fingerprints byte for byte, which is exactly what the
+//! crate's property tests and the `serve-smoke` CI binary assert.
+//!
+//! ## Example
+//!
+//! ```
+//! use satn_serve::{ShardedEngine, Parallelism};
+//! use satn_sim::{AlgorithmKind, ShardRouter, ShardedScenario, WorkloadSpec};
+//!
+//! // 4 shards × 31 elements, Zipf traffic, hash routing.
+//! let scenario = ShardedScenario::new(
+//!     AlgorithmKind::RotorPush,
+//!     WorkloadSpec::Zipf { a: 1.8 },
+//!     4,     // shards
+//!     5,     // levels per shard => 31 elements each
+//!     2_000, // requests
+//!     42,    // seed
+//! );
+//! let mut engine = ShardedEngine::from_scenario(&scenario, Parallelism::Auto)?;
+//! for request in scenario.stream() {
+//!     engine.submit(request)?;
+//! }
+//! let report = engine.finish()?;
+//! assert_eq!(report.merged.requests(), 2_000);
+//! assert_eq!(report.per_shard.len(), 4);
+//! # Ok::<(), satn_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod drain;
+mod ego;
+mod engine;
+mod error;
+mod ingest;
+
+pub use ego::{SourceShardedEngine, SourceShardedReport};
+pub use engine::{EngineReport, ShardReport, ShardedEngine, DEFAULT_DRAIN_THRESHOLD};
+pub use error::ServeError;
+pub use ingest::{ingest_channel, IngestClosed, IngestMessage, IngestQueue, IngestSender};
+
+// Re-exported so engines can be configured without extra imports.
+pub use satn_exec::Parallelism;
+pub use satn_sim::ShardedScenario;
+pub use satn_tree::ShardedCostSummary;
+pub use satn_workloads::shard::{Partition, ShardRouter};
+
+// Engines cross thread boundaries wholesale in server settings (built on one
+// thread, driven on another), and the ingestion halves are shared across
+// producer threads by design.
+#[allow(dead_code)]
+fn _assert_parallel_safe() {
+    fn assert_send<T: Send + 'static>() {}
+    assert_send::<ShardedEngine>();
+    assert_send::<SourceShardedEngine>();
+    assert_send::<IngestSender>();
+    assert_send::<IngestQueue>();
+    assert_send::<EngineReport>();
+    assert_send::<ServeError>();
+}

@@ -62,10 +62,16 @@
 mod observer;
 mod runner;
 mod scenario;
+mod sharded;
 
 pub use observer::{InvariantObserver, InvariantViolation, Observer, SnapshotObserver, StepRecord};
 pub use runner::{ScenarioResult, SimError, SimRunner, DEFAULT_BATCH_SIZE};
 pub use scenario::{Checkpoints, InitialPlacement, Scenario, ScenarioGrid, WorkloadSpec};
+pub use sharded::ShardedScenario;
+
+// Re-exported so sharded scenarios can be configured without a direct
+// `satn-workloads` dependency.
+pub use satn_workloads::shard::ShardRouter;
 
 // Re-exported so scenario construction needs no extra imports.
 pub use satn_core::AlgorithmKind;
@@ -89,4 +95,6 @@ fn _assert_parallel_safe() {
     assert_sync::<SimRunner>();
     assert_send::<InvariantObserver>();
     assert_send::<SnapshotObserver>();
+    assert_send::<ShardedScenario>();
+    assert_sync::<ShardedScenario>();
 }

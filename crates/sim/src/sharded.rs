@@ -1,0 +1,242 @@
+//! Declarative sharded scenarios: one global workload partitioned across
+//! per-shard trees.
+//!
+//! A [`ShardedScenario`] describes a sharded serving run the same way a
+//! [`Scenario`] describes a single-tree run: algorithm, workload family,
+//! sizes, seed — plus a shard count and a routing policy. Its key property
+//! is that it *derives the serial reference replay*: every shard maps to a
+//! standalone [`Scenario`] ([`ShardedScenario::shard_scenarios`]) whose tree,
+//! seeds and request subsequence are exactly what the sharded engine
+//! (`satn-serve`) builds for that shard, so the existing [`SimRunner`] /
+//! observer machinery produces the per-shard cost summaries and checkpoint
+//! fingerprints the engine must reproduce byte for byte.
+
+use crate::scenario::{Checkpoints, InitialPlacement, Scenario, WorkloadSpec};
+use satn_core::AlgorithmKind;
+use satn_tree::ElementId;
+use satn_workloads::shard::{Partition, ShardRouter};
+use satn_workloads::Workload;
+
+/// One fully determined sharded serving run.
+///
+/// The global element universe has `shards × (2^shard_levels − 1)` elements;
+/// `router` assigns each element to its owning shard, whose tree is sized to
+/// the smallest complete tree fitting its owned set (exactly
+/// `shard_levels` levels under [`ShardRouter::Range`], which partitions into
+/// equal blocks; possibly one level more or less under the scattering
+/// policies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedScenario {
+    /// The algorithm managing every per-shard tree.
+    pub algorithm: AlgorithmKind,
+    /// The request source, over the global universe.
+    pub workload: WorkloadSpec,
+    /// Number of shards.
+    pub shards: u32,
+    /// Baseline per-shard tree depth: each shard nominally owns
+    /// `2^shard_levels − 1` elements.
+    pub shard_levels: u32,
+    /// Number of requests in the global stream.
+    pub requests: usize,
+    /// The base random seed (workload stream + per-shard derived seeds).
+    pub seed: u64,
+    /// How requests are assigned to shards.
+    pub router: ShardRouter,
+    /// The initial element placement of every shard tree.
+    pub initial: InitialPlacement,
+}
+
+impl ShardedScenario {
+    /// Creates a sharded scenario with hash routing and a random initial
+    /// placement; adjust the public fields for anything else.
+    pub fn new(
+        algorithm: AlgorithmKind,
+        workload: WorkloadSpec,
+        shards: u32,
+        shard_levels: u32,
+        requests: usize,
+        seed: u64,
+    ) -> Self {
+        ShardedScenario {
+            algorithm,
+            workload,
+            shards,
+            shard_levels,
+            requests,
+            seed,
+            router: ShardRouter::Hash,
+            initial: InitialPlacement::Random,
+        }
+    }
+
+    /// A human-readable name identifying the sharded run.
+    pub fn name(&self) -> String {
+        format!(
+            "sharded/{}/{}/{}/S{}xL{}/s{}",
+            self.algorithm,
+            self.workload.label(),
+            self.router,
+            self.shards,
+            self.shard_levels,
+            self.seed
+        )
+    }
+
+    /// Elements nominally owned per shard (`2^shard_levels − 1`).
+    pub fn shard_capacity(&self) -> u32 {
+        (1u32 << self.shard_levels) - 1
+    }
+
+    /// Size of the global element universe.
+    pub fn universe(&self) -> u32 {
+        self.shards * self.shard_capacity()
+    }
+
+    /// The global request stream (deterministic in the scenario's seed).
+    pub fn stream(&self) -> Box<dyn Iterator<Item = ElementId> + Send + '_> {
+        self.workload
+            .stream(self.universe(), self.requests, self.seed)
+    }
+
+    /// The materialized element-to-shard assignment of the router.
+    pub fn partition(&self) -> Partition {
+        Partition::new(self.router, self.universe(), self.shards)
+    }
+
+    /// The derived base seed of one shard: decorrelated per shard so shard
+    /// trees never share placement or algorithm randomness, yet fully
+    /// determined by the scenario seed.
+    pub fn shard_seed(&self, shard: u32) -> u64 {
+        self.seed.wrapping_add(
+            u64::from(shard)
+                .wrapping_add(1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+
+    /// Derives the standalone per-shard reference scenarios: shard `s`'s
+    /// scenario serves exactly the localized subsequence of the global
+    /// stream that routes to `s`, on a tree sized by
+    /// [`Partition::shard_levels`], seeded with [`ShardedScenario::shard_seed`].
+    ///
+    /// Running each of these through [`SimRunner`](crate::SimRunner) serially
+    /// is the *reference replay* of the sharded engine: per-shard cost
+    /// summaries and final checkpoint fingerprints must coincide byte for
+    /// byte with the engine's concurrent run (the `satn-serve` property
+    /// tests assert exactly this).
+    pub fn shard_scenarios(&self) -> Vec<Scenario> {
+        let partition = self.partition();
+        let split = partition.split_stream(self.stream());
+        split
+            .into_iter()
+            .enumerate()
+            .map(|(shard, subsequence)| {
+                let shard = shard as u32;
+                let levels = partition.shard_levels(shard);
+                let capacity = (1u32 << levels) - 1;
+                let requests = subsequence.len();
+                let workload = Workload::new(
+                    format!("{}#shard{}", self.workload.label(), shard),
+                    capacity,
+                    subsequence,
+                );
+                Scenario {
+                    algorithm: self.algorithm,
+                    workload: WorkloadSpec::Fixed(workload),
+                    levels,
+                    requests,
+                    seed: self.shard_seed(shard),
+                    checkpoints: Checkpoints::final_only(),
+                    initial: self.initial,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRunner;
+
+    fn scenario(router: ShardRouter) -> ShardedScenario {
+        let mut s = ShardedScenario::new(
+            AlgorithmKind::RotorPush,
+            WorkloadSpec::Zipf { a: 1.5 },
+            4,
+            5,
+            2_000,
+            7,
+        );
+        s.router = router;
+        s
+    }
+
+    #[test]
+    fn shard_scenarios_cover_the_whole_stream() {
+        for router in ShardRouter::ALL {
+            let sharded = scenario(router);
+            let shards = sharded.shard_scenarios();
+            assert_eq!(shards.len(), 4);
+            let total: usize = shards.iter().map(|s| s.requests).sum();
+            assert_eq!(total, 2_000, "{router}");
+        }
+    }
+
+    #[test]
+    fn shard_scenarios_are_reproducible_and_runnable() {
+        let sharded = scenario(ShardRouter::Hash);
+        let first = sharded.shard_scenarios();
+        let second = sharded.shard_scenarios();
+        assert_eq!(first, second);
+        let runner = SimRunner::new();
+        for shard_scenario in &first {
+            let result = runner.run(shard_scenario).unwrap();
+            assert_eq!(result.summary.requests() as usize, shard_scenario.requests);
+            assert!(runner.replay_matches(shard_scenario).unwrap());
+        }
+    }
+
+    #[test]
+    fn range_routing_gives_every_shard_the_nominal_depth() {
+        let sharded = scenario(ShardRouter::Range);
+        for shard_scenario in sharded.shard_scenarios() {
+            assert_eq!(shard_scenario.levels, 5);
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_deterministic() {
+        let sharded = scenario(ShardRouter::Hash);
+        let seeds: Vec<u64> = (0..4).map(|s| sharded.shard_seed(s)).collect();
+        let mut deduped = seeds.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), 4);
+        assert_eq!(
+            seeds,
+            (0..4).map(|s| sharded.shard_seed(s)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn offline_static_opt_shards_receive_their_subsequences() {
+        let mut sharded = scenario(ShardRouter::Range);
+        sharded.algorithm = AlgorithmKind::StaticOpt;
+        let runner = SimRunner::new();
+        for shard_scenario in sharded.shard_scenarios() {
+            // Static-Opt needs the whole per-shard sequence for its layout;
+            // the Fixed workload carries exactly that.
+            let result = runner.run(&shard_scenario).unwrap();
+            assert_eq!(result.summary.requests() as usize, shard_scenario.requests);
+        }
+    }
+
+    #[test]
+    fn names_identify_the_configuration() {
+        let name = scenario(ShardRouter::SourceAffinity).name();
+        assert!(name.contains("rotor-push"));
+        assert!(name.contains("source-affinity"));
+        assert!(name.contains("S4xL5"));
+    }
+}

@@ -179,6 +179,85 @@ impl fmt::Display for CostSummary {
     }
 }
 
+/// Shard-aware cost accounting: one [`CostSummary`] per shard plus the
+/// deterministic shard-order merge of all of them.
+///
+/// The sharded serving engine records every request against its shard; the
+/// merged summary is defined as folding the per-shard summaries **in shard
+/// order**, so two runs that produce the same per-shard summaries always
+/// produce the same merged summary, independent of how batches were drained
+/// or how many worker threads served them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardedCostSummary {
+    per_shard: Vec<CostSummary>,
+}
+
+impl ShardedCostSummary {
+    /// Creates an accounting over `shards` shards, all empty.
+    pub fn new(shards: u32) -> Self {
+        ShardedCostSummary {
+            per_shard: vec![CostSummary::new(); shards as usize],
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn shards(&self) -> u32 {
+        self.per_shard.len() as u32
+    }
+
+    /// Records one served request against its shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is out of range.
+    pub fn record(&mut self, shard: u32, cost: ServeCost) {
+        self.per_shard[shard as usize].record(cost);
+    }
+
+    /// Merges a batch summary into one shard's totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is out of range.
+    pub fn merge_into_shard(&mut self, shard: u32, batch: &CostSummary) {
+        self.per_shard[shard as usize].merge(batch);
+    }
+
+    /// The totals of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is out of range.
+    pub fn shard(&self, shard: u32) -> &CostSummary {
+        &self.per_shard[shard as usize]
+    }
+
+    /// All per-shard summaries, in shard order.
+    pub fn per_shard(&self) -> &[CostSummary] {
+        &self.per_shard
+    }
+
+    /// The shard-order merge of every per-shard summary.
+    pub fn merged(&self) -> CostSummary {
+        let mut merged = CostSummary::new();
+        for summary in &self.per_shard {
+            merged.merge(summary);
+        }
+        merged
+    }
+
+    /// Total requests recorded across all shards.
+    pub fn requests(&self) -> u64 {
+        self.per_shard.iter().map(CostSummary::requests).sum()
+    }
+}
+
+impl fmt::Display for ShardedCostSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} shards: {}", self.shards(), self.merged())
+    }
+}
+
 impl FromIterator<ServeCost> for CostSummary {
     fn from_iter<I: IntoIterator<Item = ServeCost>>(iter: I) -> Self {
         let mut summary = CostSummary::new();
@@ -253,6 +332,36 @@ mod tests {
         s.extend([ServeCost::new(1, 0), ServeCost::new(2, 1)]);
         assert_eq!(s.requests(), 2);
         assert_eq!(s.total().total(), 4);
+    }
+
+    #[test]
+    fn sharded_summary_merges_in_shard_order() {
+        let mut sharded = ShardedCostSummary::new(3);
+        sharded.record(0, ServeCost::new(3, 1));
+        sharded.record(2, ServeCost::new(5, 0));
+        sharded.record(0, ServeCost::new(1, 0));
+        let mut batch = CostSummary::new();
+        batch.record(ServeCost::new(7, 7));
+        sharded.merge_into_shard(1, &batch);
+
+        assert_eq!(sharded.shards(), 3);
+        assert_eq!(sharded.requests(), 4);
+        assert_eq!(sharded.shard(0).requests(), 2);
+        assert_eq!(sharded.shard(1).total(), ServeCost::new(7, 7));
+        assert_eq!(sharded.shard(2).max_access(), 5);
+
+        // The merged summary equals recording every request into one summary.
+        let mut flat = CostSummary::new();
+        for cost in [
+            ServeCost::new(3, 1),
+            ServeCost::new(1, 0),
+            ServeCost::new(7, 7),
+            ServeCost::new(5, 0),
+        ] {
+            flat.record(cost);
+        }
+        assert_eq!(sharded.merged(), flat);
+        assert!(sharded.to_string().contains("3 shards"));
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Partitioning a request stream across shards.
+//!
+//! The sharded serving engine (`satn-serve`) splits the element universe
+//! across `S` independent per-shard trees. This module holds the pieces of
+//! that split that belong with the workloads: the routing *policy*
+//! ([`ShardRouter`]), the materialized element-to-shard assignment it induces
+//! ([`Partition`]), and the stream adapters that turn one global request
+//! stream into per-shard subsequences — all deterministic, so a sharded run
+//! can be replayed shard by shard on standalone trees and compared byte for
+//! byte.
+
+use crate::workload::fit_tree_levels;
+use satn_tree::ElementId;
+use std::fmt;
+use std::str::FromStr;
+
+/// How requests (and hence elements) are assigned to shards.
+///
+/// Every policy is a pure function of the request and the shard count, so the
+/// same stream always partitions the same way. `Hash` and `Range` are
+/// *ownership* policies: they fix which shard's tree stores which element.
+/// `SourceAffinity` keys on the request's source instead — the policy of the
+/// ego-tree-per-source serving mode, where each source's requests must land
+/// on the shard holding that source's tree. Applied to a plain element
+/// stream (where the element is its own source) it degenerates to striping
+/// `element mod shards`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ShardRouter {
+    /// Scatter by a Fibonacci multiplicative hash of the element id: shards
+    /// receive pseudo-random, size-balanced-in-expectation element sets.
+    #[default]
+    Hash,
+    /// Contiguous balanced ranges: element `e` of a universe of `U` elements
+    /// goes to shard `e · S / U`. Preserves key locality within a shard.
+    Range,
+    /// Route by the request's source id (`source mod shards`), so all
+    /// requests of one source land on one shard.
+    SourceAffinity,
+}
+
+/// The Fibonacci multiplicative hash (Knuth §6.4): deterministic, fast, and
+/// well-scattering for consecutive keys.
+#[inline]
+fn fibonacci_hash(key: u32) -> u64 {
+    u64::from(key)
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        >> 31
+}
+
+impl ShardRouter {
+    /// Every routing policy, in a stable order (used by sweeps and tests).
+    pub const ALL: [ShardRouter; 3] = [
+        ShardRouter::Hash,
+        ShardRouter::Range,
+        ShardRouter::SourceAffinity,
+    ];
+
+    /// A short stable label used in reports and scenario names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardRouter::Hash => "hash",
+            ShardRouter::Range => "range",
+            ShardRouter::SourceAffinity => "source-affinity",
+        }
+    }
+
+    /// The shard an element of a `universe`-element universe is routed to,
+    /// for a request whose source is the element itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `element` is outside the universe.
+    pub fn shard_of(self, element: ElementId, universe: u32, shards: u32) -> u32 {
+        assert!(shards > 0, "a partition needs at least one shard");
+        assert!(
+            element.index() < universe,
+            "element {element} outside the {universe}-element universe"
+        );
+        match self {
+            ShardRouter::Hash => (fibonacci_hash(element.index()) % u64::from(shards)) as u32,
+            ShardRouter::Range => {
+                ((u64::from(element.index()) * u64::from(shards)) / u64::from(universe)) as u32
+            }
+            ShardRouter::SourceAffinity => element.index() % shards,
+        }
+    }
+
+    /// The shard a request from `source` is routed to under source-affinity
+    /// routing (the other policies ignore the source and this method).
+    pub fn shard_of_source(self, source: u32, shards: u32) -> u32 {
+        assert!(shards > 0, "a partition needs at least one shard");
+        source % shards
+    }
+}
+
+impl fmt::Display for ShardRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unknown router policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRouterError {
+    input: String,
+}
+
+impl fmt::Display for ParseRouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown shard router {:?} (expected \"hash\", \"range\", or \"source-affinity\")",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseRouterError {}
+
+impl FromStr for ShardRouter {
+    type Err = ParseRouterError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "hash" => Ok(ShardRouter::Hash),
+            "range" => Ok(ShardRouter::Range),
+            "source-affinity" | "source" | "affinity" => Ok(ShardRouter::SourceAffinity),
+            _ => Err(ParseRouterError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// The materialized element-to-shard assignment of a routing policy over a
+/// fixed universe: global id ⇄ `(shard, local id)` lookup tables.
+///
+/// Local ids are assigned per shard in increasing global-id order, so the
+/// mapping is a bijection between the global universe and the disjoint union
+/// of the shard-local universes — every global request stream partitions into
+/// per-shard streams of local ids and back without loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    router: ShardRouter,
+    universe: u32,
+    shard_of: Vec<u32>,
+    local_of: Vec<u32>,
+    owned: Vec<Vec<ElementId>>,
+}
+
+impl Partition {
+    /// Materializes the assignment of `router` over `universe` elements and
+    /// `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `universe` is zero.
+    pub fn new(router: ShardRouter, universe: u32, shards: u32) -> Self {
+        assert!(shards > 0, "a partition needs at least one shard");
+        assert!(universe > 0, "a partition needs a non-empty universe");
+        let mut shard_of = Vec::with_capacity(universe as usize);
+        let mut local_of = Vec::with_capacity(universe as usize);
+        let mut owned: Vec<Vec<ElementId>> = vec![Vec::new(); shards as usize];
+        for global in 0..universe {
+            let shard = router.shard_of(ElementId::new(global), universe, shards);
+            shard_of.push(shard);
+            local_of.push(owned[shard as usize].len() as u32);
+            owned[shard as usize].push(ElementId::new(global));
+        }
+        Partition {
+            router,
+            universe,
+            shard_of,
+            local_of,
+            owned,
+        }
+    }
+
+    /// The routing policy this partition materializes.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Size of the global element universe.
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.owned.len() as u32
+    }
+
+    /// The shard owning a global element, or `None` outside the universe.
+    pub fn shard_of(&self, element: ElementId) -> Option<u32> {
+        self.shard_of.get(element.usize()).copied()
+    }
+
+    /// Translates a global element into its `(shard, local id)` coordinates,
+    /// or `None` outside the universe.
+    pub fn localize(&self, element: ElementId) -> Option<(u32, ElementId)> {
+        let shard = self.shard_of(element)?;
+        Some((shard, ElementId::new(self.local_of[element.usize()])))
+    }
+
+    /// Translates `(shard, local id)` coordinates back into the global
+    /// element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard or local id is out of range.
+    pub fn globalize(&self, shard: u32, local: ElementId) -> ElementId {
+        self.owned[shard as usize][local.usize()]
+    }
+
+    /// The global elements owned by `shard`, in increasing id order (= local
+    /// id order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is out of range.
+    pub fn owned(&self, shard: u32) -> &[ElementId] {
+        &self.owned[shard as usize]
+    }
+
+    /// The tree depth (in levels) the shard's local universe needs: the
+    /// smallest complete tree fitting the owned element count. Local ids
+    /// beyond the owned count are padding that is never requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is out of range.
+    pub fn shard_levels(&self, shard: u32) -> u32 {
+        fit_tree_levels(self.owned[shard as usize].len() as u32)
+    }
+
+    /// Routes a global request stream, yielding each request as its
+    /// `(shard, local id)` coordinates in stream order — the streaming
+    /// adapter between one global workload and the per-shard trees.
+    ///
+    /// # Panics
+    ///
+    /// The returned iterator panics on a request outside the universe.
+    pub fn route_stream<'p, I>(&'p self, stream: I) -> impl Iterator<Item = (u32, ElementId)> + 'p
+    where
+        I: Iterator<Item = ElementId> + 'p,
+    {
+        stream.map(move |element| {
+            self.localize(element).unwrap_or_else(|| {
+                panic!(
+                    "request {element} outside the {}-element universe",
+                    self.universe
+                )
+            })
+        })
+    }
+
+    /// Splits a global request stream into the per-shard subsequences of
+    /// local ids, preserving the relative order within every shard — exactly
+    /// the sequences a standalone per-shard tree would serve.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a request outside the universe.
+    pub fn split_stream<I>(&self, stream: I) -> Vec<Vec<ElementId>>
+    where
+        I: Iterator<Item = ElementId>,
+    {
+        let mut split: Vec<Vec<ElementId>> = vec![Vec::new(); self.owned.len()];
+        for (shard, local) in self.route_stream(stream) {
+            split[shard as usize].push(local);
+        }
+        split
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_policy_partitions_the_universe_into_a_bijection() {
+        for router in ShardRouter::ALL {
+            for shards in [1u32, 2, 3, 8] {
+                let universe = 96;
+                let partition = Partition::new(router, universe, shards);
+                assert_eq!(partition.shards(), shards);
+                assert_eq!(partition.universe(), universe);
+                let total: usize = (0..shards).map(|s| partition.owned(s).len()).sum();
+                assert_eq!(total, universe as usize, "{router}/{shards}");
+                for global in (0..universe).map(ElementId::new) {
+                    let (shard, local) = partition.localize(global).unwrap();
+                    assert!(shard < shards);
+                    assert_eq!(partition.globalize(shard, local), global, "{router}");
+                    assert_eq!(partition.shard_of(global), Some(shard));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_routing_keeps_contiguous_balanced_blocks() {
+        let partition = Partition::new(ShardRouter::Range, 28, 4);
+        for shard in 0..4 {
+            let owned = partition.owned(shard);
+            assert_eq!(owned.len(), 7);
+            // Contiguous: consecutive ids.
+            for pair in owned.windows(2) {
+                assert_eq!(pair[1].index(), pair[0].index() + 1);
+            }
+            assert_eq!(owned[0].index(), shard * 7);
+        }
+    }
+
+    #[test]
+    fn source_affinity_stripes_elements_and_groups_sources() {
+        let partition = Partition::new(ShardRouter::SourceAffinity, 12, 3);
+        for global in (0..12u32).map(ElementId::new) {
+            assert_eq!(partition.shard_of(global), Some(global.index() % 3));
+        }
+        assert_eq!(ShardRouter::SourceAffinity.shard_of_source(7, 3), 1);
+    }
+
+    #[test]
+    fn hash_routing_is_reasonably_balanced() {
+        let partition = Partition::new(ShardRouter::Hash, 1 << 12, 8);
+        for shard in 0..8 {
+            let size = partition.owned(shard).len();
+            // Expected 512 per shard; allow a generous spread.
+            assert!((256..=768).contains(&size), "shard {shard}: {size}");
+        }
+    }
+
+    #[test]
+    fn shard_levels_fit_the_owned_count() {
+        let partition = Partition::new(ShardRouter::Range, 4 * 31, 4);
+        for shard in 0..4 {
+            assert_eq!(partition.shard_levels(shard), 5); // 31 elements => 5 levels
+        }
+        let skewed = Partition::new(ShardRouter::Hash, 100, 3);
+        for shard in 0..3 {
+            let owned = skewed.owned(shard).len() as u32;
+            let capacity = (1u32 << skewed.shard_levels(shard)) - 1;
+            assert!(capacity >= owned);
+            assert!(shard == 0 || capacity < 2 * owned.max(1));
+        }
+    }
+
+    #[test]
+    fn split_stream_preserves_per_shard_order_and_roundtrips() {
+        let partition = Partition::new(ShardRouter::Hash, 64, 4);
+        let stream: Vec<ElementId> = (0..500u32).map(|i| ElementId::new((i * 13) % 64)).collect();
+        let split = partition.split_stream(stream.iter().copied());
+        // Rebuild the per-shard global subsequences independently and compare.
+        for shard in 0..4 {
+            let expected: Vec<ElementId> = stream
+                .iter()
+                .copied()
+                .filter(|&e| partition.shard_of(e) == Some(shard))
+                .collect();
+            let globalized: Vec<ElementId> = split[shard as usize]
+                .iter()
+                .map(|&local| partition.globalize(shard, local))
+                .collect();
+            assert_eq!(globalized, expected, "shard {shard}");
+        }
+        let total: usize = split.iter().map(Vec::len).sum();
+        assert_eq!(total, stream.len());
+    }
+
+    #[test]
+    fn routed_stream_agrees_with_localize() {
+        let partition = Partition::new(ShardRouter::Range, 21, 3);
+        let requests = [5u32, 20, 0, 13, 13].map(ElementId::new);
+        let routed: Vec<(u32, ElementId)> =
+            partition.route_stream(requests.iter().copied()).collect();
+        for (&request, &(shard, local)) in requests.iter().zip(&routed) {
+            assert_eq!(partition.localize(request), Some((shard, local)));
+        }
+    }
+
+    #[test]
+    fn router_labels_roundtrip_through_fromstr() {
+        for router in ShardRouter::ALL {
+            let parsed: ShardRouter = router.label().parse().unwrap();
+            assert_eq!(parsed, router);
+            assert_eq!(router.to_string(), router.label());
+        }
+        assert!("consistent".parse::<ShardRouter>().is_err());
+        assert_eq!(ShardRouter::default(), ShardRouter::Hash);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_are_rejected() {
+        Partition::new(ShardRouter::Hash, 10, 0);
+    }
+
+    #[test]
+    fn out_of_universe_lookups_return_none() {
+        let partition = Partition::new(ShardRouter::Hash, 7, 2);
+        assert_eq!(partition.shard_of(ElementId::new(7)), None);
+        assert_eq!(partition.localize(ElementId::new(99)), None);
+    }
+}

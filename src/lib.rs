@@ -20,6 +20,7 @@
 //! | [`network`] | `satn-network` | multi-source datacenter networks composed of per-source ego-trees |
 //! | [`sim`] | `satn-sim` | scenario-simulation engine: declarative grids, batched serving, invariant hooks, replay |
 //! | [`exec`] | `satn-exec` | deterministic parallel execution layer: scoped worker pool, order-preserving fan-out |
+//! | [`serve`] | `satn-serve` | sharded multi-tree serving engine: channel ingestion, per-shard trees, concurrent drains, replay fingerprints |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -52,6 +53,7 @@ pub use satn_core as core;
 pub use satn_exec as exec;
 pub use satn_network as network;
 pub use satn_rotor as rotor;
+pub use satn_serve as serve;
 pub use satn_sim as sim;
 pub use satn_tree as tree;
 pub use satn_workloads as workloads;
@@ -64,11 +66,15 @@ pub use satn_core::{
     AlgorithmKind, MaxPush, MoveHalf, MoveToFront, RandomPush, RotorPush, SelfAdjustingTree,
     StaticOblivious, StaticOpt,
 };
-pub use satn_exec::{ordered_map, Parallelism};
+pub use satn_exec::{for_each_ordered, ordered_map, ordered_map_mut, Parallelism};
 pub use satn_network::{Host, HostPair, SelfAdjustingNetwork};
 pub use satn_rotor::{RotorState, RotorWalk};
+pub use satn_serve::{
+    ingest_channel, EngineReport, IngestQueue, IngestSender, ShardedEngine, SourceShardedEngine,
+};
 pub use satn_sim::{
-    Checkpoints, InvariantObserver, Observer, Scenario, ScenarioGrid, SimRunner, WorkloadSpec,
+    Checkpoints, InvariantObserver, Observer, Scenario, ScenarioGrid, ShardRouter, ShardedScenario,
+    SimRunner, WorkloadSpec,
 };
 pub use satn_tree::{
     CompleteTree, CostSummary, Direction, ElementId, NodeId, Occupancy, ServeCost, TreeError,
