@@ -17,7 +17,7 @@
 
 use satn_core::AlgorithmKind;
 use satn_exec::Parallelism;
-use satn_serve::{EngineReport, ShardedEngine};
+use satn_serve::{EngineReport, ReshardPolicy, ReshardSchedule, ShardedEngine};
 use satn_sim::{Checkpoints, ScenarioGrid, ScenarioResult, SimRunner};
 use satn_sim::{Scenario, ShardRouter, ShardedScenario, WorkloadSpec};
 use satn_tree::ElementId;
@@ -135,11 +135,112 @@ fn shard_scaling_json(
     Some(format!("[\n{}\n  ]", sections.join(",\n")))
 }
 
+/// The largest per-shard share of the served requests: 1/S is perfectly
+/// balanced, 1.0 is a single hot shard taking everything.
+fn max_shard_share(report: &EngineReport) -> f64 {
+    let total = report.requests.max(1) as f64;
+    report
+        .per_shard
+        .iter()
+        .map(|shard| shard.summary.requests() as f64 / total)
+        .fold(0.0, f64::max)
+}
+
+/// The resharding section: a shifting hot-shard stream (every phase hammers
+/// one shard; the hot shard moves between phases) served by the static
+/// engine vs. the policy-resharded engine. Reports req/s, the max-shard
+/// load share, and the migration cost — all in one run — and checks the
+/// epoch-segmented fingerprint oracle on the resharded engine. Returns the
+/// JSON fragment, or `None` if an oracle fails.
+fn reshard_section_json(
+    requests_per_run: usize,
+    runs: usize,
+    parallelism: Parallelism,
+) -> Option<String> {
+    let shards = 4u32;
+    let phases = 12usize;
+    let every = (requests_per_run / 40).max(1);
+    let static_scenario = ShardedScenario::hot_shard(
+        AlgorithmKind::RotorPush,
+        shards,
+        8,
+        requests_per_run,
+        2022,
+        phases,
+        1.9,
+    );
+    let mut resharded_scenario = static_scenario.clone();
+    resharded_scenario.reshard = ReshardSchedule::Policy(ReshardPolicy::MoveHottest {
+        every,
+        max_moves: 64,
+    });
+
+    let requests: Vec<ElementId> = static_scenario.stream().collect();
+    let mut static_ms = Vec::with_capacity(runs);
+    let mut resharded_ms = Vec::with_capacity(runs);
+    let (_, static_reference) = time_sharded(&static_scenario, &requests, Parallelism::Serial);
+    let (_, resharded_reference) =
+        time_sharded(&resharded_scenario, &requests, Parallelism::Serial);
+    for _ in 0..runs {
+        let (elapsed, report) = time_sharded(&static_scenario, &requests, parallelism);
+        if report != static_reference {
+            eprintln!("FATAL: static hot-shard run diverged from its serial reference");
+            return None;
+        }
+        static_ms.push(elapsed);
+        let (elapsed, report) = time_sharded(&resharded_scenario, &requests, parallelism);
+        if report != resharded_reference {
+            eprintln!("FATAL: resharded run diverged from its serial reference");
+            return None;
+        }
+        resharded_ms.push(elapsed);
+    }
+
+    // The epoch-segmented replay oracle: boundary fingerprints + ledger.
+    let replay = resharded_scenario
+        .epoch_replay(&SimRunner::new())
+        .expect("the reference replay cannot fail on a valid scenario");
+    if resharded_reference.accounting != replay.accounting
+        || resharded_reference.boundaries != replay.boundaries
+        || (0..replay.epochs()).any(|epoch| {
+            (0..shards).any(|shard| {
+                resharded_reference.epoch_fingerprints[epoch as usize][shard as usize]
+                    != replay.fingerprint(epoch, shard)
+            })
+        })
+    {
+        eprintln!("FATAL: resharded engine diverged from the epoch-segmented replay");
+        return None;
+    }
+
+    let static_median = median_ms(&mut static_ms);
+    let resharded_median = median_ms(&mut resharded_ms);
+    let static_rps = requests_per_run as f64 / (static_median / 1_000.0);
+    let resharded_rps = requests_per_run as f64 / (resharded_median / 1_000.0);
+    let static_share = max_shard_share(&static_reference);
+    let resharded_share = max_shard_share(&resharded_reference);
+    let migration = resharded_reference.migration;
+    println!(
+        "# resharding: static {static_rps:.0} req/s (max share {static_share:.3}) | resharded {resharded_rps:.0} req/s (max share {resharded_share:.3}, {} epochs, {} moved, {} migration units) | oracle ok",
+        resharded_reference.epoch_fingerprints.len(),
+        migration.moved,
+        migration.total(),
+    );
+    Some(format!(
+        "{{\n    \"workload\": \"{}\", \"shards\": {shards}, \"requests\": {requests_per_run}, \"reshard_every\": {every},\n    \"static\": {{ \"median_ms\": {static_median:.3}, \"requests_per_s\": {static_rps:.0}, \"max_shard_share\": {static_share:.4} }},\n    \"resharded\": {{ \"median_ms\": {resharded_median:.3}, \"requests_per_s\": {resharded_rps:.0}, \"max_shard_share\": {resharded_share:.4}, \"epochs\": {}, \"moved_elements\": {}, \"migration_cost_units\": {} }},\n    \"max_share_reduction\": {:.4},\n    \"deterministic\": true\n  }}",
+        static_scenario.workload.label(),
+        resharded_reference.epoch_fingerprints.len(),
+        migration.moved,
+        migration.total(),
+        static_share - resharded_share,
+    ))
+}
+
 fn main() -> ExitCode {
     let mut requests = 5_000usize;
     let mut runs = 5usize;
     let mut parallelism = Parallelism::Auto;
-    let mut out = "BENCH_PR4.json".to_owned();
+    let mut out = "BENCH_PR5.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(argument) = args.next() {
         match argument.as_str() {
@@ -215,8 +316,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    // Resharding section: static vs. policy-resharded engine under a
+    // shifting hot-shard stream, with the epoch-segmented replay oracle.
+    let Some(reshard_json) = reshard_section_json(40 * requests, runs, parallelism) else {
+        return ExitCode::FAILURE;
+    };
+
     let json = format!(
-        "{{\n  \"benchmark\": \"sim-smoke-grid\",\n  \"grid_cells\": {},\n  \"requests_per_cell\": {},\n  \"runs\": {},\n  \"available_threads\": {},\n  \"parallel_workers\": {},\n  \"serial_ms\": {},\n  \"parallel_ms\": {},\n  \"serial_median_ms\": {:.3},\n  \"parallel_median_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"deterministic\": true,\n  \"shard_scaling\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"sim-smoke-grid\",\n  \"grid_cells\": {},\n  \"requests_per_cell\": {},\n  \"runs\": {},\n  \"available_threads\": {},\n  \"parallel_workers\": {},\n  \"serial_ms\": {},\n  \"parallel_ms\": {},\n  \"serial_median_ms\": {:.3},\n  \"parallel_median_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"deterministic\": true,\n  \"shard_scaling\": {},\n  \"resharding\": {}\n}}\n",
         grid.len(),
         requests,
         runs,
@@ -228,6 +335,7 @@ fn main() -> ExitCode {
         parallel_median,
         speedup,
         sharded_json,
+        reshard_json,
     );
     if let Err(error) = std::fs::write(&out, json) {
         eprintln!("failed to write {out}: {error}");

@@ -1,35 +1,42 @@
 //! CI smoke test for the sharded serving engine: every `ShardRouter` policy
 //! × a set of algorithms, fed through the channel-based ingestion layer and
 //! drained concurrently on the `satn-exec` pool, then verified byte for byte
-//! against the serial single-shard reference replay (each shard's
-//! subsequence served standalone by `satn-sim`'s `SimRunner`). Also runs the
-//! ego-tree-per-source mode against a serial `SelfAdjustingNetwork` replay.
-//! Exits non-zero on any divergence.
+//! against the epoch-segmented serial reference replay (each epoch's
+//! per-shard subsequences served standalone by `satn-sim`'s `SimRunner`,
+//! chained through the deterministic handover). With `--reshard-every N` the
+//! engines also reshard mid-stream under the load-adaptive `MoveHottest`
+//! policy, so the full drain-fence → migrate → epoch-bump handover path is
+//! exercised on every push. Also runs the ego-tree-per-source mode against a
+//! serial `SelfAdjustingNetwork` replay. Exits non-zero on any divergence.
 //!
 //! ```text
 //! serve-smoke [--shards N] [--threads N|auto|serial] [--requests N] [--seed S]
+//!             [--reshard-every N]
 //! ```
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use satn_core::AlgorithmKind;
 use satn_network::{Host, HostPair, SelfAdjustingNetwork};
-use satn_serve::{ingest_channel, Parallelism, ShardedEngine, SourceShardedEngine};
+use satn_serve::{
+    ingest_channel, Parallelism, ReshardPolicy, ReshardSchedule, ShardedEngine, SourceShardedEngine,
+};
 use satn_sim::{ShardRouter, ShardedScenario, SimRunner, WorkloadSpec};
 use satn_tree::ElementId;
 use std::process::ExitCode;
 use std::time::Instant;
 
+const USAGE: &str = "usage: serve-smoke [--shards N] [--threads N|auto|serial] [--requests N] \
+                     [--seed S] [--reshard-every N]";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: serve-smoke [--shards N] [--threads N|auto|serial] [--requests N] [--seed S]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }
 
 /// Runs one sharded scenario through the queue-fed engine and verifies it
-/// against the serial per-shard reference replay. Returns the wall-clock
-/// seconds of the engine run, or `None` on divergence.
+/// against the epoch-segmented serial reference replay. Returns the
+/// wall-clock seconds of the engine run, or `None` on divergence.
 fn run_and_verify(scenario: &ShardedScenario, parallelism: Parallelism) -> Option<f64> {
     let mut engine = match ShardedEngine::from_scenario(scenario, parallelism) {
         Ok(engine) => engine.with_drain_threshold(1_024),
@@ -66,26 +73,34 @@ fn run_and_verify(scenario: &ShardedScenario, parallelism: Parallelism) -> Optio
         }
     };
 
-    let runner = SimRunner::new();
-    for (shard, reference) in scenario.shard_scenarios().iter().enumerate() {
-        let expected = match runner.run(reference) {
-            Ok(expected) => expected,
-            Err(error) => {
+    let replay = match scenario.epoch_replay(&SimRunner::new()) {
+        Ok(replay) => replay,
+        Err(error) => {
+            eprintln!("{}: reference replay FAILED: {error}", scenario.name());
+            return None;
+        }
+    };
+    if report.epoch_fingerprints.len() as u32 != replay.epochs()
+        || report.boundaries != replay.boundaries
+    {
+        eprintln!("{}: EPOCH SCHEDULE DIVERGED", scenario.name());
+        return None;
+    }
+    if report.accounting != replay.accounting {
+        eprintln!("{}: EPOCH LEDGER DIVERGED", scenario.name());
+        return None;
+    }
+    for epoch in 0..replay.epochs() {
+        for shard in 0..scenario.shards {
+            if report.epoch_fingerprints[epoch as usize][shard as usize]
+                != replay.fingerprint(epoch, shard)
+            {
                 eprintln!(
-                    "{}: reference shard {shard} FAILED: {error}",
+                    "{}: epoch {epoch} shard {shard} FINGERPRINT DIVERGED",
                     scenario.name()
                 );
                 return None;
             }
-        };
-        let got = &report.per_shard[shard];
-        if got.summary != expected.summary {
-            eprintln!("{}: shard {shard} COST SUMMARY DIVERGED", scenario.name());
-            return None;
-        }
-        if got.fingerprint != expected.final_snapshot() {
-            eprintln!("{}: shard {shard} FINGERPRINT DIVERGED", scenario.name());
-            return None;
         }
     }
     Some(elapsed)
@@ -153,6 +168,7 @@ fn main() -> ExitCode {
     let mut requests = 20_000usize;
     let mut seed = 2022u64;
     let mut parallelism = Parallelism::Auto;
+    let mut reshard_every = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(argument) = args.next() {
         match argument.as_str() {
@@ -172,10 +188,12 @@ fn main() -> ExitCode {
                 Some(value) => parallelism = value,
                 None => return usage(),
             },
+            "--reshard-every" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) if value > 0 => reshard_every = value,
+                _ => return usage(),
+            },
             "--help" | "-h" => {
-                println!(
-                    "usage: serve-smoke [--shards N] [--threads N|auto|serial] [--requests N] [--seed S]"
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => return usage(),
@@ -189,12 +207,17 @@ fn main() -> ExitCode {
         AlgorithmKind::StaticOpt,
     ];
     println!(
-        "# serve-smoke — {} routers × {} algorithms, {} shards, {} requests each, {} workers",
+        "# serve-smoke — {} routers × {} algorithms, {} shards, {} requests each, {} workers{}",
         ShardRouter::ALL.len(),
         algorithms.len(),
         shards,
         requests,
-        parallelism.threads()
+        parallelism.threads(),
+        if reshard_every > 0 {
+            format!(", resharding every {reshard_every}")
+        } else {
+            String::new()
+        }
     );
 
     let mut verified = 0usize;
@@ -209,6 +232,14 @@ fn main() -> ExitCode {
                 seed,
             );
             scenario.router = router;
+            // Offline algorithms cannot be rebuilt mid-stream; they keep
+            // exercising the static path next to the resharding runs.
+            if reshard_every > 0 && algorithm != AlgorithmKind::StaticOpt {
+                scenario.reshard = ReshardSchedule::Policy(ReshardPolicy::MoveHottest {
+                    every: reshard_every,
+                    max_moves: 16,
+                });
+            }
             let Some(elapsed) = run_and_verify(&scenario, parallelism) else {
                 return ExitCode::FAILURE;
             };

@@ -94,7 +94,13 @@ pub fn measure_algorithms(
         .collect();
     let summaries = ordered_map(&cells, config.parallelism, |&(kind, repetition)| {
         let seed = config.seed_for(repetition);
-        measure_once(kind, tree, workload, seed, seed ^ 0x5DEECE66D)
+        measure_once(
+            kind,
+            tree,
+            workload,
+            seed,
+            satn_workloads::shard::algorithm_seed(seed),
+        )
     });
     kinds
         .iter()

@@ -2,7 +2,7 @@
 //!
 //! Rotor walks were popularised in distributed computing as a deterministic
 //! token-distribution mechanism (Akbari & Berenbrink, SPAA 2013 — reference
-//! [2] of the paper): every vertex forwards its tokens to its neighbours in
+//! 2 of the paper): every vertex forwards its tokens to its neighbours in
 //! round-robin order, and the resulting loads stay within a small additive
 //! discrepancy of the idealised continuous diffusion. This module implements
 //! that process on the same adjacency-list graphs as

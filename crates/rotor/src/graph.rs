@@ -5,7 +5,7 @@
 //! through its outgoing edges in a fixed order, and a walk repeatedly leaves
 //! the current vertex along the next edge of its rotor. Rotor walks imitate
 //! random walks deterministically and are used for discrete load balancing
-//! (Akbari & Berenbrink, SPAA 2013 — reference [2] of the paper). This module
+//! (Akbari & Berenbrink, SPAA 2013 — reference 2 of the paper). This module
 //! provides a small general-graph implementation so the tree-specific rotor
 //! machinery can be compared against the textbook model, and so the
 //! load-balancing application can be exercised in examples and benches.

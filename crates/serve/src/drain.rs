@@ -8,10 +8,77 @@
 //! [`ShardedCostSummary`], and the reported failure — if any — is the one of
 //! the lowest-indexed failing shard, independent of completion order. That
 //! merge discipline is the determinism-sensitive part, so it lives here
-//! exactly once.
+//! exactly once — as does the batch-buffer bookkeeping ([`DrainControl`])
+//! that decides *when* an automatic drain fires, which the resharding
+//! drain fence relies on and which therefore must not drift between the two
+//! engines.
 
 use satn_exec::{for_each_ordered, Parallelism};
 use satn_tree::{CostSummary, ShardedCostSummary};
+
+/// The shared batch-buffer bookkeeping of the serving engines: how many
+/// requests are buffered across all shards, when the automatic drain fires,
+/// and the run's submitted/drain counters. Both engines route every submit
+/// and every drain through this one implementation, so the drain-fence
+/// semantics of a reshard handover are identical on both.
+#[derive(Debug, Clone)]
+pub(crate) struct DrainControl {
+    threshold: usize,
+    pending: usize,
+    drains: u64,
+    submitted: u64,
+}
+
+impl DrainControl {
+    /// Creates a control with the given automatic-drain threshold.
+    pub(crate) fn new(threshold: usize) -> Self {
+        DrainControl {
+            threshold,
+            pending: 0,
+            drains: 0,
+            submitted: 0,
+        }
+    }
+
+    /// Overrides the automatic-drain threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub(crate) fn set_threshold(&mut self, threshold: usize) {
+        assert!(threshold > 0, "the drain threshold must be positive");
+        self.threshold = threshold;
+    }
+
+    /// Counts one buffered request; `true` when the buffered total has
+    /// reached the threshold and the caller must drain.
+    pub(crate) fn note_submitted(&mut self) -> bool {
+        self.pending += 1;
+        self.submitted += 1;
+        self.pending >= self.threshold
+    }
+
+    /// Starts a drain: `false` (and no drain counted) when nothing is
+    /// buffered, else the buffer empties and the drain is counted.
+    pub(crate) fn begin_drain(&mut self) -> bool {
+        if self.pending == 0 {
+            return false;
+        }
+        self.pending = 0;
+        self.drains += 1;
+        true
+    }
+
+    /// Requests submitted so far (served or still buffered).
+    pub(crate) fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Drains performed so far.
+    pub(crate) fn drains(&self) -> u64 {
+        self.drains
+    }
+}
 
 /// Drains every shard concurrently: `serve` consumes a shard's pending batch
 /// and returns the batch's cost summary plus its outcome. Summaries merge

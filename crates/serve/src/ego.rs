@@ -33,10 +33,7 @@ pub struct SourceShardedEngine {
     num_hosts: u32,
     parallelism: Parallelism,
     accounting: ShardedCostSummary,
-    drain_threshold: usize,
-    pending_total: usize,
-    drains: u64,
-    submitted: u64,
+    control: crate::drain::DrainControl,
 }
 
 impl SourceShardedEngine {
@@ -83,10 +80,7 @@ impl SourceShardedEngine {
             num_hosts,
             parallelism,
             accounting: ShardedCostSummary::new(shards),
-            drain_threshold: crate::engine::DEFAULT_DRAIN_THRESHOLD,
-            pending_total: 0,
-            drains: 0,
-            submitted: 0,
+            control: crate::drain::DrainControl::new(crate::engine::DEFAULT_DRAIN_THRESHOLD),
         })
     }
 
@@ -98,8 +92,7 @@ impl SourceShardedEngine {
     /// Panics if `threshold` is zero.
     #[must_use]
     pub fn with_drain_threshold(mut self, threshold: usize) -> Self {
-        assert!(threshold > 0, "the drain threshold must be positive");
-        self.drain_threshold = threshold;
+        self.control.set_threshold(threshold);
         self
     }
 
@@ -115,7 +108,7 @@ impl SourceShardedEngine {
 
     /// Requests submitted so far (served or still buffered).
     pub fn submitted(&self) -> u64 {
-        self.submitted
+        self.control.submitted()
     }
 
     /// Routes one `(source, destination)` request to the shard owning the
@@ -148,9 +141,7 @@ impl SourceShardedEngine {
             });
         }
         self.shards[shard as usize].pending.push(pair);
-        self.pending_total += 1;
-        self.submitted += 1;
-        if self.pending_total >= self.drain_threshold {
+        if self.control.note_submitted() {
             self.drain()?;
         }
         Ok(())
@@ -179,11 +170,9 @@ impl SourceShardedEngine {
     /// discarded, so [`SourceShardedReport::requests`] reports what was
     /// actually accounted.
     pub fn drain(&mut self) -> Result<(), ServeError> {
-        if self.pending_total == 0 {
+        if !self.control.begin_drain() {
             return Ok(());
         }
-        self.drains += 1;
-        self.pending_total = 0;
         let shard_count = self.shards.len() as u32;
         crate::drain::drain_shards(
             &mut self.shards,
@@ -248,7 +237,7 @@ impl SourceShardedEngine {
         Ok(SourceShardedReport {
             per_shard,
             merged: self.accounting.merged(),
-            drains: self.drains,
+            drains: self.control.drains(),
             requests: self.accounting.requests(),
         })
     }
@@ -260,7 +249,7 @@ impl fmt::Debug for SourceShardedEngine {
             .field("shards", &self.shards())
             .field("num_hosts", &self.num_hosts)
             .field("parallelism", &self.parallelism)
-            .field("submitted", &self.submitted)
+            .field("submitted", &self.submitted())
             .finish_non_exhaustive()
     }
 }

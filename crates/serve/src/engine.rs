@@ -1,12 +1,19 @@
 //! The sharded multi-tree serving engine.
 
+use crate::drain::DrainControl;
 use crate::error::ServeError;
 use crate::ingest::{IngestMessage, IngestQueue};
-use satn_core::SelfAdjustingTree;
+use satn_core::{AlgorithmKind, SelfAdjustingTree};
 use satn_exec::Parallelism;
-use satn_sim::ShardedScenario;
-use satn_tree::{snapshot, CostSummary, ElementId, ShardedCostSummary};
-use satn_workloads::shard::Partition;
+use satn_sim::{ReshardSchedule, ShardedScenario};
+use satn_tree::{
+    snapshot, CompleteTree, CostSummary, ElementId, MigrationCost, Occupancy, ShardedCostSummary,
+};
+use satn_workloads::shard::{
+    algorithm_seed, handover, shard_epoch_seed, EpochedPartition, Partition, PolicyDriver,
+    ReshardEvent, ReshardPlan,
+};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Pending requests buffered across all shards before an automatic drain.
@@ -19,36 +26,74 @@ struct Shard {
     pending: Vec<ElementId>,
 }
 
+/// How the engine reshards on its own, mirroring
+/// [`satn_sim::ReshardSchedule`] online.
+enum OnlineSchedule {
+    /// Only explicit [`ShardedEngine::reshard`] calls (or `Reshard` ingest
+    /// frames) change the partition.
+    External,
+    /// Fire each event's plan at its stream position.
+    Manual(VecDeque<ReshardEvent>),
+    /// Let the policy observe the routed stream and fire at its cadence.
+    Policy(PolicyDriver),
+}
+
 /// The sharded serving engine: `S` independent per-shard trees partitioning
-/// the element universe, fed through a [`Partition`] router, drained
-/// concurrently on the `satn-exec` pool.
+/// the element universe, fed through an epoch-versioned [`Partition`]
+/// router, drained concurrently on the `satn-exec` pool.
 ///
 /// Requests enter via [`ShardedEngine::submit`] (or a whole
 /// [`IngestQueue`] via [`ShardedEngine::serve_queue`]), are routed to their
-/// owning shard and buffered; once the buffered total reaches the drain
-/// threshold, every shard's batch is served through the allocation-free
+/// owning shard under the **current epoch's** partition and buffered; once
+/// the buffered total reaches the drain threshold, every shard's batch is
+/// served through the allocation-free
 /// [`SelfAdjustingTree::serve_batch`] fast path — one worker per shard batch,
 /// results merged back **in shard order** via
 /// [`satn_exec::for_each_ordered`], so per-shard cost totals, the merged
 /// summary, and the per-shard occupancy fingerprints are bit-identical at
-/// every thread count and every drain cadence. The serial reference replay
-/// ([`ShardedScenario::shard_scenarios`] driven by
-/// [`satn_sim::SimRunner`]) is therefore a byte-exact oracle for any
-/// concurrent run.
+/// every thread count and every drain cadence.
+///
+/// ## Resharding
+///
+/// [`ShardedEngine::reshard`] performs the deterministic handover protocol:
+///
+/// 1. **drain fence** — every buffered batch is served under the closing
+///    epoch, and the closing epoch's per-shard fingerprints are recorded;
+/// 2. **migrate** — the moved elements are deleted from their source trees
+///    and re-inserted into their destinations in canonical element order
+///    ([`satn_workloads::shard::handover`]), each paying its access cost,
+///    with every shard's tree rebuilt fresh from the post-handover placement
+///    and a per-`(shard, epoch)` derived seed;
+/// 3. **epoch bump** — the [`EpochedPartition`] log grows, and the
+///    accounting opens a new epoch sub-summary carrying the migration cost.
+///
+/// The protocol is a pure function of (scenario, stream position), so the
+/// epoch-segmented serial reference replay
+/// ([`ShardedScenario::epoch_replay`]) reproduces the engine's per-epoch
+/// cost summaries, migration costs, and boundary fingerprints byte for byte
+/// at every thread count — determinism stays *derived*, not hand-kept.
 pub struct ShardedEngine {
-    partition: Partition,
+    log: EpochedPartition,
     shards: Vec<Shard>,
     accounting: ShardedCostSummary,
     parallelism: Parallelism,
-    drain_threshold: usize,
-    pending_total: usize,
-    drains: u64,
-    submitted: u64,
+    control: DrainControl,
+    rebuild: Option<(AlgorithmKind, u64)>,
+    schedule: OnlineSchedule,
+    /// Per completed epoch, the per-shard fingerprints at its closing drain
+    /// fence (the final epoch's fingerprints are appended by `finish`).
+    epoch_fingerprints: Vec<Vec<String>>,
+    /// Requests submitted before each epoch boundary, matching
+    /// [`satn_sim::ShardedReplay::boundaries`].
+    boundaries: Vec<usize>,
 }
 
 impl ShardedEngine {
-    /// Assembles an engine from a partition and one pre-built tree per shard
-    /// (shard `s`'s tree serves local ids `0..` of `partition.owned(s)`).
+    /// Assembles a **static** engine from a partition and one pre-built tree
+    /// per shard (shard `s`'s tree serves local ids `0..` of
+    /// `partition.owned(s)`). Built this way the engine cannot reshard —
+    /// arbitrary pre-built trees carry no rebuild recipe; chain
+    /// [`ShardedEngine::with_resharding`] to provide one.
     ///
     /// # Panics
     ///
@@ -72,31 +117,53 @@ impl ShardedEngine {
             .collect();
         let accounting = ShardedCostSummary::new(partition.shards());
         ShardedEngine {
-            partition,
+            log: EpochedPartition::from_partition(partition),
             shards,
             accounting,
             parallelism,
-            drain_threshold: DEFAULT_DRAIN_THRESHOLD,
-            pending_total: 0,
-            drains: 0,
-            submitted: 0,
+            control: DrainControl::new(DEFAULT_DRAIN_THRESHOLD),
+            rebuild: None,
+            schedule: OnlineSchedule::External,
+            epoch_fingerprints: Vec::new(),
+            boundaries: Vec::new(),
         }
     }
 
     /// Builds the engine a [`ShardedScenario`] describes: the scenario's
-    /// partition, with every shard tree instantiated exactly as the
+    /// epoch-0 partition, with every shard tree instantiated exactly as the
     /// scenario's standalone per-shard reference scenarios build theirs
     /// (same levels, same derived seeds, same initial placement — that is
-    /// what makes the serial replay a byte-exact oracle).
+    /// what makes the serial replay a byte-exact oracle). The scenario's
+    /// [`ReshardSchedule`] is applied online: manual events fire at their
+    /// stream positions, a policy observes the routed stream at its cadence
+    /// — both reproducing the schedule [`ShardedScenario::epoch_log`]
+    /// derives offline.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Tree`] if a shard's algorithm cannot be
-    /// instantiated (e.g. an offline layout over an invalid sequence).
+    /// instantiated (e.g. an offline layout over an invalid sequence), or
+    /// [`ServeError::ReshardUnsupported`] for a reshard schedule with an
+    /// offline algorithm.
     pub fn from_scenario(
         scenario: &ShardedScenario,
         parallelism: Parallelism,
     ) -> Result<Self, ServeError> {
+        let offline = scenario.algorithm == AlgorithmKind::StaticOpt;
+        let schedule = match &scenario.reshard {
+            ReshardSchedule::Static => OnlineSchedule::External,
+            _ if offline => {
+                return Err(ServeError::ReshardUnsupported {
+                    reason: "offline algorithms cannot be rebuilt mid-stream",
+                })
+            }
+            ReshardSchedule::Manual(events) => {
+                OnlineSchedule::Manual(events.iter().cloned().collect())
+            }
+            ReshardSchedule::Policy(policy) => {
+                OnlineSchedule::Policy(PolicyDriver::new(policy.clone(), scenario.universe()))
+            }
+        };
         let partition = scenario.partition();
         let mut trees = Vec::with_capacity(partition.shards() as usize);
         for (shard, shard_scenario) in scenario.shard_scenarios().iter().enumerate() {
@@ -110,7 +177,27 @@ impl ShardedEngine {
                 })?;
             trees.push(tree);
         }
-        Ok(ShardedEngine::new(partition, trees, parallelism))
+        let mut engine = ShardedEngine::new(partition, trees, parallelism);
+        engine.rebuild = (!offline).then_some((scenario.algorithm, scenario.seed));
+        engine.schedule = schedule;
+        Ok(engine)
+    }
+
+    /// Provides the rebuild recipe a raw-tree engine needs to reshard: the
+    /// algorithm every post-handover tree is re-instantiated with, and the
+    /// base seed of the per-`(shard, epoch)` derived seeds (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics for offline algorithms, which cannot be rebuilt mid-stream.
+    #[must_use]
+    pub fn with_resharding(mut self, algorithm: AlgorithmKind, seed: u64) -> Self {
+        assert!(
+            algorithm != AlgorithmKind::StaticOpt,
+            "offline algorithms cannot be rebuilt mid-stream"
+        );
+        self.rebuild = Some((algorithm, seed));
+        self
     }
 
     /// Overrides the automatic-drain threshold (builder style). The cadence
@@ -121,14 +208,23 @@ impl ShardedEngine {
     /// Panics if `threshold` is zero.
     #[must_use]
     pub fn with_drain_threshold(mut self, threshold: usize) -> Self {
-        assert!(threshold > 0, "the drain threshold must be positive");
-        self.drain_threshold = threshold;
+        self.control.set_threshold(threshold);
         self
     }
 
-    /// The engine's element-to-shard assignment.
+    /// The engine's current element-to-shard assignment.
     pub fn partition(&self) -> &Partition {
-        &self.partition
+        self.log.current()
+    }
+
+    /// The full epoch log (epoch 0 = the initial assignment).
+    pub fn epoch_log(&self) -> &EpochedPartition {
+        &self.log
+    }
+
+    /// The current epoch index.
+    pub fn epoch(&self) -> u32 {
+        self.log.current_epoch()
     }
 
     /// Number of shards.
@@ -143,39 +239,49 @@ impl ShardedEngine {
 
     /// Requests submitted so far (served or still buffered).
     pub fn submitted(&self) -> u64 {
-        self.submitted
+        self.control.submitted()
     }
 
     /// Drains triggered so far.
     pub fn drains(&self) -> u64 {
-        self.drains
+        self.control.drains()
     }
 
-    /// The per-shard cost accounting of everything served so far (buffered
-    /// requests are not yet included — call [`ShardedEngine::drain`] first).
+    /// The epoch-versioned per-shard cost accounting of everything served so
+    /// far (buffered requests are not yet included — call
+    /// [`ShardedEngine::drain`] first).
     pub fn accounting(&self) -> &ShardedCostSummary {
         &self.accounting
     }
 
-    /// Routes one request to its owning shard's batch, draining every shard
-    /// once the buffered total reaches the threshold.
+    /// Routes one request to its owning shard's batch under the current
+    /// epoch's partition, firing any due scheduled reshard first and
+    /// draining every shard once the buffered total reaches the threshold.
     ///
     /// # Errors
     ///
     /// [`ServeError::OutOfUniverse`] for foreign elements (nothing is
-    /// enqueued), or a drain error.
+    /// enqueued), or a drain or reshard error.
     pub fn submit(&mut self, element: ElementId) -> Result<(), ServeError> {
+        self.fire_due_manual_events(false)?;
         let (shard, local) =
-            self.partition
+            self.log
+                .current()
                 .localize(element)
                 .ok_or_else(|| ServeError::OutOfUniverse {
                     element,
-                    universe: self.partition.universe(),
+                    universe: self.log.current().universe(),
                 })?;
         self.shards[shard as usize].pending.push(local);
-        self.pending_total += 1;
-        self.submitted += 1;
-        if self.pending_total >= self.drain_threshold {
+        let should_drain = self.control.note_submitted();
+        if let OnlineSchedule::Policy(driver) = &mut self.schedule {
+            let plan = driver.observe(element, self.log.current());
+            if let Some(plan) = plan {
+                // The reshard's drain fence also covers the threshold.
+                return self.reshard(plan);
+            }
+        }
+        if should_drain {
             self.drain()?;
         }
         Ok(())
@@ -207,11 +313,9 @@ impl ShardedEngine {
     /// discarded, so [`EngineReport::requests`] reports what was actually
     /// accounted, not what was submitted.
     pub fn drain(&mut self) -> Result<(), ServeError> {
-        if self.pending_total == 0 {
+        if !self.control.begin_drain() {
             return Ok(());
         }
-        self.drains += 1;
-        self.pending_total = 0;
         crate::drain::drain_shards(
             &mut self.shards,
             self.parallelism,
@@ -230,19 +334,99 @@ impl ShardedEngine {
         .map_err(|(shard, error)| ServeError::Tree { shard, error })
     }
 
-    /// Consumes an ingestion queue to completion: bursts are submitted in
-    /// arrival order (auto-draining at the threshold), flush messages force
-    /// a drain, and sender shutdown triggers a final drain.
+    /// Reshards the engine with the deterministic handover protocol: drain
+    /// fence (every buffered request is served under the closing epoch, and
+    /// the closing epoch's fingerprints are recorded), element migration via
+    /// the canonical delete/re-insert order of
+    /// [`satn_workloads::shard::handover`] (every shard tree is rebuilt
+    /// fresh from the post-handover placement with its `(shard, epoch)`
+    /// derived seed), and the epoch bump (partition log + accounting).
     ///
     /// # Errors
     ///
-    /// Propagates the first submit or drain error.
+    /// [`ServeError::ReshardUnsupported`] if the engine has no rebuild
+    /// recipe, [`ServeError::Reshard`] if the plan does not fit the
+    /// partition (the engine is unchanged beyond the drain fence), or a
+    /// drain/rebuild error.
+    pub fn reshard(&mut self, plan: ReshardPlan) -> Result<(), ServeError> {
+        let Some((kind, base_seed)) = self.rebuild else {
+            return Err(ServeError::ReshardUnsupported {
+                reason: "the engine was built from raw trees without a rebuild recipe",
+            });
+        };
+        // 1. Drain fence: the closing epoch serves everything it buffered.
+        self.drain()?;
+        let old = self.log.current().clone();
+        let epoch = {
+            let epoch = self.log.apply(plan).map_err(ServeError::Reshard)?;
+            epoch.epoch()
+        };
+        // The fence state is the closing epoch's boundary fingerprint.
+        self.capture_boundary_fingerprints();
+        self.boundaries.push(self.control.submitted() as usize);
+        // 2. Migrate: canonical delete/re-insert, every tree rebuilt fresh
+        // from the post-handover placement.
+        let outcome = {
+            let occupancies: Vec<&Occupancy> = self
+                .shards
+                .iter()
+                .map(|shard| shard.tree.occupancy())
+                .collect();
+            handover(&old, self.log.current(), &occupancies)
+        };
+        for (shard, placement) in outcome.placements.into_iter().enumerate() {
+            let levels = (placement.len() + 1).trailing_zeros();
+            let tree = CompleteTree::with_levels(levels)
+                .expect("handover placements have complete-tree sizes");
+            let occupancy = Occupancy::from_placement(tree, placement)
+                .expect("handover placements are bijections");
+            let seed = algorithm_seed(shard_epoch_seed(base_seed, shard as u32, epoch));
+            let tree =
+                kind.instantiate(occupancy, seed, &[])
+                    .map_err(|error| ServeError::Tree {
+                        shard: shard as u32,
+                        error,
+                    })?;
+            self.shards[shard].tree = tree;
+        }
+        // 3. Epoch bump in the ledger, carrying the migration cost.
+        self.accounting.begin_epoch(outcome.migration);
+        Ok(())
+    }
+
+    /// Fires every manual event that is due at the current stream position
+    /// (all remaining ones when `all` is set, at the end of a run).
+    fn fire_due_manual_events(&mut self, all: bool) -> Result<(), ServeError> {
+        loop {
+            let OnlineSchedule::Manual(events) = &mut self.schedule else {
+                return Ok(());
+            };
+            let due = events
+                .front()
+                .is_some_and(|event| all || event.at as u64 <= self.control.submitted());
+            if !due {
+                return Ok(());
+            }
+            let plan = events.pop_front().expect("front checked").plan;
+            self.reshard(plan)?;
+        }
+    }
+
+    /// Consumes an ingestion queue to completion: bursts are submitted in
+    /// arrival order (auto-draining at the threshold), flush messages force
+    /// a drain, reshard frames run the full handover protocol, and sender
+    /// shutdown triggers a final drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first submit, drain, or reshard error.
     pub fn serve_queue(&mut self, queue: &IngestQueue) -> Result<(), ServeError> {
         loop {
             match queue.recv() {
                 Some(IngestMessage::Request(element)) => self.submit(element)?,
                 Some(IngestMessage::Burst(burst)) => self.submit_burst(&burst)?,
                 Some(IngestMessage::Flush) => self.drain()?,
+                Some(IngestMessage::Reshard(plan)) => self.reshard(plan)?,
                 None => return self.drain(),
             }
         }
@@ -257,20 +441,34 @@ impl ShardedEngine {
         snapshot::occupancy_to_string(self.shards[shard as usize].tree.occupancy())
     }
 
-    /// Drains any remaining batches and emits the final report.
+    /// Records every shard's fingerprint as the closing epoch's boundary
+    /// state (at a reshard's drain fence, and once more at `finish`).
+    fn capture_boundary_fingerprints(&mut self) {
+        self.epoch_fingerprints.push(
+            (0..self.shards())
+                .map(|shard| self.fingerprint(shard))
+                .collect(),
+        );
+    }
+
+    /// Drains any remaining batches, fires any remaining scheduled manual
+    /// reshards (their epochs close empty, exactly as in the reference
+    /// replay), and emits the final report.
     ///
     /// # Errors
     ///
-    /// Propagates the final drain's error.
+    /// Propagates the final drain's (or reshard's) error.
     pub fn finish(mut self) -> Result<EngineReport, ServeError> {
         self.drain()?;
+        self.fire_due_manual_events(true)?;
+        self.capture_boundary_fingerprints();
         let per_shard = self
             .shards
             .iter()
             .enumerate()
             .map(|(index, shard)| ShardReport {
                 shard: index as u32,
-                elements: self.partition.owned(index as u32).len() as u32,
+                elements: self.log.current().owned(index as u32).len() as u32,
                 summary: *self.accounting.shard(index as u32),
                 fingerprint: snapshot::occupancy_to_string(shard.tree.occupancy()),
             })
@@ -278,8 +476,12 @@ impl ShardedEngine {
         Ok(EngineReport {
             per_shard,
             merged: self.accounting.merged(),
-            drains: self.drains,
+            migration: self.accounting.migration_total(),
+            drains: self.control.drains(),
             requests: self.accounting.requests(),
+            epoch_fingerprints: self.epoch_fingerprints,
+            boundaries: self.boundaries,
+            accounting: self.accounting,
         })
     }
 }
@@ -288,11 +490,12 @@ impl fmt::Debug for ShardedEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardedEngine")
             .field("shards", &self.shards())
-            .field("universe", &self.partition.universe())
-            .field("router", &self.partition.router())
+            .field("universe", &self.log.current().universe())
+            .field("router", &self.log.current().router())
+            .field("epoch", &self.epoch())
             .field("parallelism", &self.parallelism)
-            .field("submitted", &self.submitted)
-            .field("drains", &self.drains)
+            .field("submitted", &self.submitted())
+            .field("drains", &self.drains())
             .finish_non_exhaustive()
     }
 }
@@ -302,9 +505,10 @@ impl fmt::Debug for ShardedEngine {
 pub struct ShardReport {
     /// The shard index.
     pub shard: u32,
-    /// Elements the shard owns.
+    /// Elements the shard owns (under the final epoch's partition).
     pub elements: u32,
-    /// Everything this shard served, in per-request detail totals.
+    /// Everything this shard served, in per-request detail totals (across
+    /// all epochs).
     pub summary: CostSummary,
     /// The shard's deterministic replay fingerprint (occupancy snapshot).
     pub fingerprint: String,
@@ -315,13 +519,24 @@ pub struct ShardReport {
 pub struct EngineReport {
     /// Per-shard summaries and fingerprints, in shard order.
     pub per_shard: Vec<ShardReport>,
-    /// The shard-order merge of every per-shard summary.
+    /// The shard-order merge of every per-shard summary (serving cost only).
     pub merged: CostSummary,
+    /// The accumulated handover cost of every reshard in the run.
+    pub migration: MigrationCost,
     /// Number of drains the run used (cadence never affects results).
     pub drains: u64,
     /// Total requests served and accounted (equals the submitted count on a
     /// clean run; smaller if a drain failed and discarded a batch tail).
     pub requests: u64,
+    /// Per epoch, the per-shard fingerprints at the epoch's closing drain
+    /// fence (the last entry is the final state). Byte-identical to the
+    /// epoch-segmented reference replay's per-epoch final snapshots.
+    pub epoch_fingerprints: Vec<Vec<String>>,
+    /// Requests submitted before each epoch boundary.
+    pub boundaries: Vec<usize>,
+    /// The full epoch-versioned ledger: per-epoch sub-summaries and
+    /// migration costs.
+    pub accounting: ShardedCostSummary,
 }
 
 #[cfg(test)]
@@ -355,6 +570,8 @@ mod tests {
         let report = engine.finish().unwrap();
         assert_eq!(report.requests, 3_000);
         assert!(report.drains >= 3_000 / 257);
+        assert_eq!(report.migration, MigrationCost::ZERO);
+        assert_eq!(report.epoch_fingerprints.len(), 1);
 
         let runner = SimRunner::new();
         for (shard, reference) in sharded.shard_scenarios().iter().enumerate() {
@@ -389,6 +606,9 @@ mod tests {
         assert_eq!(reports[0].merged, reports[1].merged);
         assert_eq!(reports[1].per_shard, reports[2].per_shard);
         assert_eq!(reports[1].merged, reports[2].merged);
+        // The full epoch ledger is cadence-invariant too.
+        assert_eq!(reports[0].accounting, reports[1].accounting);
+        assert_eq!(reports[1].accounting, reports[2].accounting);
     }
 
     #[test]
@@ -450,11 +670,79 @@ mod tests {
     }
 
     #[test]
+    fn raw_tree_engines_cannot_reshard_without_a_recipe() {
+        let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Hash);
+        let partition = sharded.partition();
+        let trees: Vec<_> = sharded
+            .shard_scenarios()
+            .iter()
+            .map(|s| s.instantiate().unwrap())
+            .collect();
+        let mut engine = ShardedEngine::new(partition, trees, Parallelism::Serial);
+        let err = engine
+            .reshard(ReshardPlan::new([(ElementId::new(0), 1)]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::ReshardUnsupported { .. }));
+        assert!(err.to_string().contains("cannot reshard"));
+        assert_eq!(engine.epoch(), 0);
+    }
+
+    #[test]
+    fn raw_tree_engines_reshard_with_a_recipe() {
+        let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Hash);
+        let partition = sharded.partition();
+        let trees: Vec<_> = sharded
+            .shard_scenarios()
+            .iter()
+            .map(|s| s.instantiate().unwrap())
+            .collect();
+        let mut engine = ShardedEngine::new(partition, trees, Parallelism::Serial)
+            .with_resharding(AlgorithmKind::RotorPush, sharded.seed);
+        engine
+            .reshard(ReshardPlan::new([(ElementId::new(0), 1)]))
+            .unwrap();
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.partition().shard_of(ElementId::new(0)), Some(1));
+        assert_eq!(engine.accounting().migration_total().moved, 1);
+    }
+
+    #[test]
+    fn invalid_plans_leave_the_engine_usable() {
+        let sharded = scenario(AlgorithmKind::MaxPush, ShardRouter::Range);
+        let mut engine = ShardedEngine::from_scenario(&sharded, Parallelism::Serial).unwrap();
+        let err = engine
+            .reshard(ReshardPlan::new([(ElementId::new(0), 99)]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Reshard(_)));
+        assert_eq!(engine.epoch(), 0);
+        // The engine still serves normally afterwards.
+        for element in sharded.stream() {
+            engine.submit(element).unwrap();
+        }
+        let report = engine.finish().unwrap();
+        assert_eq!(report.requests, 3_000);
+    }
+
+    #[test]
+    fn offline_algorithms_reject_reshard_schedules() {
+        let mut sharded = scenario(AlgorithmKind::StaticOpt, ShardRouter::Range);
+        sharded.reshard = satn_sim::ReshardSchedule::Manual(vec![ReshardEvent {
+            at: 100,
+            plan: ReshardPlan::new([(ElementId::new(0), 1)]),
+        }]);
+        let err = ShardedEngine::from_scenario(&sharded, Parallelism::Serial)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::ReshardUnsupported { .. }));
+    }
+
+    #[test]
     fn debug_output_names_the_configuration() {
         let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Hash);
         let engine = ShardedEngine::from_scenario(&sharded, Parallelism::Serial).unwrap();
         let rendered = format!("{engine:?}");
         assert!(rendered.contains("ShardedEngine"));
         assert!(rendered.contains("universe"));
+        assert!(rendered.contains("epoch"));
     }
 }

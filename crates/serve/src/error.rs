@@ -2,6 +2,7 @@
 
 use satn_network::NetworkError;
 use satn_tree::{ElementId, TreeError};
+use satn_workloads::shard::ReshardError;
 use std::fmt;
 
 /// An error produced while building or driving a sharded serving engine.
@@ -29,6 +30,16 @@ pub enum ServeError {
         /// The underlying network error.
         error: NetworkError,
     },
+    /// A reshard plan does not fit the engine's partition.
+    Reshard(ReshardError),
+    /// The engine cannot reshard: it was built without rebuild information
+    /// ([`crate::ShardedEngine::new`] with raw trees) or its algorithm is
+    /// offline (Static-Opt computes its layout from the whole future
+    /// subsequence, which no online handover can know).
+    ReshardUnsupported {
+        /// Why resharding is unavailable.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -42,6 +53,10 @@ impl fmt::Display for ServeError {
             }
             ServeError::Tree { shard, error } => write!(f, "shard {shard}: {error}"),
             ServeError::Network { shard, error } => write!(f, "shard {shard}: {error}"),
+            ServeError::Reshard(error) => error.fmt(f),
+            ServeError::ReshardUnsupported { reason } => {
+                write!(f, "the engine cannot reshard: {reason}")
+            }
         }
     }
 }
@@ -52,6 +67,8 @@ impl std::error::Error for ServeError {
             ServeError::OutOfUniverse { .. } => None,
             ServeError::Tree { error, .. } => Some(error),
             ServeError::Network { error, .. } => Some(error),
+            ServeError::Reshard(error) => Some(error),
+            ServeError::ReshardUnsupported { .. } => None,
         }
     }
 }

@@ -15,6 +15,7 @@
 //! producer set) yields bit-identical replays at every thread count.
 
 use satn_tree::ElementId;
+use satn_workloads::shard::ReshardPlan;
 use std::fmt;
 use std::sync::mpsc;
 
@@ -27,6 +28,11 @@ pub enum IngestMessage {
     Burst(Vec<ElementId>),
     /// Force a drain of all pending per-shard batches before continuing.
     Flush,
+    /// A reshard control frame: the engine performs the full deterministic
+    /// handover — drain fence, element migration, epoch bump — before
+    /// reading further input, so resharding composes with in-flight bursts
+    /// exactly like a flush does.
+    Reshard(ReshardPlan),
 }
 
 /// Error returned when sending into a queue whose consumer is gone.
@@ -80,6 +86,19 @@ impl IngestSender {
     pub fn flush(&self) -> Result<(), IngestClosed> {
         self.inner
             .send(IngestMessage::Flush)
+            .map_err(|_| IngestClosed)
+    }
+
+    /// Asks the engine to reshard: every request enqueued before this frame
+    /// is served under the old epoch (the handover starts with a drain
+    /// fence), every request after it under the new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestClosed`] if the consumer has been dropped.
+    pub fn reshard(&self, plan: ReshardPlan) -> Result<(), IngestClosed> {
+        self.inner
+            .send(IngestMessage::Reshard(plan))
             .map_err(|_| IngestClosed)
     }
 }

@@ -20,27 +20,39 @@
 //!
 //! * [`ShardedEngine`] — `S` per-shard trees (any
 //!   [`AlgorithmKind`](satn_sim::AlgorithmKind)) partitioning the element
-//!   universe via a [`Partition`] built from a pluggable
-//!   [`ShardRouter`] policy; requests buffer per shard and drain
-//!   concurrently through the allocation-free `serve_batch` fast path, one
-//!   `satn-exec` worker per shard batch,
+//!   universe via an **epoch-versioned** [`Partition`]
+//!   ([`EpochedPartition`] log) built from a pluggable [`ShardRouter`]
+//!   policy; requests buffer per shard and drain concurrently through the
+//!   allocation-free `serve_batch` fast path, one `satn-exec` worker per
+//!   shard batch,
+//! * [`ShardedEngine::reshard`] — the deterministic handover: **drain
+//!   fence** (buffered batches served under the closing epoch, boundary
+//!   fingerprints recorded) → **migrate** (moved elements deleted from
+//!   their source trees and re-inserted at their destinations in canonical
+//!   element order, each paying its access cost) → **epoch bump** (log +
+//!   ledger). Also reachable as a [`ReshardPlan`] control frame through the
+//!   ingest queue, or automatically via a load-adaptive [`ReshardPolicy`],
 //! * [`SourceShardedEngine`] — the ego-tree-per-source mode backed by
 //!   `satn-network`: source-affinity routing groups each source's ego-tree
 //!   onto one shard,
 //! * [`ingest_channel`] / [`IngestQueue`] — the bounded channel-based
-//!   ingestion layer with backpressure and a drain/flush protocol,
-//! * [`EngineReport`] — per-shard cost summaries and occupancy
-//!   **fingerprints** plus the shard-order merged summary.
+//!   ingestion layer with backpressure and a drain/flush/reshard protocol,
+//! * [`EngineReport`] — per-shard cost summaries, per-epoch sub-summaries
+//!   with explicit [`MigrationCost`] terms, and occupancy **fingerprints**
+//!   at every epoch boundary.
 //!
 //! ## Determinism contract
 //!
 //! Everything is bit-identical at every thread count, drain cadence, and
 //! burst shape: per-shard request order is submission order, shards share no
-//! state, and results merge in shard order. The serial reference replay —
-//! [`satn_sim::ShardedScenario::shard_scenarios`] driven one shard at a time
-//! by [`satn_sim::SimRunner`] — reproduces the engine's per-shard cost
-//! summaries and fingerprints byte for byte, which is exactly what the
-//! crate's property tests and the `serve-smoke` CI binary assert.
+//! state, results merge in shard order, and the reshard handover is a pure
+//! function of the scenario and the stream position. The serial reference
+//! replay — [`satn_sim::ShardedScenario::epoch_replay`] running *standalone*
+//! per-epoch per-shard scenarios through [`satn_sim::SimRunner`], re-deriving
+//! every handover itself — reproduces the engine's per-epoch cost
+//! sub-summaries, migration costs, and boundary fingerprints byte for byte,
+//! which is exactly what the crate's property tests and the `serve-smoke` CI
+//! binary assert.
 //!
 //! ## Example
 //!
@@ -83,9 +95,12 @@ pub use ingest::{ingest_channel, IngestClosed, IngestMessage, IngestQueue, Inges
 
 // Re-exported so engines can be configured without extra imports.
 pub use satn_exec::Parallelism;
-pub use satn_sim::ShardedScenario;
-pub use satn_tree::ShardedCostSummary;
-pub use satn_workloads::shard::{Partition, ShardRouter};
+pub use satn_sim::{ReshardSchedule, ShardedReplay, ShardedScenario};
+pub use satn_tree::{EpochCostSummary, MigrationCost, ShardedCostSummary};
+pub use satn_workloads::shard::{
+    EpochedPartition, Partition, ReshardError, ReshardEvent, ReshardPlan, ReshardPolicy,
+    ShardRouter,
+};
 
 // Engines cross thread boundaries wholesale in server settings (built on one
 // thread, driven on another), and the ingestion halves are shared across

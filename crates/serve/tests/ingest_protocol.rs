@@ -1,0 +1,175 @@
+//! Edge cases of the channel-based ingestion protocol: flush-then-send,
+//! producers dropped mid-burst, zero-capacity channels, and `Reshard`
+//! control frames interleaved with bursts.
+
+use satn_core::AlgorithmKind;
+use satn_serve::{
+    ingest_channel, IngestClosed, Parallelism, ReshardPlan, ShardedEngine, ShardedScenario,
+};
+use satn_sim::WorkloadSpec;
+use satn_tree::ElementId;
+
+fn scenario(requests: usize) -> ShardedScenario {
+    ShardedScenario::new(
+        AlgorithmKind::RotorPush,
+        WorkloadSpec::Zipf { a: 1.7 },
+        3,
+        5,
+        requests,
+        99,
+    )
+}
+
+/// Flushing mid-stream and then continuing to send is fully transparent:
+/// the run is byte-identical to one with no flushes at all.
+#[test]
+fn flush_then_send_changes_nothing_but_the_drain_count() {
+    let scenario = scenario(2_400);
+    let requests: Vec<ElementId> = scenario.stream().collect();
+
+    let mut unflushed = ShardedEngine::from_scenario(&scenario, Parallelism::Threads(2)).unwrap();
+    unflushed.submit_burst(&requests).unwrap();
+    let unflushed = unflushed.finish().unwrap();
+
+    let mut engine = ShardedEngine::from_scenario(&scenario, Parallelism::Threads(2)).unwrap();
+    let (sender, queue) = ingest_channel(2);
+    let producer = std::thread::spawn({
+        let requests = requests.clone();
+        move || {
+            for (index, chunk) in requests.chunks(100).enumerate() {
+                sender.send_burst(chunk.to_vec()).unwrap();
+                // Flush after every second burst, then keep sending.
+                if index % 2 == 1 {
+                    sender.flush().unwrap();
+                }
+            }
+            sender.flush().unwrap();
+        }
+    });
+    engine.serve_queue(&queue).unwrap();
+    producer.join().unwrap();
+    let flushed = engine.finish().unwrap();
+
+    assert!(flushed.drains > unflushed.drains);
+    assert_eq!(flushed.per_shard, unflushed.per_shard);
+    assert_eq!(flushed.accounting, unflushed.accounting);
+}
+
+/// A producer dropped mid-burst (without flush or shutdown handshake) still
+/// yields a clean run: the engine serves exactly what arrived, then drains
+/// on queue closure.
+#[test]
+fn sender_dropped_mid_burst_serves_the_delivered_prefix() {
+    let scenario = scenario(2_000);
+    let requests: Vec<ElementId> = scenario.stream().collect();
+    let mut engine = ShardedEngine::from_scenario(&scenario, Parallelism::Serial).unwrap();
+    let (sender, queue) = ingest_channel(4);
+    let delivered: Vec<ElementId> = requests[..700].to_vec();
+    let producer = std::thread::spawn({
+        let delivered = delivered.clone();
+        move || {
+            for chunk in delivered.chunks(70) {
+                sender.send_burst(chunk.to_vec()).unwrap();
+            }
+            // Dropped here: no flush, no shutdown message.
+        }
+    });
+    engine.serve_queue(&queue).unwrap();
+    producer.join().unwrap();
+    let report = engine.finish().unwrap();
+    assert_eq!(report.requests, 700);
+
+    // Identical to submitting the delivered prefix directly.
+    let mut direct = ShardedEngine::from_scenario(&scenario, Parallelism::Serial).unwrap();
+    direct.submit_burst(&delivered).unwrap();
+    let direct = direct.finish().unwrap();
+    assert_eq!(report.per_shard, direct.per_shard);
+    assert_eq!(report.accounting, direct.accounting);
+}
+
+/// One of several cloned producers dropping early never wedges the queue;
+/// the survivors' requests all arrive, and sends into a dropped consumer
+/// fail cleanly.
+#[test]
+fn surviving_senders_keep_the_queue_open() {
+    let scenario = scenario(600);
+    let requests: Vec<ElementId> = scenario.stream().collect();
+    let mut engine = ShardedEngine::from_scenario(&scenario, Parallelism::Serial).unwrap();
+    let (sender, queue) = ingest_channel(4);
+    let clone = sender.clone();
+    drop(sender); // The original goes away mid-setup.
+    let producer = std::thread::spawn({
+        let requests = requests.clone();
+        move || {
+            for chunk in requests.chunks(50) {
+                clone.send_burst(chunk.to_vec()).unwrap();
+            }
+        }
+    });
+    engine.serve_queue(&queue).unwrap();
+    producer.join().unwrap();
+    assert_eq!(engine.submitted(), 600);
+    drop(engine);
+
+    // With the consumer gone, every protocol message errors.
+    let (sender, queue) = ingest_channel(1);
+    drop(queue);
+    assert_eq!(sender.send(ElementId::new(0)), Err(IngestClosed));
+    assert_eq!(
+        sender.send_burst(vec![ElementId::new(0)]),
+        Err(IngestClosed)
+    );
+    assert_eq!(sender.flush(), Err(IngestClosed));
+    assert_eq!(sender.reshard(ReshardPlan::empty()), Err(IngestClosed));
+}
+
+/// A zero-capacity channel would deadlock single-threaded producers and is
+/// rejected at construction.
+#[test]
+#[should_panic(expected = "must be positive")]
+fn zero_capacity_channels_are_rejected() {
+    let _ = ingest_channel(0);
+}
+
+/// `Reshard` frames interleaved with bursts: every request sent before the
+/// frame is served under the old epoch, every request after it under the
+/// new one, regardless of burst boundaries and queue capacity.
+#[test]
+fn reshard_frames_interleave_cleanly_with_bursts() {
+    let scenario = scenario(1_800);
+    let requests: Vec<ElementId> = scenario.stream().collect();
+    let plan = ReshardPlan::new([(ElementId::new(0), 1), (ElementId::new(3), 2)]);
+
+    let mut engine = ShardedEngine::from_scenario(&scenario, Parallelism::Threads(2)).unwrap();
+    let (sender, queue) = ingest_channel(1); // Minimal capacity: full backpressure.
+    let producer = std::thread::spawn({
+        let requests = requests.clone();
+        let plan = plan.clone();
+        move || {
+            sender.send_burst(requests[..900].to_vec()).unwrap();
+            sender.reshard(plan).unwrap();
+            // Continue in single sends and bursts after the handover.
+            for &request in &requests[900..950] {
+                sender.send(request).unwrap();
+            }
+            sender.send_burst(requests[950..].to_vec()).unwrap();
+        }
+    });
+    engine.serve_queue(&queue).unwrap();
+    producer.join().unwrap();
+    let queued = engine.finish().unwrap();
+
+    // Equivalent direct run: submit 900, reshard, submit the rest.
+    let mut direct = ShardedEngine::from_scenario(&scenario, Parallelism::Threads(2)).unwrap();
+    direct.submit_burst(&requests[..900]).unwrap();
+    direct.reshard(plan).unwrap();
+    direct.submit_burst(&requests[900..]).unwrap();
+    let direct = direct.finish().unwrap();
+
+    assert_eq!(queued.boundaries, vec![900]);
+    assert_eq!(queued.epoch_fingerprints.len(), 2);
+    assert_eq!(queued.per_shard, direct.per_shard);
+    assert_eq!(queued.accounting, direct.accounting);
+    assert_eq!(queued.epoch_fingerprints, direct.epoch_fingerprints);
+    assert!(queued.migration.moved >= 1);
+}

@@ -67,11 +67,13 @@ mod sharded;
 pub use observer::{InvariantObserver, InvariantViolation, Observer, SnapshotObserver, StepRecord};
 pub use runner::{ScenarioResult, SimError, SimRunner, DEFAULT_BATCH_SIZE};
 pub use scenario::{Checkpoints, InitialPlacement, Scenario, ScenarioGrid, WorkloadSpec};
-pub use sharded::ShardedScenario;
+pub use sharded::{ReshardSchedule, ShardedReplay, ShardedScenario};
 
 // Re-exported so sharded scenarios can be configured without a direct
 // `satn-workloads` dependency.
-pub use satn_workloads::shard::ShardRouter;
+pub use satn_workloads::shard::{
+    EpochedPartition, PartitionEpoch, ReshardEvent, ReshardPlan, ReshardPolicy, ShardRouter,
+};
 
 // Re-exported so scenario construction needs no extra imports.
 pub use satn_core::AlgorithmKind;

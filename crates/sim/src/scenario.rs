@@ -6,8 +6,8 @@ use rand::SeedableRng;
 use satn_core::{AlgorithmKind, SelfAdjustingTree};
 use satn_tree::{placement, CompleteTree, ElementId, Occupancy, TreeError};
 use satn_workloads::stream::{
-    CombinedStream, MarkovBurstyStream, RoundRobinPathStream, ShiftingHotspotStream,
-    TemporalStream, UniformStream, ZipfStream,
+    CombinedStream, HotBlockStream, MarkovBurstyStream, RoundRobinPathStream,
+    ShiftingHotspotStream, TemporalStream, UniformStream, ZipfStream,
 };
 use satn_workloads::Workload;
 use std::fmt;
@@ -63,6 +63,19 @@ pub enum WorkloadSpec {
         /// The Zipf exponent within each phase.
         a: f64,
     },
+    /// A hot-*shard* workload: each phase's entire Zipf distribution is
+    /// confined to one of `blocks` contiguous equal blocks of the universe,
+    /// the hot block re-drawn per phase. Under range routing with `blocks`
+    /// equal to the shard count, whole shards run hot one at a time — the
+    /// skewed-routing axis that dynamic resharding reacts to.
+    HotShard {
+        /// Number of phases the sequence is split into.
+        phases: usize,
+        /// The Zipf exponent within each phase.
+        a: f64,
+        /// Number of contiguous blocks (usually the shard count).
+        blocks: u32,
+    },
     /// A pre-recorded request sequence (corpus book, loaded trace, or any
     /// hand-built [`Workload`]). The scenario's universe must still fit its
     /// tree; the sequence is replayed as-is.
@@ -83,6 +96,9 @@ impl WorkloadSpec {
             }
             WorkloadSpec::ShiftingHotspot { phases, a } => {
                 format!("shifting-hotspot({phases}x,a={a})")
+            }
+            WorkloadSpec::HotShard { phases, a, blocks } => {
+                format!("hot-shard({phases}x{blocks},a={a})")
             }
             WorkloadSpec::Fixed(workload) => workload.name().to_owned(),
         }
@@ -137,6 +153,14 @@ impl WorkloadSpec {
                 *a,
                 rng,
             )),
+            WorkloadSpec::HotShard { phases, a, blocks } => Box::new(HotBlockStream::new(
+                num_elements,
+                length,
+                *phases,
+                *a,
+                *blocks,
+                rng,
+            )),
             WorkloadSpec::Fixed(workload) => Box::new(workload.iter().take(length)),
         }
     }
@@ -172,13 +196,19 @@ impl fmt::Display for WorkloadSpec {
 }
 
 /// The initial element placement of a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum InitialPlacement {
     /// Element `i` starts at node `i`.
     Identity,
     /// A seed-derived uniformly random bijection (the paper's methodology).
     #[default]
     Random,
+    /// An explicit placement: `placement[v]` is the element stored at node
+    /// `v` in heap order. This is how epoch-segmented sharded replays hand a
+    /// deterministic post-handover state to the next epoch's standalone
+    /// scenario — the placement is part of the scenario value, so the
+    /// scenario stays self-contained and reproducible.
+    Fixed(Vec<ElementId>),
 }
 
 /// When the engine pauses serving to run checkpoint observers.
@@ -307,20 +337,30 @@ impl Scenario {
         self.seed ^ 0x9E37_79B9_7F4A_7C15
     }
 
-    /// The seed of the algorithm's internal randomness (Random-Push).
+    /// The seed of the algorithm's internal randomness (Random-Push),
+    /// derived by the workspace-wide
+    /// [`satn_workloads::shard::algorithm_seed`] so the serving engine's
+    /// post-handover rebuilds and this scenario's replay always agree.
     pub fn algorithm_seed(&self) -> u64 {
-        // Matches the historical derivation of the bench harness so ported
-        // experiments keep their numbers.
-        self.seed ^ 0x5DEECE66D
+        satn_workloads::shard::algorithm_seed(self.seed)
     }
 
     /// Builds the initial occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an [`InitialPlacement::Fixed`] placement does not form a
+    /// bijection over the scenario's tree.
     pub fn initial_occupancy(&self) -> Occupancy {
         let tree = self.tree();
-        match self.initial {
+        match &self.initial {
             InitialPlacement::Identity => Occupancy::identity(tree),
             InitialPlacement::Random => {
                 placement::random_occupancy(tree, &mut StdRng::seed_from_u64(self.placement_seed()))
+            }
+            InitialPlacement::Fixed(placement) => {
+                Occupancy::from_placement(tree, placement.clone())
+                    .expect("a fixed placement must be a bijection over the scenario's tree")
             }
         }
     }
@@ -432,7 +472,7 @@ impl ScenarioGrid {
                     requests: self.requests,
                     seed: self.seed,
                     checkpoints: self.checkpoints,
-                    initial: self.initial,
+                    initial: self.initial.clone(),
                 })
             })
         })

@@ -11,11 +11,35 @@
 //! observer machinery produces the per-shard cost summaries and checkpoint
 //! fingerprints the engine must reproduce byte for byte.
 
+use crate::runner::{ScenarioResult, SimError, SimRunner};
 use crate::scenario::{Checkpoints, InitialPlacement, Scenario, WorkloadSpec};
 use satn_core::AlgorithmKind;
-use satn_tree::ElementId;
-use satn_workloads::shard::{Partition, ShardRouter};
+use satn_tree::{snapshot, ElementId, Occupancy, ShardedCostSummary};
+use satn_workloads::shard::{
+    derive_schedule, handover, shard_epoch_seed, EpochedPartition, Partition, ReshardEvent,
+    ReshardPolicy, ShardRouter,
+};
 use satn_workloads::Workload;
+
+/// When (and how) a sharded scenario reshards mid-stream.
+///
+/// (Deliberately exhaustive: the serving engine mirrors every variant
+/// online, so a new schedule kind must be handled there too.)
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ReshardSchedule {
+    /// Never reshard: the epoch-0 partition serves the whole stream (the
+    /// pre-epoch behavior).
+    #[default]
+    Static,
+    /// Explicit handovers: apply each event's plan after its `at`-th global
+    /// request. Positions must be strictly increasing.
+    Manual(Vec<ReshardEvent>),
+    /// Load-adaptive handovers: the policy observes the routed stream and
+    /// fires at its cadence. The schedule is a pure function of the stream,
+    /// so the engine (applying it online) and the reference replay (deriving
+    /// it offline) always agree on every epoch.
+    Policy(ReshardPolicy),
+}
 
 /// One fully determined sharded serving run.
 ///
@@ -44,6 +68,8 @@ pub struct ShardedScenario {
     pub router: ShardRouter,
     /// The initial element placement of every shard tree.
     pub initial: InitialPlacement,
+    /// When (and how) the partition reshards mid-stream.
+    pub reshard: ReshardSchedule,
 }
 
 impl ShardedScenario {
@@ -66,19 +92,57 @@ impl ShardedScenario {
             seed,
             router: ShardRouter::Hash,
             initial: InitialPlacement::Random,
+            reshard: ReshardSchedule::Static,
         }
+    }
+
+    /// The skewed-routing preset: range routing plus a
+    /// [`WorkloadSpec::HotShard`] stream with one block per shard, so each
+    /// phase hammers a single shard and the hot shard moves between phases —
+    /// the workload dynamic resharding exists to absorb. Attach a
+    /// [`ReshardSchedule::Policy`] to let the engine react.
+    pub fn hot_shard(
+        algorithm: AlgorithmKind,
+        shards: u32,
+        shard_levels: u32,
+        requests: usize,
+        seed: u64,
+        phases: usize,
+        a: f64,
+    ) -> Self {
+        let mut scenario = ShardedScenario::new(
+            algorithm,
+            WorkloadSpec::Uniform,
+            shards,
+            shard_levels,
+            requests,
+            seed,
+        );
+        scenario.workload = WorkloadSpec::HotShard {
+            phases,
+            a,
+            blocks: shards,
+        };
+        scenario.router = ShardRouter::Range;
+        scenario
     }
 
     /// A human-readable name identifying the sharded run.
     pub fn name(&self) -> String {
+        let reshard = match &self.reshard {
+            ReshardSchedule::Static => String::new(),
+            ReshardSchedule::Manual(events) => format!("/reshard-manual({})", events.len()),
+            ReshardSchedule::Policy(policy) => format!("/reshard-every-{}", policy.every()),
+        };
         format!(
-            "sharded/{}/{}/{}/S{}xL{}/s{}",
+            "sharded/{}/{}/{}/S{}xL{}/s{}{}",
             self.algorithm,
             self.workload.label(),
             self.router,
             self.shards,
             self.shard_levels,
-            self.seed
+            self.seed,
+            reshard
         )
     }
 
@@ -103,30 +167,91 @@ impl ShardedScenario {
         Partition::new(self.router, self.universe(), self.shards)
     }
 
-    /// The derived base seed of one shard: decorrelated per shard so shard
-    /// trees never share placement or algorithm randomness, yet fully
-    /// determined by the scenario seed.
+    /// The derived base seed of one shard in epoch 0: decorrelated per shard
+    /// so shard trees never share placement or algorithm randomness, yet
+    /// fully determined by the scenario seed.
     pub fn shard_seed(&self, shard: u32) -> u64 {
-        self.seed.wrapping_add(
-            u64::from(shard)
-                .wrapping_add(1)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        )
+        self.shard_epoch_seed(shard, 0)
     }
 
-    /// Derives the standalone per-shard reference scenarios: shard `s`'s
-    /// scenario serves exactly the localized subsequence of the global
-    /// stream that routes to `s`, on a tree sized by
-    /// [`Partition::shard_levels`], seeded with [`ShardedScenario::shard_seed`].
+    /// The derived base seed of one `(shard, epoch)` pair — every epoch's
+    /// fresh tree instances draw from their own seed, decorrelated across
+    /// shards and epochs alike.
+    pub fn shard_epoch_seed(&self, shard: u32, epoch: u32) -> u64 {
+        shard_epoch_seed(self.seed, shard, epoch)
+    }
+
+    /// Derives the standalone per-shard reference scenarios of **epoch 0**:
+    /// shard `s`'s scenario serves exactly the localized subsequence of the
+    /// global stream that routes to `s` under the initial partition, on a
+    /// tree sized by [`Partition::shard_levels`], seeded with
+    /// [`ShardedScenario::shard_seed`].
     ///
     /// Running each of these through [`SimRunner`](crate::SimRunner) serially
-    /// is the *reference replay* of the sharded engine: per-shard cost
-    /// summaries and final checkpoint fingerprints must coincide byte for
-    /// byte with the engine's concurrent run (the `satn-serve` property
-    /// tests assert exactly this).
+    /// is the *reference replay* of a static (non-resharding) engine run:
+    /// per-shard cost summaries and final checkpoint fingerprints must
+    /// coincide byte for byte with the engine's concurrent run (the
+    /// `satn-serve` property tests assert exactly this). For a scenario with
+    /// a reshard schedule, the full oracle is
+    /// [`ShardedScenario::epoch_replay`]; this method still describes epoch 0
+    /// as if the whole stream were served there.
     pub fn shard_scenarios(&self) -> Vec<Scenario> {
         let partition = self.partition();
         let split = partition.split_stream(self.stream());
+        self.epoch_scenarios(0, &partition, split, None)
+    }
+
+    /// The epoch log and boundary positions of this scenario's reshard
+    /// schedule — derived purely from the scenario value (for
+    /// [`ReshardSchedule::Policy`], by running the policy over the stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a manual schedule's plans do not fit the partition or its
+    /// positions are not strictly increasing.
+    pub fn epoch_log(&self) -> (EpochedPartition, Vec<usize>) {
+        match &self.reshard {
+            ReshardSchedule::Static => (
+                EpochedPartition::from_partition(self.partition()),
+                Vec::new(),
+            ),
+            ReshardSchedule::Manual(events) => {
+                let mut log = EpochedPartition::from_partition(self.partition());
+                let mut boundaries = Vec::with_capacity(events.len());
+                let mut previous = None;
+                for event in events {
+                    assert!(
+                        previous.is_none_or(|last| event.at > last),
+                        "manual reshard positions must be strictly increasing"
+                    );
+                    previous = Some(event.at);
+                    log.apply(event.plan.clone())
+                        .expect("manual reshard plans must fit the partition");
+                    // An event scheduled at or past the stream end fires at
+                    // the end of the run (the engine does the same), so its
+                    // effective boundary is the stream length.
+                    boundaries.push(event.at.min(self.requests));
+                }
+                (log, boundaries)
+            }
+            ReshardSchedule::Policy(policy) => {
+                derive_schedule(policy, self.partition(), self.stream())
+            }
+        }
+    }
+
+    /// The standalone per-shard scenarios of one epoch: shard `s` serves its
+    /// localized subsequence on a tree sized by the epoch's partition,
+    /// seeded with [`ShardedScenario::shard_epoch_seed`]. Epoch 0 starts
+    /// from the scenario's initial placement; later epochs start from the
+    /// explicit post-handover placements.
+    fn epoch_scenarios(
+        &self,
+        epoch: u32,
+        partition: &Partition,
+        split: Vec<Vec<ElementId>>,
+        placements: Option<Vec<Vec<ElementId>>>,
+    ) -> Vec<Scenario> {
         split
             .into_iter()
             .enumerate()
@@ -136,21 +261,130 @@ impl ShardedScenario {
                 let capacity = (1u32 << levels) - 1;
                 let requests = subsequence.len();
                 let workload = Workload::new(
-                    format!("{}#shard{}", self.workload.label(), shard),
+                    format!("{}#e{}s{}", self.workload.label(), epoch, shard),
                     capacity,
                     subsequence,
                 );
+                let initial = match &placements {
+                    None => self.initial.clone(),
+                    Some(placements) => InitialPlacement::Fixed(placements[shard as usize].clone()),
+                };
                 Scenario {
                     algorithm: self.algorithm,
                     workload: WorkloadSpec::Fixed(workload),
                     levels,
                     requests,
-                    seed: self.shard_seed(shard),
+                    seed: self.shard_epoch_seed(shard, epoch),
                     checkpoints: Checkpoints::final_only(),
-                    initial: self.initial,
+                    initial,
                 }
             })
             .collect()
+    }
+
+    /// The epoch-segmented serial reference replay — the byte-exact oracle
+    /// of a resharding engine run.
+    ///
+    /// Derives the epoch log, splits the global stream into per-epoch
+    /// per-shard subsequences, and runs every epoch's standalone per-shard
+    /// [`Scenario`]s through `runner` in epoch-major shard order. At each
+    /// boundary the deterministic [`handover`] is recomputed from the
+    /// replayed occupancies — never taken from an engine — so the next
+    /// epoch's `InitialPlacement::Fixed` scenarios, the migration costs, and
+    /// every fingerprint are *derived*, not hand-kept. An engine run matches
+    /// this replay at every thread count, drain cadence, and ingestion
+    /// framing, or it has a bug.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing per-shard run, in epoch-major shard
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario reshards with an offline algorithm
+    /// (Static-Opt computes its layout from the whole future subsequence,
+    /// which no online handover can know), or if a manual schedule is
+    /// invalid.
+    pub fn epoch_replay(&self, runner: &SimRunner) -> Result<ShardedReplay, SimError> {
+        let (log, boundaries) = self.epoch_log();
+        assert!(
+            log.len() == 1 || self.algorithm != AlgorithmKind::StaticOpt,
+            "resharding is not supported for offline algorithms"
+        );
+        let splits = log.split_stream_epochs(&boundaries, self.stream());
+        let mut accounting = ShardedCostSummary::new(self.shards);
+        let mut scenarios = Vec::with_capacity(log.len());
+        let mut results: Vec<Vec<ScenarioResult>> = Vec::with_capacity(log.len());
+        let mut occupancies: Vec<Occupancy> = Vec::new();
+        for (split, epoch) in splits.into_iter().zip(log.epochs()) {
+            let partition = epoch.partition();
+            let placements = if epoch.epoch() == 0 {
+                None
+            } else {
+                let previous = log.epoch(epoch.epoch() - 1).partition();
+                let refs: Vec<&Occupancy> = occupancies.iter().collect();
+                let outcome = handover(previous, partition, &refs);
+                accounting.begin_epoch(outcome.migration);
+                Some(outcome.placements)
+            };
+            let epoch_scenarios = self.epoch_scenarios(epoch.epoch(), partition, split, placements);
+            let mut epoch_results = Vec::with_capacity(epoch_scenarios.len());
+            occupancies.clear();
+            for (shard, scenario) in epoch_scenarios.iter().enumerate() {
+                let result = runner.run(scenario)?;
+                accounting.merge_into_shard(shard as u32, &result.summary);
+                occupancies.push(
+                    snapshot::occupancy_from_str(result.final_snapshot())
+                        .expect("replay fingerprints are valid snapshots"),
+                );
+                epoch_results.push(result);
+            }
+            scenarios.push(epoch_scenarios);
+            results.push(epoch_results);
+        }
+        Ok(ShardedReplay {
+            scenarios,
+            results,
+            accounting,
+            boundaries,
+            log,
+        })
+    }
+}
+
+/// The outcome of an epoch-segmented serial reference replay
+/// ([`ShardedScenario::epoch_replay`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedReplay {
+    /// The standalone per-shard scenarios, `scenarios[epoch][shard]` — each
+    /// is a self-contained [`Scenario`] value that any `SimRunner` run
+    /// reproduces exactly.
+    pub scenarios: Vec<Vec<Scenario>>,
+    /// The per-shard results, `results[epoch][shard]`.
+    pub results: Vec<Vec<ScenarioResult>>,
+    /// The full epoch-versioned ledger: per-epoch sub-summaries, migration
+    /// costs, and all-time per-shard totals.
+    pub accounting: ShardedCostSummary,
+    /// `boundaries[k]` = global requests served before epoch `k + 1` began.
+    pub boundaries: Vec<usize>,
+    /// The epoch log the replay segmented the stream with.
+    pub log: EpochedPartition,
+}
+
+impl ShardedReplay {
+    /// The fingerprint of one shard at the end of one epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the epoch or shard is out of range.
+    pub fn fingerprint(&self, epoch: u32, shard: u32) -> &str {
+        self.results[epoch as usize][shard as usize].final_snapshot()
+    }
+
+    /// Number of epochs of the replay (at least one).
+    pub fn epochs(&self) -> u32 {
+        self.results.len() as u32
     }
 }
 
@@ -158,6 +392,7 @@ impl ShardedScenario {
 mod tests {
     use super::*;
     use crate::SimRunner;
+    use satn_workloads::shard::ReshardPlan;
 
     fn scenario(router: ShardRouter) -> ShardedScenario {
         let mut s = ShardedScenario::new(
@@ -238,5 +473,132 @@ mod tests {
         assert!(name.contains("rotor-push"));
         assert!(name.contains("source-affinity"));
         assert!(name.contains("S4xL5"));
+
+        let mut scheduled = scenario(ShardRouter::Hash);
+        scheduled.reshard = ReshardSchedule::Policy(ReshardPolicy::MoveHottest {
+            every: 500,
+            max_moves: 8,
+        });
+        assert!(scheduled.name().contains("reshard-every-500"));
+    }
+
+    #[test]
+    fn static_epoch_replay_reduces_to_the_single_epoch_reference() {
+        let sharded = scenario(ShardRouter::Hash);
+        let runner = SimRunner::new();
+        let replay = sharded.epoch_replay(&runner).unwrap();
+        assert_eq!(replay.epochs(), 1);
+        assert!(replay.boundaries.is_empty());
+        assert_eq!(replay.accounting.current_epoch(), 0);
+        // Identical to the flat shard_scenarios() reference, scenario for
+        // scenario (epoch-0 workload names use the epoch-tagged labels).
+        for (shard, reference) in sharded.shard_scenarios().iter().enumerate() {
+            let expected = runner.run(reference).unwrap();
+            assert_eq!(replay.results[0][shard].summary, expected.summary);
+            assert_eq!(
+                replay.fingerprint(0, shard as u32),
+                expected.final_snapshot()
+            );
+        }
+    }
+
+    #[test]
+    fn manual_reshard_segments_the_replay_and_prices_the_handover() {
+        let mut sharded = scenario(ShardRouter::Range);
+        // Move the first two elements of shard 0 to shard 3 after 800
+        // requests.
+        sharded.reshard = ReshardSchedule::Manual(vec![ReshardEvent {
+            at: 800,
+            plan: ReshardPlan::new([(ElementId::new(0), 3), (ElementId::new(1), 3)]),
+        }]);
+        let runner = SimRunner::new();
+        let replay = sharded.epoch_replay(&runner).unwrap();
+        assert_eq!(replay.epochs(), 2);
+        assert_eq!(replay.boundaries, vec![800]);
+
+        // The stream is fully covered across epochs and shards.
+        let total: u64 = replay.accounting.requests();
+        assert_eq!(total, 2_000);
+        assert_eq!(replay.accounting.epochs().len(), 2);
+
+        // The handover moved two elements and was not free.
+        let migration = replay.accounting.migration_total();
+        assert_eq!(migration.moved, 2);
+        assert!(
+            migration.total() >= 4,
+            "delete + insert cost at least 2 each"
+        );
+
+        // Every per-epoch scenario is standalone: an independent run of the
+        // scenario value reproduces the replay byte for byte.
+        for (epoch, scenarios) in replay.scenarios.iter().enumerate() {
+            for (shard, reference) in scenarios.iter().enumerate() {
+                let rerun = runner.run(reference).unwrap();
+                assert_eq!(
+                    &rerun, &replay.results[epoch][shard],
+                    "epoch {epoch} shard {shard} is not standalone"
+                );
+            }
+        }
+
+        // Epoch 1 scenarios carry explicit fixed placements.
+        for reference in &replay.scenarios[1] {
+            assert!(matches!(reference.initial, InitialPlacement::Fixed(_)));
+        }
+    }
+
+    #[test]
+    fn policy_replay_reshards_against_the_hot_shard_stream() {
+        let mut sharded =
+            ShardedScenario::hot_shard(AlgorithmKind::RotorPush, 4, 5, 4_000, 11, 8, 2.0);
+        sharded.reshard = ReshardSchedule::Policy(ReshardPolicy::MoveHottest {
+            every: 250,
+            max_moves: 8,
+        });
+        let runner = SimRunner::new();
+        let replay = sharded.epoch_replay(&runner).unwrap();
+        assert!(
+            replay.epochs() > 1,
+            "the hot-shard stream must trigger the policy"
+        );
+        assert!(replay.accounting.migration_total().moved > 0);
+        // Boundaries fire only at the policy cadence.
+        for boundary in &replay.boundaries {
+            assert_eq!(boundary % 250, 0);
+        }
+        // The whole derivation is deterministic.
+        let again = sharded.epoch_replay(&runner).unwrap();
+        assert_eq!(replay, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "offline algorithms")]
+    fn resharding_static_opt_is_rejected() {
+        let mut sharded = scenario(ShardRouter::Range);
+        sharded.algorithm = AlgorithmKind::StaticOpt;
+        sharded.reshard = ReshardSchedule::Manual(vec![ReshardEvent {
+            at: 100,
+            plan: ReshardPlan::new([(ElementId::new(0), 1)]),
+        }]);
+        let _ = sharded.epoch_replay(&SimRunner::new());
+    }
+
+    #[test]
+    fn hot_shard_preset_concentrates_load_per_phase() {
+        let sharded = ShardedScenario::hot_shard(AlgorithmKind::MoveHalf, 4, 5, 2_000, 3, 4, 2.2);
+        assert_eq!(sharded.router, ShardRouter::Range);
+        assert!(sharded.name().contains("hot-shard"));
+        let partition = sharded.partition();
+        // Within one phase, every request lands on a single shard.
+        let stream: Vec<ElementId> = sharded.stream().collect();
+        let phase_length = 2_000usize.div_ceil(4);
+        let mut hot_shards = Vec::new();
+        for phase in stream.chunks(phase_length) {
+            let shard = partition.shard_of(phase[0]).unwrap();
+            assert!(phase.iter().all(|&e| partition.shard_of(e) == Some(shard)));
+            hot_shards.push(shard);
+        }
+        hot_shards.dedup();
+        assert!(hot_shards.len() > 1, "the hot shard never moved");
     }
 }

@@ -48,7 +48,7 @@ pub mod snapshot;
 mod swap;
 mod topology;
 
-pub use cost::{CostSummary, ServeCost, ShardedCostSummary};
+pub use cost::{CostSummary, EpochCostSummary, MigrationCost, ServeCost, ShardedCostSummary};
 pub use error::TreeError;
 pub use node::{Ancestors, Direction, ElementId, NodeId};
 pub use occupancy::Occupancy;

@@ -30,7 +30,7 @@ use rand::Rng;
 /// Panics if `num_elements < 2`, `hot_set_size` is zero or larger than the
 /// universe, or the probabilities are outside `[0, 1]`.
 /// This is the materialized form of
-/// [`MarkovBurstyStream`](crate::stream::MarkovBurstyStream); the two produce
+/// [`MarkovBurstyStream`]; the two produce
 /// identical sequences for the same generator state.
 pub fn markov_bursty<R: Rng + ?Sized>(
     num_elements: u32,
@@ -64,7 +64,7 @@ pub fn markov_bursty<R: Rng + ?Sized>(
 ///
 /// Panics if `num_elements < 2`, `phases` is zero, or `a <= 1`.
 /// This is the materialized form of
-/// [`ShiftingHotspotStream`](crate::stream::ShiftingHotspotStream); the two
+/// [`ShiftingHotspotStream`]; the two
 /// produce identical sequences for the same generator state.
 pub fn shifting_hotspot<R: Rng + ?Sized>(
     num_elements: u32,

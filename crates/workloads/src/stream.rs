@@ -349,6 +349,84 @@ impl<R: Rng> Iterator for ShiftingHotspotStream<R> {
     }
 }
 
+/// A hot-*shard* stream: the [`ShiftingHotspotStream`] phase structure with
+/// each phase's entire Zipf distribution confined to one contiguous block of
+/// the universe, the hot block re-drawn per phase.
+///
+/// Split the universe into `blocks` equal contiguous blocks (a tail
+/// remainder shorter than a block stays cold). Each phase picks a block
+/// uniformly at random and draws all of its requests from an inner
+/// shifting-hotspot stream over block-local ids, offset into the hot block.
+/// Under range routing with `blocks` equal to the shard count, whole shards
+/// run hot one at a time and the hot shard moves between phases — the
+/// adversarial workload dynamic resharding exists to absorb.
+#[derive(Debug, Clone)]
+pub struct HotBlockStream<R> {
+    inner: ShiftingHotspotStream<rand::rngs::StdRng>,
+    blocks: u32,
+    block_size: u32,
+    phase_length: usize,
+    remaining: usize,
+    until_shift: usize,
+    offset: u32,
+    rng: R,
+}
+
+impl<R: Rng> HotBlockStream<R> {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero, a block would hold fewer than two
+    /// elements, or under the conditions of [`ShiftingHotspotStream::new`].
+    pub fn new(
+        num_elements: u32,
+        length: usize,
+        phases: usize,
+        a: f64,
+        blocks: u32,
+        mut rng: R,
+    ) -> Self {
+        assert!(blocks > 0, "need at least one block");
+        let block_size = num_elements / blocks;
+        assert!(
+            block_size >= 2,
+            "each block needs at least two elements ({num_elements} elements / {blocks} blocks)"
+        );
+        // The within-block ranking shuffles come from a derived generator so
+        // the block schedule and the rank draws stay decorrelated.
+        let inner_rng = rand::SeedableRng::seed_from_u64(rng.gen());
+        HotBlockStream {
+            inner: ShiftingHotspotStream::new(block_size, length, phases, a, inner_rng),
+            blocks,
+            block_size,
+            phase_length: length.div_ceil(phases.max(1)),
+            remaining: length,
+            until_shift: 0,
+            offset: 0,
+            rng,
+        }
+    }
+}
+
+impl<R: Rng> Iterator for HotBlockStream<R> {
+    type Item = ElementId;
+
+    fn next(&mut self) -> Option<ElementId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.until_shift == 0 {
+            self.offset = self.rng.gen_range(0..self.blocks) * self.block_size;
+            self.until_shift = self.phase_length;
+        }
+        self.until_shift -= 1;
+        self.remaining -= 1;
+        let local = self.inner.next()?;
+        Some(ElementId::new(self.offset + local.index()))
+    }
+}
+
 // Scenario cells build their request streams inside `satn-exec` worker
 // threads; every generative stream must therefore stay `Send + 'static`
 // (with the concrete `StdRng` driver used across the workspace).
@@ -363,6 +441,7 @@ fn _assert_parallel_safe() {
     assert_send::<RoundRobinPathStream>();
     assert_send::<MarkovBurstyStream<StdRng>>();
     assert_send::<ShiftingHotspotStream<StdRng>>();
+    assert_send::<HotBlockStream<StdRng>>();
     assert_send::<crate::corpus::TripleStream>();
     assert_send::<crate::Workload>();
 }
@@ -449,6 +528,36 @@ mod tests {
     fn round_robin_stream_reports_its_period() {
         let stream = RoundRobinPathStream::new(14);
         assert_eq!(stream.period(), 4);
+    }
+
+    #[test]
+    fn hot_block_stream_confines_each_phase_to_one_block() {
+        let blocks = 4u32;
+        let block_size = 15u32;
+        let length = 2_000;
+        let phases = 8;
+        let stream: Vec<ElementId> =
+            HotBlockStream::new(blocks * block_size, length, phases, 2.0, blocks, rng(5)).collect();
+        assert_eq!(stream.len(), length);
+        let phase_length = length.div_ceil(phases);
+        let mut hot_blocks = Vec::new();
+        for phase in stream.chunks(phase_length) {
+            let block = phase[0].index() / block_size;
+            assert!(
+                phase.iter().all(|e| e.index() / block_size == block),
+                "a phase leaked outside its hot block"
+            );
+            hot_blocks.push(block);
+        }
+        // The hot block actually moves across phases.
+        hot_blocks.sort_unstable();
+        hot_blocks.dedup();
+        assert!(hot_blocks.len() > 1, "the hot block never shifted");
+
+        // Deterministic in the seed.
+        let replay: Vec<ElementId> =
+            HotBlockStream::new(blocks * block_size, length, phases, 2.0, blocks, rng(5)).collect();
+        assert_eq!(stream, replay);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use satn_tree::ElementId;
 /// `num_elements` elements.
 ///
 /// This is the materialized form of
-/// [`UniformStream`](crate::stream::UniformStream); the two produce identical
+/// [`UniformStream`]; the two produce identical
 /// sequences for the same generator state.
 pub fn uniform<R: Rng + ?Sized>(num_elements: u32, length: usize, rng: &mut R) -> Workload {
     let requests = UniformStream::new(num_elements, rng).take(length).collect();
@@ -59,7 +59,7 @@ pub fn with_temporal_locality<R: Rng + ?Sized>(
 /// uniform element (the paper's Q2 workload).
 ///
 /// This is the materialized form of
-/// [`TemporalStream`](crate::stream::TemporalStream); the two produce
+/// [`TemporalStream`]; the two produce
 /// identical sequences for the same generator state.
 pub fn temporal<R: Rng + ?Sized>(
     num_elements: u32,
@@ -175,7 +175,7 @@ pub fn zipf<R: Rng + ?Sized>(num_elements: u32, length: usize, a: f64, rng: &mut
 /// the previous request repeated with probability `p`.
 ///
 /// This is the materialized form of
-/// [`CombinedStream`](crate::stream::CombinedStream); the two produce
+/// [`CombinedStream`]; the two produce
 /// identical sequences for the same generator state.
 pub fn combined<R: Rng + ?Sized>(
     num_elements: u32,

@@ -179,7 +179,7 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, F);
 }
 
-/// `any::<T>()` and the [`Arbitrary`] trait behind it.
+/// `any::<T>()` and the `Arbitrary` trait behind it.
 pub mod arbitrary {
     use super::strategy::Strategy;
     use rand::rngs::StdRng;
@@ -264,7 +264,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](vec()).
     #[derive(Clone, Copy, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -73,10 +73,11 @@ pub use satn_serve::{
     ingest_channel, EngineReport, IngestQueue, IngestSender, ShardedEngine, SourceShardedEngine,
 };
 pub use satn_sim::{
-    Checkpoints, InvariantObserver, Observer, Scenario, ScenarioGrid, ShardRouter, ShardedScenario,
-    SimRunner, WorkloadSpec,
+    Checkpoints, InvariantObserver, Observer, ReshardPlan, ReshardPolicy, ReshardSchedule,
+    Scenario, ScenarioGrid, ShardRouter, ShardedReplay, ShardedScenario, SimRunner, WorkloadSpec,
 };
 pub use satn_tree::{
-    CompleteTree, CostSummary, Direction, ElementId, NodeId, Occupancy, ServeCost, TreeError,
+    CompleteTree, CostSummary, Direction, ElementId, MigrationCost, NodeId, Occupancy, ServeCost,
+    TreeError,
 };
 pub use satn_workloads::{fit_tree_levels, Workload};
