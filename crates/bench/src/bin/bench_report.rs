@@ -17,7 +17,7 @@
 
 use satn_core::AlgorithmKind;
 use satn_exec::Parallelism;
-use satn_serve::{EngineReport, ReshardPolicy, ReshardSchedule, ShardedEngine};
+use satn_serve::{EngineReport, ReshardPolicy, ReshardSchedule, ShardedEngineConfig};
 use satn_sim::{Checkpoints, ScenarioGrid, ScenarioResult, SimRunner};
 use satn_sim::{Scenario, ShardRouter, ShardedScenario, WorkloadSpec};
 use satn_tree::ElementId;
@@ -70,9 +70,11 @@ fn time_sharded(
     requests: &[ElementId],
     parallelism: Parallelism,
 ) -> (f64, EngineReport) {
-    let mut engine = ShardedEngine::from_scenario(scenario, parallelism)
-        .expect("shard construction cannot fail on a valid scenario")
-        .with_drain_threshold(4_096);
+    let mut engine = ShardedEngineConfig::from_scenario(scenario)
+        .parallelism(parallelism)
+        .drain_threshold(4_096)
+        .build()
+        .expect("shard construction cannot fail on a valid scenario");
     let started = Instant::now();
     engine
         .submit_burst(requests)

@@ -1,0 +1,206 @@
+//! `satn-load` — the TCP load generator for `satnd`.
+//!
+//! Replays any [`WorkloadSpec`] request stream over the wire protocol
+//! through a [`TcpIngest`] connection (the same scenario grammar `satnd`
+//! accepts, so client and server agree on the stream byte for byte) and
+//! reports per-frame round-trip latency quantiles. A frame's RTT spans from
+//! its write to the server's acknowledgement — which the server only sends
+//! once the frame is enqueued for the engine, so the tail latencies surface
+//! engine backpressure, not just network time.
+//!
+//! ```text
+//! satn-load --addr ADDR [--shards N] [--levels N] [--algorithm A]
+//!           [--workload W] [--requests N] [--seed S] [--burst N]
+//!           [--window N] [--out FILE]
+//! ```
+//!
+//! Writes a JSON report (throughput + p50/p99/p999/max frame RTT) to
+//! `--out`, and prints the same summary to stdout. Retries the initial
+//! connection for a few seconds so it can be launched alongside `satnd`.
+
+use satn_bench::LatencyHistogram;
+use satn_core::AlgorithmKind;
+use satn_serve::{Ingest, ServeError, ShardedScenario, TcpIngest, DEFAULT_WINDOW};
+use satn_sim::WorkloadSpec;
+use satn_tree::ElementId;
+use std::collections::VecDeque;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: satn-load --addr ADDR [--shards N] [--levels N] [--algorithm A] \
+                     [--workload W] [--requests N] [--seed S] [--burst N] [--window N] \
+                     [--out FILE]";
+
+fn usage() -> ExitCode {
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Retries the connection for ~5 seconds: `satn-load` is routinely launched
+/// in the same breath as `satnd`, before the listener is up.
+fn connect_with_retry(addr: &str) -> Result<TcpIngest, ServeError> {
+    let mut last = None;
+    for _ in 0..50 {
+        match TcpIngest::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(error) => last = Some(error),
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    Err(last.expect("fifty attempts leave an error"))
+}
+
+struct LoadReport {
+    frames: u64,
+    requests: usize,
+    elapsed: f64,
+    histogram: LatencyHistogram,
+}
+
+/// Replays the scenario stream in bursts, timing each frame from write to
+/// acknowledgement.
+fn run(
+    addr: &str,
+    scenario: &ShardedScenario,
+    burst: usize,
+    window: usize,
+) -> Result<LoadReport, ServeError> {
+    let mut client = connect_with_retry(addr)?.with_window(window);
+    let requests: Vec<ElementId> = scenario.stream().collect();
+    let mut histogram = LatencyHistogram::new();
+    let mut in_flight: VecDeque<Instant> = VecDeque::with_capacity(window);
+    let mut recorded = 0u64;
+    let started = Instant::now();
+    for chunk in requests.chunks(burst) {
+        client.send_burst(chunk)?;
+        in_flight.push_back(Instant::now());
+        // Every ack the send loop has absorbed closes one frame's RTT.
+        while recorded < client.acked() {
+            let sent_at = in_flight.pop_front().expect("one send per ack");
+            histogram.record(sent_at.elapsed());
+            recorded += 1;
+        }
+    }
+    client.drain_acks()?;
+    while recorded < client.acked() {
+        let sent_at = in_flight.pop_front().expect("one send per ack");
+        histogram.record(sent_at.elapsed());
+        recorded += 1;
+    }
+    let frames = client.finish()?;
+    let elapsed = started.elapsed().as_secs_f64();
+    Ok(LoadReport {
+        frames,
+        requests: requests.len(),
+        elapsed,
+        histogram,
+    })
+}
+
+fn json(report: &LoadReport, scenario: &ShardedScenario, burst: usize, window: usize) -> String {
+    let micros = |d: Duration| d.as_secs_f64() * 1e6;
+    format!(
+        "{{\n  \"scenario\": \"{}\",\n  \"requests\": {},\n  \"frames\": {},\n  \
+         \"burst\": {},\n  \"window\": {},\n  \"elapsed_s\": {:.6},\n  \
+         \"throughput_req_per_s\": {:.0},\n  \"frame_rtt_us\": {{\n    \
+         \"p50\": {:.1},\n    \"p99\": {:.1},\n    \"p999\": {:.1},\n    \
+         \"max\": {:.1}\n  }}\n}}\n",
+        scenario.name(),
+        report.requests,
+        report.frames,
+        burst,
+        window,
+        report.elapsed,
+        report.requests as f64 / report.elapsed.max(f64::MIN_POSITIVE),
+        micros(report.histogram.quantile(0.50)),
+        micros(report.histogram.quantile(0.99)),
+        micros(report.histogram.quantile(0.999)),
+        micros(report.histogram.max()),
+    )
+}
+
+fn main() -> ExitCode {
+    let mut addr = None;
+    let mut shards = 4u32;
+    let mut levels = 6u32;
+    let mut algorithm = AlgorithmKind::RotorPush;
+    let mut workload = WorkloadSpec::Combined { a: 1.9, p: 0.75 };
+    let mut requests = 20_000usize;
+    let mut seed = 2022u64;
+    let mut burst = 512usize;
+    let mut window = DEFAULT_WINDOW;
+    let mut out = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(argument) = args.next() {
+        match argument.as_str() {
+            "--addr" => match args.next() {
+                Some(value) => addr = Some(value),
+                None => return usage(),
+            },
+            "--shards" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(value) if value > 0 => shards = value,
+                _ => return usage(),
+            },
+            "--levels" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(value) if value > 0 => levels = value,
+                _ => return usage(),
+            },
+            "--algorithm" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => algorithm = value,
+                None => return usage(),
+            },
+            "--workload" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => workload = value,
+                None => return usage(),
+            },
+            "--requests" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => requests = value,
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => seed = value,
+                None => return usage(),
+            },
+            "--burst" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) if value > 0 => burst = value,
+                _ => return usage(),
+            },
+            "--window" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) if value > 0 => window = value,
+                _ => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(value) => out = Some(value),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        return usage();
+    };
+
+    let scenario = ShardedScenario::new(algorithm, workload, shards, levels, requests, seed);
+    let report = match run(&addr, &scenario, burst, window) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("satn-load: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rendered = json(&report, &scenario, burst, window);
+    print!("{rendered}");
+    if let Some(path) = out {
+        if let Err(error) = std::fs::write(&path, &rendered) {
+            eprintln!("satn-load: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -19,7 +19,8 @@ use rand::{Rng, SeedableRng};
 use satn_core::AlgorithmKind;
 use satn_network::{Host, HostPair, SelfAdjustingNetwork};
 use satn_serve::{
-    ingest_channel, Parallelism, ReshardPolicy, ReshardSchedule, ShardedEngine, SourceShardedEngine,
+    ingest_channel, replay, Parallelism, ReshardPolicy, ReshardSchedule, ShardedEngineConfig,
+    SourceShardedEngine,
 };
 use satn_sim::{ShardRouter, ShardedScenario, SimRunner, WorkloadSpec};
 use satn_tree::ElementId;
@@ -38,8 +39,12 @@ fn usage() -> ExitCode {
 /// against the epoch-segmented serial reference replay. Returns the
 /// wall-clock seconds of the engine run, or `None` on divergence.
 fn run_and_verify(scenario: &ShardedScenario, parallelism: Parallelism) -> Option<f64> {
-    let mut engine = match ShardedEngine::from_scenario(scenario, parallelism) {
-        Ok(engine) => engine.with_drain_threshold(1_024),
+    let mut engine = match ShardedEngineConfig::from_scenario(scenario)
+        .parallelism(parallelism)
+        .drain_threshold(1_024)
+        .build()
+    {
+        Ok(engine) => engine,
         Err(error) => {
             eprintln!("{}: construction FAILED: {error}", scenario.name());
             return None;
@@ -47,14 +52,12 @@ fn run_and_verify(scenario: &ShardedScenario, parallelism: Parallelism) -> Optio
     };
     let requests: Vec<ElementId> = scenario.stream().collect();
     let started = Instant::now();
-    let (sender, queue) = ingest_channel(16);
+    let (mut sender, queue) = ingest_channel(16);
     let report = std::thread::scope(|scope| {
         scope.spawn(move || {
-            for chunk in requests.chunks(512) {
-                if sender.send_burst(chunk.to_vec()).is_err() {
-                    return;
-                }
-            }
+            // A closed queue only means the engine failed first; that error
+            // is reported below.
+            let _ = replay(&mut sender, requests, 512);
         });
         let result = engine.serve_queue(&queue).and_then(|()| engine.finish());
         if result.is_err() {
@@ -73,35 +76,16 @@ fn run_and_verify(scenario: &ShardedScenario, parallelism: Parallelism) -> Optio
         }
     };
 
-    let replay = match scenario.epoch_replay(&SimRunner::new()) {
-        Ok(replay) => replay,
+    let reference = match scenario.epoch_replay(&SimRunner::new()) {
+        Ok(reference) => reference,
         Err(error) => {
             eprintln!("{}: reference replay FAILED: {error}", scenario.name());
             return None;
         }
     };
-    if report.epoch_fingerprints.len() as u32 != replay.epochs()
-        || report.boundaries != replay.boundaries
-    {
-        eprintln!("{}: EPOCH SCHEDULE DIVERGED", scenario.name());
+    if let Err(divergence) = report.verify_against(&reference) {
+        eprintln!("{}: {divergence}", scenario.name());
         return None;
-    }
-    if report.accounting != replay.accounting {
-        eprintln!("{}: EPOCH LEDGER DIVERGED", scenario.name());
-        return None;
-    }
-    for epoch in 0..replay.epochs() {
-        for shard in 0..scenario.shards {
-            if report.epoch_fingerprints[epoch as usize][shard as usize]
-                != replay.fingerprint(epoch, shard)
-            {
-                eprintln!(
-                    "{}: epoch {epoch} shard {shard} FINGERPRINT DIVERGED",
-                    scenario.name()
-                );
-                return None;
-            }
-        }
     }
     Some(elapsed)
 }

@@ -39,11 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Condvar, Mutex};
 
 /// How many worker threads an execution-layer call may use.
 ///
@@ -317,6 +318,131 @@ where
     results
 }
 
+/// A handle for spawning dynamically discovered tasks onto the scoped pool
+/// of a [`task_scope`] call.
+///
+/// Unlike the ordered-map primitives above — whose work list is known up
+/// front — a task scope accepts tasks as they appear (e.g. one per accepted
+/// network connection) and runs them on a **bounded** set of workers: with
+/// `W` workers, at most `W` tasks run concurrently and the rest queue in
+/// submission order. Tasks may borrow anything that outlives the
+/// [`task_scope`] call, exactly like [`std::thread::scope`] threads.
+pub struct TaskScope<'env> {
+    state: Mutex<TaskQueue<'env>>,
+    available: Condvar,
+}
+
+struct TaskQueue<'env> {
+    tasks: VecDeque<Box<dyn FnOnce() + Send + 'env>>,
+    closed: bool,
+}
+
+impl<'env> TaskScope<'env> {
+    /// Enqueues a task; an idle worker picks it up in submission order.
+    /// Tasks produce results through whatever shared state they borrow (a
+    /// channel, a mutex-guarded vector) — the scope itself returns nothing.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        let mut state = self.state.lock().expect("task queue lock never poisons");
+        assert!(!state.closed, "spawn after the task scope closed");
+        state.tasks.push_back(Box::new(task));
+        drop(state);
+        self.available.notify_one();
+    }
+
+    fn next_task(&self) -> Option<Box<dyn FnOnce() + Send + 'env>> {
+        let mut state = self.state.lock().expect("task queue lock never poisons");
+        loop {
+            if let Some(task) = state.tasks.pop_front() {
+                return Some(task);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .expect("task queue lock never poisons");
+        }
+    }
+
+    fn close(&self) {
+        self.state
+            .lock()
+            .expect("task queue lock never poisons")
+            .closed = true;
+        self.available.notify_all();
+    }
+}
+
+impl fmt::Debug for TaskScope<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock().expect("task queue lock never poisons");
+        f.debug_struct("TaskScope")
+            .field("queued", &state.tasks.len())
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+/// Runs `f` with a [`TaskScope`] handle backed by `parallelism` workers,
+/// then waits for every spawned task to finish before returning `f`'s
+/// result — the dynamic-work sibling of [`ordered_map`], for work that is
+/// *discovered* rather than known up front (accepted connections, queue
+/// items).
+///
+/// Workers run concurrently with `f` itself, so a task spawned early makes
+/// progress while `f` is still producing more (an accept loop handles its
+/// first connection while waiting for the next). At least one worker always
+/// runs even under [`Parallelism::Serial`]; serial mode bounds concurrent
+/// tasks to one, it does not defer them until `f` returns.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by a task (after all workers have
+/// stopped) — mirroring the ordered-map primitives. Queued tasks behind a
+/// panicking worker may be abandoned.
+pub fn task_scope<'env, R>(parallelism: Parallelism, f: impl FnOnce(&TaskScope<'env>) -> R) -> R {
+    let scope = TaskScope {
+        state: Mutex::new(TaskQueue {
+            tasks: VecDeque::new(),
+            closed: false,
+        }),
+        available: Condvar::new(),
+    };
+    let workers = parallelism.threads();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let scope = &scope;
+                s.spawn(move || {
+                    while let Some(task) = scope.next_task() {
+                        task();
+                    }
+                })
+            })
+            .collect();
+        // Close on every exit path: if `f` panics without this, the workers
+        // would wait on the condvar forever and the enclosing thread scope
+        // would never join.
+        struct CloseOnExit<'a, 'env>(&'a TaskScope<'env>);
+        impl Drop for CloseOnExit<'_, '_> {
+            fn drop(&mut self) {
+                self.0.close();
+            }
+        }
+        let result = {
+            let _close = CloseOnExit(&scope);
+            f(&scope)
+        };
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        result
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +618,62 @@ mod tests {
                 |_, _| {},
             );
         }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn task_scope_runs_every_spawned_task() {
+        for parallelism in [
+            Parallelism::Serial,
+            Parallelism::Threads(3),
+            Parallelism::Auto,
+        ] {
+            let done = Mutex::new(Vec::new());
+            let produced = task_scope(parallelism, |scope| {
+                for task in 0..17 {
+                    let done = &done;
+                    scope.spawn(move || done.lock().unwrap().push(task));
+                }
+                "from f"
+            });
+            assert_eq!(produced, "from f");
+            let mut done = done.into_inner().unwrap();
+            done.sort_unstable();
+            assert_eq!(done, (0..17).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn task_scope_tasks_run_while_f_is_still_producing() {
+        // A task spawned first can complete (and unblock `f`) before `f`
+        // returns: `f` waits on a channel that only the task feeds.
+        let (sender, receiver) = mpsc::channel();
+        task_scope(Parallelism::Serial, |scope| {
+            scope.spawn(move || sender.send(42u32).unwrap());
+            assert_eq!(receiver.recv().unwrap(), 42);
+        });
+    }
+
+    #[test]
+    fn task_scope_tasks_borrow_the_environment() {
+        let words = ["rotor".to_owned(), "walk".to_owned()];
+        let lengths = Mutex::new(0usize);
+        task_scope(Parallelism::Threads(2), |scope| {
+            for word in &words {
+                let lengths = &lengths;
+                scope.spawn(move || *lengths.lock().unwrap() += word.len());
+            }
+        });
+        assert_eq!(lengths.into_inner().unwrap(), 9);
+    }
+
+    #[test]
+    fn task_scope_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            task_scope(Parallelism::Threads(2), |scope| {
+                scope.spawn(|| panic!("boom"));
+            })
+        });
         assert!(result.is_err());
     }
 

@@ -92,22 +92,40 @@ impl ShardedEngine {
     /// Assembles a **static** engine from a partition and one pre-built tree
     /// per shard (shard `s`'s tree serves local ids `0..` of
     /// `partition.owned(s)`). Built this way the engine cannot reshard —
-    /// arbitrary pre-built trees carry no rebuild recipe; chain
-    /// [`ShardedEngine::with_resharding`] to provide one.
+    /// arbitrary pre-built trees carry no rebuild recipe.
     ///
     /// # Panics
     ///
     /// Panics if the tree count differs from the partition's shard count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ShardedEngineConfig::from_parts(..).build()` — it validates instead of panicking"
+    )]
     pub fn new(
         partition: Partition,
         trees: Vec<Box<dyn SelfAdjustingTree + Send>>,
         parallelism: Parallelism,
     ) -> Self {
-        assert_eq!(
-            trees.len() as u32,
-            partition.shards(),
-            "one tree per shard is required"
-        );
+        match ShardedEngine::assemble(partition, trees, parallelism) {
+            Ok(engine) => engine,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// The non-panicking constructor behind both the deprecated
+    /// [`ShardedEngine::new`] and [`crate::ShardedEngineConfig`].
+    pub(crate) fn assemble(
+        partition: Partition,
+        trees: Vec<Box<dyn SelfAdjustingTree + Send>>,
+        parallelism: Parallelism,
+    ) -> Result<Self, ServeError> {
+        if trees.len() as u32 != partition.shards() {
+            return Err(ServeError::InvalidConfig(format!(
+                "one tree per shard is required ({} trees for {} shards)",
+                trees.len(),
+                partition.shards()
+            )));
+        }
         let shards: Vec<Shard> = trees
             .into_iter()
             .map(|tree| Shard {
@@ -116,7 +134,7 @@ impl ShardedEngine {
             })
             .collect();
         let accounting = ShardedCostSummary::new(partition.shards());
-        ShardedEngine {
+        Ok(ShardedEngine {
             log: EpochedPartition::from_partition(partition),
             shards,
             accounting,
@@ -126,7 +144,7 @@ impl ShardedEngine {
             schedule: OnlineSchedule::External,
             epoch_fingerprints: Vec::new(),
             boundaries: Vec::new(),
-        }
+        })
     }
 
     /// Builds the engine a [`ShardedScenario`] describes: the scenario's
@@ -145,7 +163,20 @@ impl ShardedEngine {
     /// instantiated (e.g. an offline layout over an invalid sequence), or
     /// [`ServeError::ReshardUnsupported`] for a reshard schedule with an
     /// offline algorithm.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ShardedEngineConfig::from_scenario(..).parallelism(..).build()`"
+    )]
     pub fn from_scenario(
+        scenario: &ShardedScenario,
+        parallelism: Parallelism,
+    ) -> Result<Self, ServeError> {
+        ShardedEngine::build_from_scenario(scenario, parallelism)
+    }
+
+    /// The construction behind both the deprecated
+    /// [`ShardedEngine::from_scenario`] and [`crate::ShardedEngineConfig`].
+    pub(crate) fn build_from_scenario(
         scenario: &ShardedScenario,
         parallelism: Parallelism,
     ) -> Result<Self, ServeError> {
@@ -177,7 +208,7 @@ impl ShardedEngine {
                 })?;
             trees.push(tree);
         }
-        let mut engine = ShardedEngine::new(partition, trees, parallelism);
+        let mut engine = ShardedEngine::assemble(partition, trees, parallelism)?;
         engine.rebuild = (!offline).then_some((scenario.algorithm, scenario.seed));
         engine.schedule = schedule;
         Ok(engine)
@@ -191,13 +222,31 @@ impl ShardedEngine {
     ///
     /// Panics for offline algorithms, which cannot be rebuilt mid-stream.
     #[must_use]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ShardedEngineConfig::resharding(..)` — it validates instead of panicking"
+    )]
     pub fn with_resharding(mut self, algorithm: AlgorithmKind, seed: u64) -> Self {
-        assert!(
-            algorithm != AlgorithmKind::StaticOpt,
-            "offline algorithms cannot be rebuilt mid-stream"
-        );
+        match self.set_resharding(algorithm, seed) {
+            Ok(()) => self,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// The validated setter behind the deprecated
+    /// [`ShardedEngine::with_resharding`] and [`crate::ShardedEngineConfig`].
+    pub(crate) fn set_resharding(
+        &mut self,
+        algorithm: AlgorithmKind,
+        seed: u64,
+    ) -> Result<(), ServeError> {
+        if algorithm == AlgorithmKind::StaticOpt {
+            return Err(ServeError::InvalidConfig(
+                "offline algorithms cannot be rebuilt mid-stream".to_owned(),
+            ));
+        }
         self.rebuild = Some((algorithm, seed));
-        self
+        Ok(())
     }
 
     /// Overrides the automatic-drain threshold (builder style). The cadence
@@ -207,9 +256,28 @@ impl ShardedEngine {
     ///
     /// Panics if `threshold` is zero.
     #[must_use]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ShardedEngineConfig::drain_threshold(..)` — it validates instead of panicking"
+    )]
     pub fn with_drain_threshold(mut self, threshold: usize) -> Self {
+        match self.set_drain_threshold(threshold) {
+            Ok(()) => self,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// The validated setter behind the deprecated
+    /// [`ShardedEngine::with_drain_threshold`] and
+    /// [`crate::ShardedEngineConfig`].
+    pub(crate) fn set_drain_threshold(&mut self, threshold: usize) -> Result<(), ServeError> {
+        if threshold == 0 {
+            return Err(ServeError::InvalidConfig(
+                "the drain threshold must be positive".to_owned(),
+            ));
+        }
         self.control.set_threshold(threshold);
-        self
+        Ok(())
     }
 
     /// The engine's current element-to-shard assignment.
@@ -539,9 +607,52 @@ pub struct EngineReport {
     pub accounting: ShardedCostSummary,
 }
 
+impl EngineReport {
+    /// Verifies this report byte for byte against the epoch-segmented
+    /// serial reference replay of the same scenario — the determinism
+    /// oracle shared by the `serve-smoke` CI binary, the `satnd --verify`
+    /// mode, and the transport tests: epoch schedule and boundaries, the
+    /// full epoch-versioned cost ledger, and every per-epoch per-shard
+    /// boundary fingerprint must all match.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence.
+    pub fn verify_against(&self, replay: &satn_sim::ShardedReplay) -> Result<(), String> {
+        if self.epoch_fingerprints.len() as u32 != replay.epochs() {
+            return Err(format!(
+                "epoch count diverged: engine ran {} epochs, replay {}",
+                self.epoch_fingerprints.len(),
+                replay.epochs()
+            ));
+        }
+        if self.boundaries != replay.boundaries {
+            return Err(format!(
+                "epoch boundaries diverged: engine {:?}, replay {:?}",
+                self.boundaries, replay.boundaries
+            ));
+        }
+        if self.accounting != replay.accounting {
+            return Err("the epoch-versioned cost ledger diverged".to_owned());
+        }
+        for epoch in 0..replay.epochs() {
+            let fingerprints = &self.epoch_fingerprints[epoch as usize];
+            for shard in 0..fingerprints.len() as u32 {
+                if fingerprints[shard as usize] != replay.fingerprint(epoch, shard) {
+                    return Err(format!(
+                        "epoch {epoch} shard {shard} boundary fingerprint diverged"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ShardedEngineConfig;
     use crate::ingest::ingest_channel;
     use satn_sim::{AlgorithmKind, ShardRouter, SimRunner, WorkloadSpec};
 
@@ -558,12 +669,21 @@ mod tests {
         s
     }
 
+    fn engine(scenario: &ShardedScenario, parallelism: Parallelism) -> ShardedEngine {
+        ShardedEngineConfig::from_scenario(scenario)
+            .parallelism(parallelism)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn engine_matches_the_serial_reference_replay() {
         let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Hash);
-        let mut engine = ShardedEngine::from_scenario(&sharded, Parallelism::Threads(3))
-            .unwrap()
-            .with_drain_threshold(257);
+        let mut engine = ShardedEngineConfig::from_scenario(&sharded)
+            .parallelism(Parallelism::Threads(3))
+            .drain_threshold(257)
+            .build()
+            .unwrap();
         for element in sharded.stream() {
             engine.submit(element).unwrap();
         }
@@ -595,9 +715,11 @@ mod tests {
             (64, Parallelism::Threads(2)),
             (100_000, Parallelism::Threads(7)),
         ] {
-            let mut engine = ShardedEngine::from_scenario(&sharded, parallelism)
-                .unwrap()
-                .with_drain_threshold(threshold);
+            let mut engine = ShardedEngineConfig::from_scenario(&sharded)
+                .parallelism(parallelism)
+                .drain_threshold(threshold)
+                .build()
+                .unwrap();
             let requests: Vec<ElementId> = sharded.stream().collect();
             engine.submit_burst(&requests).unwrap();
             reports.push(engine.finish().unwrap());
@@ -615,13 +737,13 @@ mod tests {
     fn queue_fed_runs_match_direct_submission() {
         let sharded = scenario(AlgorithmKind::MoveHalf, ShardRouter::SourceAffinity);
 
-        let mut direct = ShardedEngine::from_scenario(&sharded, Parallelism::Threads(2)).unwrap();
+        let mut direct = engine(&sharded, Parallelism::Threads(2));
         for element in sharded.stream() {
             direct.submit(element).unwrap();
         }
         let direct_report = direct.finish().unwrap();
 
-        let mut queued = ShardedEngine::from_scenario(&sharded, Parallelism::Threads(2)).unwrap();
+        let mut queued = engine(&sharded, Parallelism::Threads(2));
         let (sender, queue) = ingest_channel(8);
         let requests: Vec<ElementId> = sharded.stream().collect();
         let producer = std::thread::spawn(move || {
@@ -640,7 +762,7 @@ mod tests {
     #[test]
     fn merged_summary_is_the_shard_order_merge() {
         let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Range);
-        let mut engine = ShardedEngine::from_scenario(&sharded, Parallelism::Serial).unwrap();
+        let mut engine = engine(&sharded, Parallelism::Serial);
         for element in sharded.stream() {
             engine.submit(element).unwrap();
         }
@@ -659,7 +781,7 @@ mod tests {
     #[test]
     fn foreign_elements_are_rejected_without_side_effects() {
         let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Hash);
-        let mut engine = ShardedEngine::from_scenario(&sharded, Parallelism::Serial).unwrap();
+        let mut engine = engine(&sharded, Parallelism::Serial);
         let universe = sharded.universe();
         let err = engine.submit(ElementId::new(universe)).unwrap_err();
         assert!(matches!(err, ServeError::OutOfUniverse { .. }));
@@ -678,7 +800,10 @@ mod tests {
             .iter()
             .map(|s| s.instantiate().unwrap())
             .collect();
-        let mut engine = ShardedEngine::new(partition, trees, Parallelism::Serial);
+        let mut engine = ShardedEngineConfig::from_parts(partition, trees)
+            .parallelism(Parallelism::Serial)
+            .build()
+            .unwrap();
         let err = engine
             .reshard(ReshardPlan::new([(ElementId::new(0), 1)]))
             .unwrap_err();
@@ -696,8 +821,11 @@ mod tests {
             .iter()
             .map(|s| s.instantiate().unwrap())
             .collect();
-        let mut engine = ShardedEngine::new(partition, trees, Parallelism::Serial)
-            .with_resharding(AlgorithmKind::RotorPush, sharded.seed);
+        let mut engine = ShardedEngineConfig::from_parts(partition, trees)
+            .parallelism(Parallelism::Serial)
+            .resharding(AlgorithmKind::RotorPush, sharded.seed)
+            .build()
+            .unwrap();
         engine
             .reshard(ReshardPlan::new([(ElementId::new(0), 1)]))
             .unwrap();
@@ -709,7 +837,7 @@ mod tests {
     #[test]
     fn invalid_plans_leave_the_engine_usable() {
         let sharded = scenario(AlgorithmKind::MaxPush, ShardRouter::Range);
-        let mut engine = ShardedEngine::from_scenario(&sharded, Parallelism::Serial).unwrap();
+        let mut engine = engine(&sharded, Parallelism::Serial);
         let err = engine
             .reshard(ReshardPlan::new([(ElementId::new(0), 99)]))
             .unwrap_err();
@@ -730,7 +858,9 @@ mod tests {
             at: 100,
             plan: ReshardPlan::new([(ElementId::new(0), 1)]),
         }]);
-        let err = ShardedEngine::from_scenario(&sharded, Parallelism::Serial)
+        let err = ShardedEngineConfig::from_scenario(&sharded)
+            .parallelism(Parallelism::Serial)
+            .build()
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, ServeError::ReshardUnsupported { .. }));
@@ -739,7 +869,7 @@ mod tests {
     #[test]
     fn debug_output_names_the_configuration() {
         let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Hash);
-        let engine = ShardedEngine::from_scenario(&sharded, Parallelism::Serial).unwrap();
+        let engine = engine(&sharded, Parallelism::Serial);
         let rendered = format!("{engine:?}");
         assert!(rendered.contains("ShardedEngine"));
         assert!(rendered.contains("universe"));

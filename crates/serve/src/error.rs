@@ -1,11 +1,15 @@
-//! Errors of the sharded serving engines.
+//! The unified error hierarchy of the serving layer: engine, ingestion,
+//! wire protocol, and transport failures all surface as one [`ServeError`],
+//! so every caller — in-process or networked — handles failure the same way.
 
+use crate::wire::WireError;
 use satn_network::NetworkError;
 use satn_tree::{ElementId, TreeError};
 use satn_workloads::shard::ReshardError;
 use std::fmt;
 
-/// An error produced while building or driving a sharded serving engine.
+/// An error produced while building or driving a sharded serving engine —
+/// or while moving its ingestion protocol across a transport.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum ServeError {
@@ -40,6 +44,47 @@ pub enum ServeError {
         /// Why resharding is unavailable.
         reason: &'static str,
     },
+    /// The ingestion peer is gone: the queue consumer was dropped (channel
+    /// transport) or the connection was shut down (network transport).
+    Closed,
+    /// A transport I/O failure (socket read/write, accept, connect).
+    Io(std::io::Error),
+    /// A malformed or out-of-contract wire frame.
+    Protocol(WireError),
+    /// An engine configuration rejected at build time.
+    InvalidConfig(String),
+}
+
+impl ServeError {
+    /// Whether this error means the peer is simply gone — the
+    /// end-of-stream cases (closed channel, reset/aborted connection, a
+    /// stream cut mid-frame) that a server loop logs rather than propagates.
+    pub fn is_disconnect(&self) -> bool {
+        match self {
+            ServeError::Closed => true,
+            ServeError::Io(error) => matches!(
+                error.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            ServeError::Protocol(WireError::Truncated) => true,
+            _ => false,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(error: std::io::Error) -> Self {
+        ServeError::Io(error)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(error: WireError) -> Self {
+        ServeError::Protocol(error)
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -57,6 +102,12 @@ impl fmt::Display for ServeError {
             ServeError::ReshardUnsupported { reason } => {
                 write!(f, "the engine cannot reshard: {reason}")
             }
+            ServeError::Closed => f.write_str("the ingest peer is gone"),
+            ServeError::Io(error) => write!(f, "transport: {error}"),
+            ServeError::Protocol(error) => write!(f, "protocol: {error}"),
+            ServeError::InvalidConfig(reason) => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
         }
     }
 }
@@ -69,6 +120,10 @@ impl std::error::Error for ServeError {
             ServeError::Network { error, .. } => Some(error),
             ServeError::Reshard(error) => Some(error),
             ServeError::ReshardUnsupported { .. } => None,
+            ServeError::Closed => None,
+            ServeError::Io(error) => Some(error),
+            ServeError::Protocol(error) => Some(error),
+            ServeError::InvalidConfig(_) => None,
         }
     }
 }

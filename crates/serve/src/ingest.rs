@@ -1,22 +1,27 @@
-//! Channel-based request ingestion: a bounded MPSC front door for the
-//! serving engines.
+//! Transport-agnostic request ingestion: the [`Ingest`] trait and its
+//! in-process channel implementation.
 //!
-//! Producers (workload generators, sockets, test threads) hold cloneable
-//! [`IngestSender`]s and push requests or request bursts; the engine owns the
-//! single [`IngestQueue`] consumer and serves messages in arrival order. The
-//! channel is **bounded**, so a producer that outruns the engine blocks on
-//! [`IngestSender::send_burst`] — backpressure instead of unbounded memory.
+//! Producers (workload generators, sockets, test threads) speak the
+//! ingestion protocol through any [`Ingest`] implementor — the bounded MPSC
+//! [`IngestSender`] here, or the TCP-backed [`TcpIngest`](crate::TcpIngest)
+//! — and the engine owns the single [`IngestQueue`] consumer, serving
+//! messages in arrival order. The channel is **bounded**, so a producer that
+//! outruns the engine blocks on [`IngestSender::send_burst`] — backpressure
+//! instead of unbounded memory. (The TCP transport inherits the same
+//! property through the socket: the server forwards frames into this channel
+//! and only acknowledges once they are enqueued.)
 //!
-//! The drain/flush protocol: a [`IngestSender::flush`] message forces the
-//! engine to drain every pending per-shard batch before reading further
-//! input; dropping all senders closes the queue, upon which the engine
-//! drains once more and returns. Determinism: the per-shard request order is
-//! the queue arrival order, so a single producer (or any externally ordered
-//! producer set) yields bit-identical replays at every thread count.
+//! The drain/flush protocol: a [`Ingest::flush`] message forces the engine
+//! to drain every pending per-shard batch before reading further input;
+//! dropping all senders closes the queue, upon which the engine drains once
+//! more and returns. Determinism: the per-shard request order is the queue
+//! arrival order, so a single producer (or any externally ordered producer
+//! set) yields bit-identical replays at every thread count — over a channel
+//! or over a wire.
 
+use crate::error::ServeError;
 use satn_tree::ElementId;
 use satn_workloads::shard::ReshardPlan;
-use std::fmt;
 use std::sync::mpsc;
 
 /// One message of the ingestion protocol.
@@ -35,34 +40,108 @@ pub enum IngestMessage {
     Reshard(ReshardPlan),
 }
 
-/// Error returned when sending into a queue whose consumer is gone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct IngestClosed;
+/// The transport-agnostic producer half of the ingestion protocol.
+///
+/// Implementors carry the four protocol verbs over some transport: the
+/// in-process [`IngestSender`] moves them through a bounded channel, the
+/// network client [`TcpIngest`](crate::TcpIngest) encodes them as
+/// length-prefixed wire frames. Code written against this trait — replay
+/// drivers, smoke binaries, tests — runs identically against either, which
+/// is what lets the epoch-replay oracle validate the networked engine.
+///
+/// All methods take `&mut self` so implementors may keep per-connection
+/// state (write buffers, acknowledgement windows); the channel implementor
+/// simply ignores the exclusivity.
+pub trait Ingest {
+    /// Submits a single request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] if the consuming peer is gone; transport
+    /// implementors may also surface [`ServeError::Io`] /
+    /// [`ServeError::Protocol`].
+    fn send(&mut self, element: ElementId) -> Result<(), ServeError>;
 
-impl fmt::Display for IngestClosed {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("the ingest queue consumer is gone")
-    }
+    /// Submits a burst of requests, served in burst order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ingest::send`].
+    fn send_burst(&mut self, burst: &[ElementId]) -> Result<(), ServeError>;
+
+    /// Forces the engine to drain all pending per-shard batches before
+    /// reading further input.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ingest::send`].
+    fn flush(&mut self) -> Result<(), ServeError>;
+
+    /// Requests a reshard: every request submitted before this call is
+    /// served under the old epoch, every request after it under the new one.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ingest::send`].
+    fn reshard(&mut self, plan: &ReshardPlan) -> Result<(), ServeError>;
 }
 
-impl std::error::Error for IngestClosed {}
+/// Replays a request stream through any [`Ingest`] transport in bursts of
+/// `burst_size` (the common shape of every driver, smoke binary, and load
+/// generator in the workspace). A `burst_size` of 1 degenerates to
+/// per-request [`Ingest::send`] calls.
+///
+/// # Errors
+///
+/// Propagates the first transport error.
+///
+/// # Panics
+///
+/// Panics if `burst_size` is zero.
+pub fn replay<I: Ingest + ?Sized>(
+    ingest: &mut I,
+    stream: impl IntoIterator<Item = ElementId>,
+    burst_size: usize,
+) -> Result<(), ServeError> {
+    assert!(burst_size > 0, "the replay burst size must be positive");
+    let mut burst = Vec::with_capacity(burst_size);
+    for element in stream {
+        burst.push(element);
+        if burst.len() == burst_size {
+            ingest.send_burst(&burst)?;
+            burst.clear();
+        }
+    }
+    if !burst.is_empty() {
+        ingest.send_burst(&burst)?;
+    }
+    Ok(())
+}
 
-/// The producer half: cloneable, blocking on a full queue (backpressure).
+/// The in-process producer half: cloneable, blocking on a full queue
+/// (backpressure).
 #[derive(Debug, Clone)]
 pub struct IngestSender {
     inner: mpsc::SyncSender<IngestMessage>,
 }
 
 impl IngestSender {
+    /// Enqueues one protocol message, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] if the consumer has been dropped.
+    pub fn send_message(&self, message: IngestMessage) -> Result<(), ServeError> {
+        self.inner.send(message).map_err(|_| ServeError::Closed)
+    }
+
     /// Enqueues a single request (allocation-free on the producer side).
     ///
     /// # Errors
     ///
-    /// Returns [`IngestClosed`] if the consumer has been dropped.
-    pub fn send(&self, element: ElementId) -> Result<(), IngestClosed> {
-        self.inner
-            .send(IngestMessage::Request(element))
-            .map_err(|_| IngestClosed)
+    /// [`ServeError::Closed`] if the consumer has been dropped.
+    pub fn send(&self, element: ElementId) -> Result<(), ServeError> {
+        self.send_message(IngestMessage::Request(element))
     }
 
     /// Enqueues a burst of requests (served in burst order), blocking while
@@ -70,11 +149,9 @@ impl IngestSender {
     ///
     /// # Errors
     ///
-    /// Returns [`IngestClosed`] if the consumer has been dropped.
-    pub fn send_burst(&self, burst: Vec<ElementId>) -> Result<(), IngestClosed> {
-        self.inner
-            .send(IngestMessage::Burst(burst))
-            .map_err(|_| IngestClosed)
+    /// [`ServeError::Closed`] if the consumer has been dropped.
+    pub fn send_burst(&self, burst: Vec<ElementId>) -> Result<(), ServeError> {
+        self.send_message(IngestMessage::Burst(burst))
     }
 
     /// Asks the engine to drain all pending per-shard batches before reading
@@ -82,11 +159,9 @@ impl IngestSender {
     ///
     /// # Errors
     ///
-    /// Returns [`IngestClosed`] if the consumer has been dropped.
-    pub fn flush(&self) -> Result<(), IngestClosed> {
-        self.inner
-            .send(IngestMessage::Flush)
-            .map_err(|_| IngestClosed)
+    /// [`ServeError::Closed`] if the consumer has been dropped.
+    pub fn flush(&self) -> Result<(), ServeError> {
+        self.send_message(IngestMessage::Flush)
     }
 
     /// Asks the engine to reshard: every request enqueued before this frame
@@ -95,11 +170,27 @@ impl IngestSender {
     ///
     /// # Errors
     ///
-    /// Returns [`IngestClosed`] if the consumer has been dropped.
-    pub fn reshard(&self, plan: ReshardPlan) -> Result<(), IngestClosed> {
-        self.inner
-            .send(IngestMessage::Reshard(plan))
-            .map_err(|_| IngestClosed)
+    /// [`ServeError::Closed`] if the consumer has been dropped.
+    pub fn reshard(&self, plan: ReshardPlan) -> Result<(), ServeError> {
+        self.send_message(IngestMessage::Reshard(plan))
+    }
+}
+
+impl Ingest for IngestSender {
+    fn send(&mut self, element: ElementId) -> Result<(), ServeError> {
+        IngestSender::send(self, element)
+    }
+
+    fn send_burst(&mut self, burst: &[ElementId]) -> Result<(), ServeError> {
+        IngestSender::send_burst(self, burst.to_vec())
+    }
+
+    fn flush(&mut self) -> Result<(), ServeError> {
+        IngestSender::flush(self)
+    }
+
+    fn reshard(&mut self, plan: &ReshardPlan) -> Result<(), ServeError> {
+        IngestSender::reshard(self, plan.clone())
     }
 }
 
@@ -181,14 +272,59 @@ mod tests {
     fn sending_into_a_dropped_queue_errors() {
         let (sender, queue) = ingest_channel(4);
         drop(queue);
-        assert_eq!(sender.send(ElementId::new(0)), Err(IngestClosed));
-        assert_eq!(sender.flush(), Err(IngestClosed));
-        assert!(IngestClosed.to_string().contains("consumer"));
+        let err = sender.send(ElementId::new(0)).unwrap_err();
+        assert!(matches!(err, ServeError::Closed));
+        assert!(err.is_disconnect());
+        let err = sender.flush().unwrap_err();
+        assert!(err.to_string().contains("gone"));
     }
 
     #[test]
     #[should_panic(expected = "must be positive")]
     fn zero_capacity_is_rejected() {
         ingest_channel(0);
+    }
+
+    #[test]
+    fn the_trait_and_inherent_methods_agree() {
+        let (mut sender, queue) = ingest_channel(8);
+        let ingest: &mut dyn Ingest = &mut sender;
+        ingest.send(ElementId::new(7)).unwrap();
+        ingest
+            .send_burst(&[ElementId::new(8), ElementId::new(9)])
+            .unwrap();
+        ingest.flush().unwrap();
+        ingest.reshard(&ReshardPlan::empty()).unwrap();
+        drop(sender);
+        assert_eq!(
+            queue.recv(),
+            Some(IngestMessage::Request(ElementId::new(7)))
+        );
+        assert_eq!(
+            queue.recv(),
+            Some(IngestMessage::Burst(vec![
+                ElementId::new(8),
+                ElementId::new(9)
+            ]))
+        );
+        assert_eq!(queue.recv(), Some(IngestMessage::Flush));
+        assert_eq!(
+            queue.recv(),
+            Some(IngestMessage::Reshard(ReshardPlan::empty()))
+        );
+        assert_eq!(queue.recv(), None);
+    }
+
+    #[test]
+    fn replay_chunks_the_stream_into_bursts() {
+        let (mut sender, queue) = ingest_channel(8);
+        let stream: Vec<ElementId> = (0..7).map(ElementId::new).collect();
+        replay(&mut sender, stream, 3).unwrap();
+        drop(sender);
+        let mut bursts = Vec::new();
+        while let Some(IngestMessage::Burst(burst)) = queue.recv() {
+            bursts.push(burst.len());
+        }
+        assert_eq!(bursts, vec![3, 3, 1]);
     }
 }

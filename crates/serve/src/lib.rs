@@ -35,8 +35,18 @@
 //! * [`SourceShardedEngine`] — the ego-tree-per-source mode backed by
 //!   `satn-network`: source-affinity routing groups each source's ego-tree
 //!   onto one shard,
+//! * [`Ingest`] — the transport-agnostic ingestion trait (`send`,
+//!   `send_burst`, `flush`, `reshard`), implemented by both the in-process
+//!   [`IngestSender`] and the TCP client [`TcpIngest`]; code written
+//!   against it runs identically over either transport,
 //! * [`ingest_channel`] / [`IngestQueue`] — the bounded channel-based
 //!   ingestion layer with backpressure and a drain/flush/reshard protocol,
+//! * [`wire`](crate::Frame) / [`serve_connections`] — the length-prefixed
+//!   binary wire protocol and the server-side accept loop behind the
+//!   `satnd` binary, carrying the same protocol over TCP with per-frame
+//!   acknowledgements and end-to-end backpressure,
+//! * [`ShardedEngineConfig`] — the builder-style engine configuration,
+//!   validating every knob at [`ShardedEngineConfig::build`],
 //! * [`EngineReport`] — per-shard cost summaries, per-epoch sub-summaries
 //!   with explicit [`MigrationCost`] terms, and occupancy **fingerprints**
 //!   at every epoch boundary.
@@ -57,7 +67,7 @@
 //! ## Example
 //!
 //! ```
-//! use satn_serve::{ShardedEngine, Parallelism};
+//! use satn_serve::{Ingest, Parallelism, ShardedEngineConfig};
 //! use satn_sim::{AlgorithmKind, ShardRouter, ShardedScenario, WorkloadSpec};
 //!
 //! // 4 shards × 31 elements, Zipf traffic, hash routing.
@@ -69,7 +79,9 @@
 //!     2_000, // requests
 //!     42,    // seed
 //! );
-//! let mut engine = ShardedEngine::from_scenario(&scenario, Parallelism::Auto)?;
+//! let mut engine = ShardedEngineConfig::from_scenario(&scenario)
+//!     .parallelism(Parallelism::Auto)
+//!     .build()?;
 //! for request in scenario.stream() {
 //!     engine.submit(request)?;
 //! }
@@ -82,16 +94,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod config;
 mod drain;
 mod ego;
 mod engine;
 mod error;
 mod ingest;
+mod net;
+mod wire;
 
+pub use config::ShardedEngineConfig;
 pub use ego::{SourceShardedEngine, SourceShardedReport};
 pub use engine::{EngineReport, ShardReport, ShardedEngine, DEFAULT_DRAIN_THRESHOLD};
 pub use error::ServeError;
-pub use ingest::{ingest_channel, IngestClosed, IngestMessage, IngestQueue, IngestSender};
+pub use ingest::{ingest_channel, replay, Ingest, IngestMessage, IngestQueue, IngestSender};
+pub use net::{serve_connections, ConnectionReport, TcpIngest, DEFAULT_WINDOW};
+pub use wire::{
+    decode_body, encode_frame, read_frame, write_frame, Frame, WireError, MAX_FRAME_BODY,
+};
 
 // Re-exported so engines can be configured without extra imports.
 pub use satn_exec::Parallelism;
@@ -114,4 +134,8 @@ fn _assert_parallel_safe() {
     assert_send::<IngestQueue>();
     assert_send::<EngineReport>();
     assert_send::<ServeError>();
+    assert_send::<ShardedEngineConfig>();
+    assert_send::<TcpIngest>();
+    assert_send::<ConnectionReport>();
+    assert_send::<Frame>();
 }

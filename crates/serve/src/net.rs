@@ -1,0 +1,398 @@
+//! The TCP transport of the ingestion protocol: the client-side
+//! [`TcpIngest`] implementor of [`Ingest`] and the server-side accept loop
+//! feeding an [`IngestSender`].
+//!
+//! ```text
+//!  client                         server (satnd)
+//!  ───────                        ──────────────────────────────────────
+//!  TcpIngest ── frames ──▶ accept loop (task_scope worker per connection)
+//!      ▲                        │ decode, forward
+//!      └────── Ack{seq} ────────┤
+//!                               ▼ bounded channel (backpressure)
+//!                          IngestSender ──▶ IngestQueue ──▶ ShardedEngine
+//! ```
+//!
+//! **Backpressure end to end:** the server acknowledges a frame only after
+//! it is accepted by the bounded ingest channel, and the client sends at
+//! most `window` unacknowledged frames before blocking on acks. A slow
+//! engine therefore stalls the channel, which stalls acknowledgements,
+//! which stalls every client — no unbounded buffering anywhere.
+//!
+//! **Determinism:** the engine behind the queue never knows which transport
+//! a message crossed, so a single connection replaying a stream in order is
+//! bit-identical to the same stream submitted in-process (asserted by
+//! `tests/net_determinism.rs` and the `satnd --verify` oracle). Multiple
+//! concurrent connections interleave at the channel exactly like multiple
+//! in-process producers do: each connection's own frame order is preserved.
+//!
+//! **Failure isolation:** a malformed frame or I/O error closes only its
+//! own connection (reported per connection in [`ConnectionReport`]); the
+//! engine and the other connections keep running.
+
+use crate::error::ServeError;
+use crate::ingest::{Ingest, IngestMessage, IngestSender};
+use crate::wire::{read_frame, write_frame, Frame, WireError};
+use satn_exec::{task_scope, Parallelism};
+use satn_tree::ElementId;
+use satn_workloads::shard::ReshardPlan;
+use std::fmt;
+use std::io::BufReader;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+
+/// Default number of unacknowledged frames a [`TcpIngest`] keeps in flight.
+pub const DEFAULT_WINDOW: usize = 32;
+
+/// The TCP implementor of [`Ingest`]: encodes protocol messages as wire
+/// frames on a connection to a `satnd` server, pipelining up to `window`
+/// frames ahead of the server's cumulative acknowledgements.
+pub struct TcpIngest {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    write_scratch: Vec<u8>,
+    read_scratch: Vec<u8>,
+    sent: u64,
+    acked: u64,
+    window: usize,
+}
+
+impl TcpIngest {
+    /// Connects to a `satnd` server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(TcpIngest {
+            reader,
+            writer,
+            write_scratch: Vec::new(),
+            read_scratch: Vec::new(),
+            sent: 0,
+            acked: 0,
+            window: DEFAULT_WINDOW,
+        })
+    }
+
+    /// Overrides the pipelining window (builder style). A window of 1 makes
+    /// every frame a synchronous round trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (nothing could ever be sent).
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "the pipelining window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// Frames sent so far on this connection.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Frames the server has acknowledged so far (cumulative). An ack means
+    /// the frame was accepted into the engine's ingest queue.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Reads one acknowledgement frame from the server.
+    fn recv_ack(&mut self) -> Result<(), ServeError> {
+        match read_frame(&mut self.reader, &mut self.read_scratch)? {
+            Some(Frame::Ack { seq }) => {
+                if seq <= self.acked || seq > self.sent {
+                    return Err(WireError::Malformed {
+                        reason: "acknowledgement sequence out of range",
+                    }
+                    .into());
+                }
+                self.acked = seq;
+                Ok(())
+            }
+            Some(_) => Err(WireError::Malformed {
+                reason: "the server may only send acknowledgement frames",
+            }
+            .into()),
+            None => Err(ServeError::Closed),
+        }
+    }
+
+    fn send_frame(&mut self, message: IngestMessage) -> Result<(), ServeError> {
+        while self.sent - self.acked >= self.window as u64 {
+            self.recv_ack()?;
+        }
+        write_frame(
+            &mut self.writer,
+            &Frame::Ingest(message),
+            &mut self.write_scratch,
+        )?;
+        self.sent += 1;
+        Ok(())
+    }
+
+    /// Waits until every sent frame is acknowledged (without closing the
+    /// connection), then returns the count — the network analogue of a
+    /// producer observing that its sends were all accepted.
+    ///
+    /// # Errors
+    ///
+    /// Any transport or protocol error while draining acknowledgements.
+    pub fn drain_acks(&mut self) -> Result<u64, ServeError> {
+        while self.acked < self.sent {
+            self.recv_ack()?;
+        }
+        Ok(self.acked)
+    }
+
+    /// Performs the orderly shutdown handshake: drains all outstanding
+    /// acknowledgements, half-closes the write side (the server sees a
+    /// clean end of stream, exactly like the last in-process sender
+    /// dropping), and waits for the server to close its side. Returns the
+    /// total number of acknowledged frames.
+    ///
+    /// # Errors
+    ///
+    /// Any transport or protocol error during the handshake.
+    pub fn finish(mut self) -> Result<u64, ServeError> {
+        self.drain_acks()?;
+        self.writer.shutdown(Shutdown::Write)?;
+        match read_frame(&mut self.reader, &mut self.read_scratch)? {
+            None => Ok(self.acked),
+            Some(_) => Err(WireError::Malformed {
+                reason: "unexpected frame after the shutdown handshake",
+            }
+            .into()),
+        }
+    }
+}
+
+impl Ingest for TcpIngest {
+    fn send(&mut self, element: ElementId) -> Result<(), ServeError> {
+        self.send_frame(IngestMessage::Request(element))
+    }
+
+    fn send_burst(&mut self, burst: &[ElementId]) -> Result<(), ServeError> {
+        self.send_frame(IngestMessage::Burst(burst.to_vec()))
+    }
+
+    fn flush(&mut self) -> Result<(), ServeError> {
+        self.send_frame(IngestMessage::Flush)
+    }
+
+    fn reshard(&mut self, plan: &ReshardPlan) -> Result<(), ServeError> {
+        self.send_frame(IngestMessage::Reshard(plan.clone()))
+    }
+}
+
+impl fmt::Debug for TcpIngest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpIngest")
+            .field("peer", &self.writer.peer_addr().ok())
+            .field("sent", &self.sent)
+            .field("acked", &self.acked)
+            .field("window", &self.window)
+            .finish()
+    }
+}
+
+/// The outcome of one served connection.
+#[derive(Debug)]
+pub struct ConnectionReport {
+    /// The connection's accept-order index.
+    pub connection: u64,
+    /// Ingest frames accepted from this connection into the engine queue.
+    pub frames: u64,
+    /// The error that closed the connection, if it did not end cleanly.
+    /// Disconnects ([`ServeError::is_disconnect`]) are recorded here too —
+    /// a client vanishing mid-burst is an observation, not a server
+    /// failure.
+    pub error: Option<ServeError>,
+}
+
+impl ConnectionReport {
+    /// Whether the connection ran the full protocol to a clean end of
+    /// stream.
+    pub fn is_clean(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Serves one established connection: decodes frames, forwards them into
+/// the engine's bounded ingest channel (blocking there is what propagates
+/// engine backpressure onto the socket), and acknowledges each frame once
+/// enqueued. Returns the number of frames accepted and the error that ended
+/// the connection, if any.
+fn serve_connection(stream: &TcpStream, sender: &IngestSender) -> (u64, Option<ServeError>) {
+    let mut frames = 0u64;
+    let mut error = None;
+    let outcome = (|| -> Result<(), ServeError> {
+        stream.set_nodelay(true)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let mut read_scratch = Vec::new();
+        let mut write_scratch = Vec::new();
+        while let Some(frame) = read_frame(&mut reader, &mut read_scratch)? {
+            let Frame::Ingest(message) = frame else {
+                return Err(WireError::Malformed {
+                    reason: "clients may not send acknowledgement frames",
+                }
+                .into());
+            };
+            sender.send_message(message)?;
+            frames += 1;
+            write_frame(&mut writer, &Frame::Ack { seq: frames }, &mut write_scratch)?;
+        }
+        Ok(())
+    })();
+    if let Err(cause) = outcome {
+        // Closing the read side unblocks a client still writing frames.
+        let _ = stream.shutdown(Shutdown::Both);
+        error = Some(cause);
+    }
+    (frames, error)
+}
+
+/// The server-side accept loop: accepts exactly `connections` connections
+/// from `listener` and serves each on the scoped [`task_scope`] pool with
+/// up to `parallelism` concurrent connection workers, forwarding every
+/// decoded frame into `sender`'s bounded channel. Returns one
+/// [`ConnectionReport`] per connection, in accept order.
+///
+/// Per-connection failures (malformed frames, vanished clients) are
+/// **contained**: they appear in that connection's report while every other
+/// connection and the engine keep running. Only listener-level failures —
+/// `accept` itself erroring — abort the loop.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] if accepting a connection fails; already-accepted
+/// connections still run to completion (their reports are lost with the
+/// error, but their frames reached the channel).
+pub fn serve_connections(
+    listener: &TcpListener,
+    sender: &IngestSender,
+    parallelism: Parallelism,
+    connections: usize,
+) -> Result<Vec<ConnectionReport>, ServeError> {
+    let reports: Mutex<Vec<ConnectionReport>> = Mutex::new(Vec::with_capacity(connections));
+    task_scope(parallelism, |scope| -> Result<(), ServeError> {
+        for connection in 0..connections as u64 {
+            let (stream, _peer) = listener.accept()?;
+            let sender = sender.clone();
+            let reports = &reports;
+            scope.spawn(move || {
+                let (frames, error) = serve_connection(&stream, &sender);
+                reports
+                    .lock()
+                    .expect("report lock never poisons")
+                    .push(ConnectionReport {
+                        connection,
+                        frames,
+                        error,
+                    });
+            });
+        }
+        Ok(())
+    })?;
+    let mut reports = reports.into_inner().expect("report lock never poisons");
+    reports.sort_unstable_by_key(|report| report.connection);
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::ingest_channel;
+    use std::net::{Ipv4Addr, SocketAddr};
+
+    fn loopback_listener() -> (TcpListener, SocketAddr) {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        (listener, addr)
+    }
+
+    #[test]
+    fn frames_cross_the_wire_in_order() {
+        let (listener, addr) = loopback_listener();
+        let (sender, queue) = ingest_channel(64);
+        let server = std::thread::spawn(move || {
+            serve_connections(&listener, &sender, Parallelism::Serial, 1).unwrap()
+        });
+        let mut client = TcpIngest::connect(addr).unwrap();
+        client.send(ElementId::new(5)).unwrap();
+        client
+            .send_burst(&[ElementId::new(6), ElementId::new(7)])
+            .unwrap();
+        client.flush().unwrap();
+        client
+            .reshard(&ReshardPlan::new([(ElementId::new(1), 2)]))
+            .unwrap();
+        assert_eq!(client.finish().unwrap(), 4);
+        let reports = server.join().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].is_clean(), "{:?}", reports[0].error);
+        assert_eq!(reports[0].frames, 4);
+
+        assert_eq!(
+            queue.recv(),
+            Some(IngestMessage::Request(ElementId::new(5)))
+        );
+        assert_eq!(
+            queue.recv(),
+            Some(IngestMessage::Burst(vec![
+                ElementId::new(6),
+                ElementId::new(7)
+            ]))
+        );
+        assert_eq!(queue.recv(), Some(IngestMessage::Flush));
+        assert_eq!(
+            queue.recv(),
+            Some(IngestMessage::Reshard(ReshardPlan::new([(
+                ElementId::new(1),
+                2
+            )])))
+        );
+        assert_eq!(queue.recv(), None);
+    }
+
+    #[test]
+    fn acknowledgements_only_follow_enqueued_frames() {
+        // Capacity-1 channel, window-1 client: every acknowledged frame is
+        // already sitting in the queue when the ack arrives, so a recv right
+        // after `drain_acks` returns it without any waiting.
+        let (listener, addr) = loopback_listener();
+        let (sender, queue) = ingest_channel(1);
+        let server = std::thread::spawn(move || {
+            serve_connections(&listener, &sender, Parallelism::Serial, 1).unwrap()
+        });
+        let mut client = TcpIngest::connect(addr).unwrap().with_window(1);
+        client.send(ElementId::new(0)).unwrap();
+        assert_eq!(client.drain_acks().unwrap(), 1);
+        assert_eq!(
+            queue.recv(),
+            Some(IngestMessage::Request(ElementId::new(0)))
+        );
+        // Further frames need the drainer: the full channel stalls the
+        // server's ack, which stalls the window-1 client — backpressure
+        // reaches all the way back to `send`.
+        let drainer = std::thread::spawn(move || {
+            let mut received = Vec::new();
+            while let Some(message) = queue.recv() {
+                received.push(message);
+            }
+            received
+        });
+        client.send(ElementId::new(1)).unwrap();
+        client.send(ElementId::new(2)).unwrap();
+        assert!(client.acked() >= 1);
+        assert_eq!(client.finish().unwrap(), 3);
+        let reports = server.join().unwrap();
+        assert_eq!(reports[0].frames, 3);
+        assert_eq!(drainer.join().unwrap().len(), 2);
+    }
+}

@@ -1,10 +1,14 @@
 //! Edge cases of the channel-based ingestion protocol: flush-then-send,
 //! producers dropped mid-burst, zero-capacity channels, and `Reshard`
-//! control frames interleaved with bursts.
+//! control frames interleaved with bursts — written against the
+//! transport-agnostic `Ingest` trait wherever a producer speaks the
+//! protocol, so the same shapes hold verbatim for the TCP transport
+//! (`tests/wire_protocol.rs` mirrors them over a loopback socket).
 
 use satn_core::AlgorithmKind;
 use satn_serve::{
-    ingest_channel, IngestClosed, Parallelism, ReshardPlan, ShardedEngine, ShardedScenario,
+    ingest_channel, Ingest, Parallelism, ReshardPlan, ServeError, ShardedEngine,
+    ShardedEngineConfig, ShardedScenario,
 };
 use satn_sim::WorkloadSpec;
 use satn_tree::ElementId;
@@ -20,6 +24,13 @@ fn scenario(requests: usize) -> ShardedScenario {
     )
 }
 
+fn engine(scenario: &ShardedScenario, parallelism: Parallelism) -> ShardedEngine {
+    ShardedEngineConfig::from_scenario(scenario)
+        .parallelism(parallelism)
+        .build()
+        .unwrap()
+}
+
 /// Flushing mid-stream and then continuing to send is fully transparent:
 /// the run is byte-identical to one with no flushes at all.
 #[test]
@@ -27,28 +38,28 @@ fn flush_then_send_changes_nothing_but_the_drain_count() {
     let scenario = scenario(2_400);
     let requests: Vec<ElementId> = scenario.stream().collect();
 
-    let mut unflushed = ShardedEngine::from_scenario(&scenario, Parallelism::Threads(2)).unwrap();
+    let mut unflushed = engine(&scenario, Parallelism::Threads(2));
     unflushed.submit_burst(&requests).unwrap();
     let unflushed = unflushed.finish().unwrap();
 
-    let mut engine = ShardedEngine::from_scenario(&scenario, Parallelism::Threads(2)).unwrap();
-    let (sender, queue) = ingest_channel(2);
+    let mut queued = engine(&scenario, Parallelism::Threads(2));
+    let (mut sender, queue) = ingest_channel(2);
     let producer = std::thread::spawn({
         let requests = requests.clone();
         move || {
             for (index, chunk) in requests.chunks(100).enumerate() {
-                sender.send_burst(chunk.to_vec()).unwrap();
+                Ingest::send_burst(&mut sender, chunk).unwrap();
                 // Flush after every second burst, then keep sending.
                 if index % 2 == 1 {
-                    sender.flush().unwrap();
+                    Ingest::flush(&mut sender).unwrap();
                 }
             }
-            sender.flush().unwrap();
+            Ingest::flush(&mut sender).unwrap();
         }
     });
-    engine.serve_queue(&queue).unwrap();
+    queued.serve_queue(&queue).unwrap();
     producer.join().unwrap();
-    let flushed = engine.finish().unwrap();
+    let flushed = queued.finish().unwrap();
 
     assert!(flushed.drains > unflushed.drains);
     assert_eq!(flushed.per_shard, unflushed.per_shard);
@@ -62,25 +73,25 @@ fn flush_then_send_changes_nothing_but_the_drain_count() {
 fn sender_dropped_mid_burst_serves_the_delivered_prefix() {
     let scenario = scenario(2_000);
     let requests: Vec<ElementId> = scenario.stream().collect();
-    let mut engine = ShardedEngine::from_scenario(&scenario, Parallelism::Serial).unwrap();
-    let (sender, queue) = ingest_channel(4);
+    let mut queued = engine(&scenario, Parallelism::Serial);
+    let (mut sender, queue) = ingest_channel(4);
     let delivered: Vec<ElementId> = requests[..700].to_vec();
     let producer = std::thread::spawn({
         let delivered = delivered.clone();
         move || {
             for chunk in delivered.chunks(70) {
-                sender.send_burst(chunk.to_vec()).unwrap();
+                Ingest::send_burst(&mut sender, chunk).unwrap();
             }
             // Dropped here: no flush, no shutdown message.
         }
     });
-    engine.serve_queue(&queue).unwrap();
+    queued.serve_queue(&queue).unwrap();
     producer.join().unwrap();
-    let report = engine.finish().unwrap();
+    let report = queued.finish().unwrap();
     assert_eq!(report.requests, 700);
 
     // Identical to submitting the delivered prefix directly.
-    let mut direct = ShardedEngine::from_scenario(&scenario, Parallelism::Serial).unwrap();
+    let mut direct = engine(&scenario, Parallelism::Serial);
     direct.submit_burst(&delivered).unwrap();
     let direct = direct.finish().unwrap();
     assert_eq!(report.per_shard, direct.per_shard);
@@ -89,38 +100,49 @@ fn sender_dropped_mid_burst_serves_the_delivered_prefix() {
 
 /// One of several cloned producers dropping early never wedges the queue;
 /// the survivors' requests all arrive, and sends into a dropped consumer
-/// fail cleanly.
+/// fail cleanly with the unified `ServeError::Closed`.
 #[test]
 fn surviving_senders_keep_the_queue_open() {
     let scenario = scenario(600);
     let requests: Vec<ElementId> = scenario.stream().collect();
-    let mut engine = ShardedEngine::from_scenario(&scenario, Parallelism::Serial).unwrap();
+    let mut queued = engine(&scenario, Parallelism::Serial);
     let (sender, queue) = ingest_channel(4);
-    let clone = sender.clone();
+    let mut clone = sender.clone();
     drop(sender); // The original goes away mid-setup.
     let producer = std::thread::spawn({
         let requests = requests.clone();
         move || {
             for chunk in requests.chunks(50) {
-                clone.send_burst(chunk.to_vec()).unwrap();
+                Ingest::send_burst(&mut clone, chunk).unwrap();
             }
         }
     });
-    engine.serve_queue(&queue).unwrap();
+    queued.serve_queue(&queue).unwrap();
     producer.join().unwrap();
-    assert_eq!(engine.submitted(), 600);
-    drop(engine);
+    assert_eq!(queued.submitted(), 600);
+    drop(queued);
 
-    // With the consumer gone, every protocol message errors.
-    let (sender, queue) = ingest_channel(1);
+    // With the consumer gone, every protocol message errors — through the
+    // trait and the inherent methods alike.
+    let (mut sender, queue) = ingest_channel(1);
     drop(queue);
-    assert_eq!(sender.send(ElementId::new(0)), Err(IngestClosed));
-    assert_eq!(
-        sender.send_burst(vec![ElementId::new(0)]),
-        Err(IngestClosed)
-    );
-    assert_eq!(sender.flush(), Err(IngestClosed));
-    assert_eq!(sender.reshard(ReshardPlan::empty()), Err(IngestClosed));
+    assert!(matches!(
+        Ingest::send(&mut sender, ElementId::new(0)),
+        Err(ServeError::Closed)
+    ));
+    assert!(matches!(
+        Ingest::send_burst(&mut sender, &[ElementId::new(0)]),
+        Err(ServeError::Closed)
+    ));
+    assert!(matches!(
+        Ingest::flush(&mut sender),
+        Err(ServeError::Closed)
+    ));
+    assert!(matches!(
+        Ingest::reshard(&mut sender, &ReshardPlan::empty()),
+        Err(ServeError::Closed)
+    ));
+    assert!(ServeError::Closed.is_disconnect());
 }
 
 /// A zero-capacity channel would deadlock single-threaded producers and is
@@ -140,27 +162,27 @@ fn reshard_frames_interleave_cleanly_with_bursts() {
     let requests: Vec<ElementId> = scenario.stream().collect();
     let plan = ReshardPlan::new([(ElementId::new(0), 1), (ElementId::new(3), 2)]);
 
-    let mut engine = ShardedEngine::from_scenario(&scenario, Parallelism::Threads(2)).unwrap();
-    let (sender, queue) = ingest_channel(1); // Minimal capacity: full backpressure.
+    let mut queued = engine(&scenario, Parallelism::Threads(2));
+    let (mut sender, queue) = ingest_channel(1); // Minimal capacity: full backpressure.
     let producer = std::thread::spawn({
         let requests = requests.clone();
         let plan = plan.clone();
         move || {
-            sender.send_burst(requests[..900].to_vec()).unwrap();
-            sender.reshard(plan).unwrap();
+            Ingest::send_burst(&mut sender, &requests[..900]).unwrap();
+            Ingest::reshard(&mut sender, &plan).unwrap();
             // Continue in single sends and bursts after the handover.
             for &request in &requests[900..950] {
-                sender.send(request).unwrap();
+                Ingest::send(&mut sender, request).unwrap();
             }
-            sender.send_burst(requests[950..].to_vec()).unwrap();
+            Ingest::send_burst(&mut sender, &requests[950..]).unwrap();
         }
     });
-    engine.serve_queue(&queue).unwrap();
+    queued.serve_queue(&queue).unwrap();
     producer.join().unwrap();
-    let queued = engine.finish().unwrap();
+    let queued = queued.finish().unwrap();
 
     // Equivalent direct run: submit 900, reshard, submit the rest.
-    let mut direct = ShardedEngine::from_scenario(&scenario, Parallelism::Threads(2)).unwrap();
+    let mut direct = engine(&scenario, Parallelism::Threads(2));
     direct.submit_burst(&requests[..900]).unwrap();
     direct.reshard(plan).unwrap();
     direct.submit_burst(&requests[900..]).unwrap();

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use satn_core::AlgorithmKind;
 use satn_serve::{
     ingest_channel, EngineReport, Parallelism, ReshardPlan, ReshardPolicy, ReshardSchedule,
-    ShardedEngine,
+    ShardedEngineConfig,
 };
 use satn_sim::{ReshardEvent, ShardRouter, ShardedScenario, SimRunner, WorkloadSpec};
 use satn_tree::ElementId;
@@ -30,9 +30,11 @@ fn assert_matches_epoch_replay(
     drain_threshold: usize,
     via_queue: bool,
 ) -> EngineReport {
-    let mut engine = ShardedEngine::from_scenario(scenario, parallelism)
-        .unwrap()
-        .with_drain_threshold(drain_threshold);
+    let mut engine = ShardedEngineConfig::from_scenario(scenario)
+        .parallelism(parallelism)
+        .drain_threshold(drain_threshold)
+        .build()
+        .unwrap();
     if via_queue {
         let (sender, queue) = ingest_channel(4);
         let requests: Vec<ElementId> = scenario.stream().collect();
@@ -134,9 +136,11 @@ fn reshard_frames_interleaved_with_bursts_match_the_manual_schedule() {
     let positions = [2_000usize, 4_000];
 
     // Queue-fed: bursts with Reshard frames at the boundary positions.
-    let mut engine = ShardedEngine::from_scenario(&base, Parallelism::Threads(3))
-        .unwrap()
-        .with_drain_threshold(777);
+    let mut engine = ShardedEngineConfig::from_scenario(&base)
+        .parallelism(Parallelism::Threads(3))
+        .drain_threshold(777)
+        .build()
+        .unwrap();
     let (sender, queue) = ingest_channel(4);
     let requests: Vec<ElementId> = base.stream().collect();
     let frames: Vec<(usize, ReshardPlan)> = positions

@@ -13,7 +13,7 @@
 
 use proptest::prelude::*;
 use satn_core::AlgorithmKind;
-use satn_serve::{ingest_channel, Parallelism, ShardedEngine};
+use satn_serve::{ingest_channel, Parallelism, ShardedEngineConfig};
 use satn_sim::{ShardRouter, ShardedScenario, SimRunner, WorkloadSpec};
 use satn_tree::{CostSummary, ElementId};
 
@@ -26,9 +26,11 @@ fn assert_matches_reference(
     drain_threshold: usize,
     via_queue: bool,
 ) -> CostSummary {
-    let mut engine = ShardedEngine::from_scenario(scenario, parallelism)
-        .unwrap()
-        .with_drain_threshold(drain_threshold);
+    let mut engine = ShardedEngineConfig::from_scenario(scenario)
+        .parallelism(parallelism)
+        .drain_threshold(drain_threshold)
+        .build()
+        .unwrap();
     if via_queue {
         let (sender, queue) = ingest_channel(4);
         let requests: Vec<ElementId> = scenario.stream().collect();

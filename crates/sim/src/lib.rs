@@ -66,7 +66,9 @@ mod sharded;
 
 pub use observer::{InvariantObserver, InvariantViolation, Observer, SnapshotObserver, StepRecord};
 pub use runner::{ScenarioResult, SimError, SimRunner, DEFAULT_BATCH_SIZE};
-pub use scenario::{Checkpoints, InitialPlacement, Scenario, ScenarioGrid, WorkloadSpec};
+pub use scenario::{
+    Checkpoints, InitialPlacement, ParseWorkloadError, Scenario, ScenarioGrid, WorkloadSpec,
+};
 pub use sharded::{ReshardSchedule, ShardedReplay, ShardedScenario};
 
 // Re-exported so sharded scenarios can be configured without a direct

@@ -195,6 +195,85 @@ impl fmt::Display for WorkloadSpec {
     }
 }
 
+/// Error returned when parsing an unrecognised workload spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWorkloadError {
+    input: String,
+}
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown workload {:?} (expected \"uniform\", \"temporal:P\", \"zipf:A\", \
+             \"combined:A,P\", \"round-robin-path\", \"markov-bursty:H,ENTRY,PERSIST\", \
+             \"shifting-hotspot:PHASES,A\", or \"hot-shard:PHASES,A,BLOCKS\")",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+impl std::str::FromStr for WorkloadSpec {
+    type Err = ParseWorkloadError;
+
+    /// Parses the CLI-style workload grammar used by the server and
+    /// load-generator binaries: a family name, optionally followed by `:`
+    /// and comma-separated parameters — e.g. `uniform`, `zipf:1.8`,
+    /// `combined:1.5,0.6`, `hot-shard:6,1.9,4`. [`WorkloadSpec::Fixed`]
+    /// carries a materialized sequence and has no textual form.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let error = || ParseWorkloadError {
+            input: s.to_owned(),
+        };
+        let trimmed = s.trim();
+        let (family, params) = match trimmed.split_once(':') {
+            Some((family, params)) => (family, params.split(',').collect::<Vec<_>>()),
+            None => (trimmed, Vec::new()),
+        };
+        fn float(token: &str) -> Option<f64> {
+            token.trim().parse::<f64>().ok().filter(|v| v.is_finite())
+        }
+        fn int<T: std::str::FromStr>(token: &str) -> Option<T> {
+            token.trim().parse::<T>().ok()
+        }
+        match (family.trim(), params.as_slice()) {
+            ("uniform", []) => Ok(WorkloadSpec::Uniform),
+            ("round-robin-path", []) => Ok(WorkloadSpec::RoundRobinPath),
+            ("temporal", [p]) => float(p)
+                .map(|p| WorkloadSpec::Temporal { p })
+                .ok_or_else(error),
+            ("zipf", [a]) => float(a).map(|a| WorkloadSpec::Zipf { a }).ok_or_else(error),
+            ("combined", [a, p]) => float(a)
+                .zip(float(p))
+                .map(|(a, p)| WorkloadSpec::Combined { a, p })
+                .ok_or_else(error),
+            ("markov-bursty", [h, entry, persistence]) => int::<u32>(h)
+                .zip(float(entry))
+                .zip(float(persistence))
+                .map(|((hot_set_size, burst_entry), burst_persistence)| {
+                    WorkloadSpec::MarkovBursty {
+                        hot_set_size,
+                        burst_entry,
+                        burst_persistence,
+                    }
+                })
+                .ok_or_else(error),
+            ("shifting-hotspot", [phases, a]) => int::<usize>(phases)
+                .zip(float(a))
+                .map(|(phases, a)| WorkloadSpec::ShiftingHotspot { phases, a })
+                .ok_or_else(error),
+            ("hot-shard", [phases, a, blocks]) => int::<usize>(phases)
+                .zip(float(a))
+                .zip(int::<u32>(blocks))
+                .map(|((phases, a), blocks)| WorkloadSpec::HotShard { phases, a, blocks })
+                .ok_or_else(error),
+            _ => Err(error()),
+        }
+    }
+}
+
 /// The initial element placement of a scenario.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum InitialPlacement {
@@ -561,5 +640,73 @@ mod tests {
     #[should_panic(expected = "final_only")]
     fn zero_interval_checkpoints_are_rejected() {
         Checkpoints::every(0);
+    }
+
+    #[test]
+    fn workload_specs_parse_from_the_cli_grammar() {
+        assert_eq!(
+            "uniform".parse::<WorkloadSpec>().unwrap(),
+            WorkloadSpec::Uniform
+        );
+        assert_eq!(
+            "round-robin-path".parse::<WorkloadSpec>().unwrap(),
+            WorkloadSpec::RoundRobinPath
+        );
+        assert_eq!(
+            "temporal:0.9".parse::<WorkloadSpec>().unwrap(),
+            WorkloadSpec::Temporal { p: 0.9 }
+        );
+        assert_eq!(
+            "zipf:1.8".parse::<WorkloadSpec>().unwrap(),
+            WorkloadSpec::Zipf { a: 1.8 }
+        );
+        assert_eq!(
+            "combined:1.5,0.6".parse::<WorkloadSpec>().unwrap(),
+            WorkloadSpec::Combined { a: 1.5, p: 0.6 }
+        );
+        assert_eq!(
+            "markov-bursty:8,0.05,0.9".parse::<WorkloadSpec>().unwrap(),
+            WorkloadSpec::MarkovBursty {
+                hot_set_size: 8,
+                burst_entry: 0.05,
+                burst_persistence: 0.9,
+            }
+        );
+        assert_eq!(
+            "shifting-hotspot:4,1.7".parse::<WorkloadSpec>().unwrap(),
+            WorkloadSpec::ShiftingHotspot { phases: 4, a: 1.7 }
+        );
+        assert_eq!(
+            "hot-shard:6,1.9,4".parse::<WorkloadSpec>().unwrap(),
+            WorkloadSpec::HotShard {
+                phases: 6,
+                a: 1.9,
+                blocks: 4,
+            }
+        );
+        // Whitespace is tolerated around every token.
+        assert_eq!(
+            " combined: 1.5 , 0.6 ".parse::<WorkloadSpec>().unwrap(),
+            WorkloadSpec::Combined { a: 1.5, p: 0.6 }
+        );
+    }
+
+    #[test]
+    fn malformed_workload_specs_are_rejected() {
+        for input in [
+            "",
+            "nope",
+            "zipf",
+            "zipf:abc",
+            "zipf:inf",
+            "zipf:1.8,2",
+            "combined:1.5",
+            "uniform:1",
+            "hot-shard:6,1.9",
+            "markov-bursty:0.5,0.05,0.9,1",
+        ] {
+            let err = input.parse::<WorkloadSpec>().unwrap_err();
+            assert!(err.to_string().contains("unknown workload"), "{input}");
+        }
     }
 }

@@ -441,16 +441,29 @@ impl ReshardPlan {
     ///
     /// Panics if the same element is moved more than once.
     pub fn new(moves: impl IntoIterator<Item = (ElementId, u32)>) -> Self {
+        match ReshardPlan::try_new(moves) {
+            Ok(plan) => plan,
+            Err(element) => panic!("a reshard plan may move element {element} at most once"),
+        }
+    }
+
+    /// Non-panicking [`ReshardPlan::new`]: builds the canonical plan, or
+    /// reports the first element moved more than once. This is the entry
+    /// point for untrusted input (e.g. decoding reshard frames off a wire),
+    /// where a malformed plan must surface as an error, not a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the smallest element id that appears in more than one move.
+    pub fn try_new(moves: impl IntoIterator<Item = (ElementId, u32)>) -> Result<Self, ElementId> {
         let mut moves: Vec<(ElementId, u32)> = moves.into_iter().collect();
         moves.sort_unstable_by_key(|&(element, _)| element);
         for pair in moves.windows(2) {
-            assert!(
-                pair[0].0 != pair[1].0,
-                "a reshard plan may move element {} at most once",
-                pair[0].0
-            );
+            if pair[0].0 == pair[1].0 {
+                return Err(pair[0].0);
+            }
         }
-        ReshardPlan { moves }
+        Ok(ReshardPlan { moves })
     }
 
     /// An empty plan (the plan "entering" epoch 0).
