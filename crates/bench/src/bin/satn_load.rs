@@ -11,12 +11,20 @@
 //! ```text
 //! satn-load --addr ADDR [--shards N] [--levels N] [--algorithm A]
 //!           [--workload W] [--requests N] [--seed S] [--burst N]
-//!           [--window N] [--out FILE]
+//!           [--window N] [--reads FRACTION] [--out FILE]
 //! ```
 //!
-//! Writes a JSON report (throughput + p50/p99/p999/max frame RTT) to
-//! `--out`, and prints the same summary to stdout. Retries the initial
-//! connection for a few seconds so it can be launched alongside `satnd`.
+//! With `--reads FRACTION` (0 ≤ f < 1) the generator interleaves `Lookup`
+//! frames with the write bursts so that lookups make up that fraction of
+//! all operations — `--reads 0.99` is the 99:1 read-mostly mix. Lookups
+//! probe elements from the burst just written and are answered from the
+//! server's published snapshots, so their RTTs measure the lock-free read
+//! path, not the write path.
+//!
+//! Writes a JSON report (throughput + p50/p99/p999/max frame RTT, and the
+//! same quantiles for lookup RTTs when reads are mixed in) to `--out`, and
+//! prints the same summary to stdout. Retries the initial connection for a
+//! few seconds so it can be launched alongside `satnd`.
 
 use satn_bench::LatencyHistogram;
 use satn_core::AlgorithmKind;
@@ -29,7 +37,7 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: satn-load --addr ADDR [--shards N] [--levels N] [--algorithm A] \
                      [--workload W] [--requests N] [--seed S] [--burst N] [--window N] \
-                     [--out FILE]";
+                     [--reads FRACTION] [--out FILE]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -53,28 +61,48 @@ fn connect_with_retry(addr: &str) -> Result<TcpIngest, ServeError> {
 struct LoadReport {
     frames: u64,
     requests: usize,
+    lookups: u64,
     elapsed: f64,
     histogram: LatencyHistogram,
+    lookup_histogram: LatencyHistogram,
 }
 
 /// Replays the scenario stream in bursts, timing each frame from write to
-/// acknowledgement.
+/// acknowledgement. With `reads > 0`, lookups are interleaved after every
+/// burst (probing elements the burst just wrote) so they make up `reads`
+/// of all operations; each lookup's RTT spans write to `Found`.
 fn run(
     addr: &str,
     scenario: &ShardedScenario,
     burst: usize,
     window: usize,
+    reads: f64,
 ) -> Result<LoadReport, ServeError> {
     let mut client = connect_with_retry(addr)?.with_window(window);
     let requests: Vec<ElementId> = scenario.stream().collect();
     let mut histogram = LatencyHistogram::new();
+    let mut lookup_histogram = LatencyHistogram::new();
     let mut in_flight: VecDeque<Instant> = VecDeque::with_capacity(window);
     let mut recorded = 0u64;
+    let mut lookups = 0u64;
+    // Lookups owed so the read fraction converges on `reads`: every write
+    // earns reads / (1 - reads) of a lookup.
+    let mut owed = 0.0f64;
     let started = Instant::now();
     for chunk in requests.chunks(burst) {
         client.send_burst(chunk)?;
         in_flight.push_back(Instant::now());
-        // Every ack the send loop has absorbed closes one frame's RTT.
+        owed += chunk.len() as f64 * reads / (1.0 - reads);
+        while owed >= 1.0 {
+            let probe = chunk[lookups as usize % chunk.len()];
+            let asked_at = Instant::now();
+            client.lookup(probe)?;
+            lookup_histogram.record(asked_at.elapsed());
+            lookups += 1;
+            owed -= 1.0;
+        }
+        // Every ack the send and lookup loops have absorbed closes one
+        // frame's RTT.
         while recorded < client.acked() {
             let sent_at = in_flight.pop_front().expect("one send per ack");
             histogram.record(sent_at.elapsed());
@@ -92,30 +120,50 @@ fn run(
     Ok(LoadReport {
         frames,
         requests: requests.len(),
+        lookups,
         elapsed,
         histogram,
+        lookup_histogram,
     })
 }
 
-fn json(report: &LoadReport, scenario: &ShardedScenario, burst: usize, window: usize) -> String {
+fn json(
+    report: &LoadReport,
+    scenario: &ShardedScenario,
+    burst: usize,
+    window: usize,
+    reads: f64,
+) -> String {
     let micros = |d: Duration| d.as_secs_f64() * 1e6;
+    let quantiles = |histogram: &LatencyHistogram| {
+        format!(
+            "{{\n    \"p50\": {:.1},\n    \"p99\": {:.1},\n    \"p999\": {:.1},\n    \
+             \"max\": {:.1}\n  }}",
+            micros(histogram.quantile(0.50)),
+            micros(histogram.quantile(0.99)),
+            micros(histogram.quantile(0.999)),
+            micros(histogram.max()),
+        )
+    };
+    let elapsed = report.elapsed.max(f64::MIN_POSITIVE);
     format!(
         "{{\n  \"scenario\": \"{}\",\n  \"requests\": {},\n  \"frames\": {},\n  \
-         \"burst\": {},\n  \"window\": {},\n  \"elapsed_s\": {:.6},\n  \
-         \"throughput_req_per_s\": {:.0},\n  \"frame_rtt_us\": {{\n    \
-         \"p50\": {:.1},\n    \"p99\": {:.1},\n    \"p999\": {:.1},\n    \
-         \"max\": {:.1}\n  }}\n}}\n",
+         \"lookups\": {},\n  \"reads\": {:.4},\n  \"burst\": {},\n  \"window\": {},\n  \
+         \"elapsed_s\": {:.6},\n  \"throughput_req_per_s\": {:.0},\n  \
+         \"throughput_ops_per_s\": {:.0},\n  \"frame_rtt_us\": {},\n  \
+         \"lookup_rtt_us\": {}\n}}\n",
         scenario.name(),
         report.requests,
         report.frames,
+        report.lookups,
+        reads,
         burst,
         window,
         report.elapsed,
-        report.requests as f64 / report.elapsed.max(f64::MIN_POSITIVE),
-        micros(report.histogram.quantile(0.50)),
-        micros(report.histogram.quantile(0.99)),
-        micros(report.histogram.quantile(0.999)),
-        micros(report.histogram.max()),
+        report.requests as f64 / elapsed,
+        (report.requests as u64 + report.lookups) as f64 / elapsed,
+        quantiles(&report.histogram),
+        quantiles(&report.lookup_histogram),
     )
 }
 
@@ -129,6 +177,7 @@ fn main() -> ExitCode {
     let mut seed = 2022u64;
     let mut burst = 512usize;
     let mut window = DEFAULT_WINDOW;
+    let mut reads = 0.0f64;
     let mut out = None;
 
     let mut args = std::env::args().skip(1);
@@ -170,6 +219,10 @@ fn main() -> ExitCode {
                 Some(value) if value > 0 => window = value,
                 _ => return usage(),
             },
+            "--reads" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(value) if (0.0..1.0).contains(&value) => reads = value,
+                _ => return usage(),
+            },
             "--out" => match args.next() {
                 Some(value) => out = Some(value),
                 None => return usage(),
@@ -186,7 +239,7 @@ fn main() -> ExitCode {
     };
 
     let scenario = ShardedScenario::new(algorithm, workload, shards, levels, requests, seed);
-    let report = match run(&addr, &scenario, burst, window) {
+    let report = match run(&addr, &scenario, burst, window, reads) {
         Ok(report) => report,
         Err(error) => {
             eprintln!("satn-load: {error}");
@@ -194,7 +247,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let rendered = json(&report, &scenario, burst, window);
+    let rendered = json(&report, &scenario, burst, window, reads);
     print!("{rendered}");
     if let Some(path) = out {
         if let Err(error) = std::fs::write(&path, &rendered) {

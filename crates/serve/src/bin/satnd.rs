@@ -2,10 +2,14 @@
 //!
 //! Binds a TCP listener, accepts `--connections` clients speaking the
 //! length-prefixed wire protocol (`satn_serve::wire`), forwards every
-//! decoded frame into the engine's bounded ingest channel (acknowledging
-//! each frame only once enqueued, so backpressure reaches the clients), and
-//! drains the [`ShardedEngine`](satn_serve::ShardedEngine) concurrently on
-//! the `satn-exec` pool.
+//! decoded ingest frame into the engine's bounded ingest channel
+//! (acknowledging each frame only once enqueued, so backpressure reaches
+//! the clients), and drains the
+//! [`ShardedEngine`](satn_serve::ShardedEngine) concurrently on the
+//! `satn-exec` pool. `Lookup` frames never enter the channel: each
+//! connection answers them lock-free from the engine's published snapshots
+//! (the read phase), so read-mostly traffic bypasses the write path
+//! entirely.
 //!
 //! ```text
 //! satnd [--listen ADDR] [--shards N] [--levels N] [--algorithm A]
@@ -158,8 +162,12 @@ fn main() -> ExitCode {
     let _ = std::io::stdout().flush();
 
     let (sender, queue) = ingest_channel(capacity);
+    // Open the read side before the engine moves to its serving thread:
+    // every connection worker answers Lookup frames lock-free from the
+    // snapshots the engine publishes at each drain boundary.
+    let mut engine = engine;
+    let reader = engine.snapshots();
     let engine_thread = std::thread::spawn(move || -> Result<EngineReport, ServeError> {
-        let mut engine = engine;
         engine.serve_queue(&queue)?;
         engine.finish()
     });
@@ -168,6 +176,7 @@ fn main() -> ExitCode {
     let reports = serve_connections(
         &listener,
         &sender,
+        Some(&reader),
         Parallelism::from_thread_count(connections),
         connections,
     );
@@ -193,30 +202,32 @@ fn main() -> ExitCode {
     };
 
     let mut dirty = 0usize;
+    let mut lookups = 0u64;
     for connection in &reports {
+        lookups += connection.lookups;
         match &connection.error {
             None => println!(
-                "connection {}: {} frames, clean shutdown",
-                connection.connection, connection.frames
+                "connection {}: {} frames, {} lookups, clean shutdown",
+                connection.connection, connection.frames, connection.lookups
             ),
             Some(error) if error.is_disconnect() => println!(
-                "connection {}: {} frames, peer disconnected ({error})",
-                connection.connection, connection.frames
+                "connection {}: {} frames, {} lookups, peer disconnected ({error})",
+                connection.connection, connection.frames, connection.lookups
             ),
             Some(error) => {
                 println!(
-                    "connection {}: {} frames, FAILED: {error}",
-                    connection.connection, connection.frames
+                    "connection {}: {} frames, {} lookups, FAILED: {error}",
+                    connection.connection, connection.frames, connection.lookups
                 );
                 dirty += 1;
             }
         }
     }
     println!(
-        "served {} requests across {} epochs in {elapsed:.3}s ({:.0} req/s)",
+        "served {} requests + {lookups} lookups across {} epochs in {elapsed:.3}s ({:.0} req/s)",
         report.requests,
         report.epoch_fingerprints.len(),
-        report.requests as f64 / elapsed.max(f64::MIN_POSITIVE),
+        (report.requests + lookups) as f64 / elapsed.max(f64::MIN_POSITIVE),
     );
     if dirty > 0 {
         eprintln!("satnd: {dirty} connection(s) failed with protocol errors");

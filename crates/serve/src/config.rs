@@ -175,24 +175,30 @@ mod tests {
     }
 
     #[test]
-    fn builder_runs_match_the_deprecated_constructors() {
+    fn scenario_and_parts_builders_agree_on_static_runs() {
+        // The two construction paths — a scenario versus its own partition
+        // and freshly instantiated per-shard trees — must produce engines
+        // with byte-identical runs.
         let scenario = scenario();
-        let mut via_builder = ShardedEngineConfig::from_scenario(&scenario)
+        let mut via_scenario = ShardedEngineConfig::from_scenario(&scenario)
             .parallelism(Parallelism::Threads(2))
             .drain_threshold(128)
             .build()
             .unwrap();
-        #[allow(deprecated)]
-        let mut via_deprecated = ShardedEngine::from_scenario(&scenario, Parallelism::Threads(2))
-            .unwrap()
-            .with_drain_threshold(128);
+        let trees: Vec<_> = scenario
+            .shard_scenarios()
+            .iter()
+            .map(|s| s.instantiate().unwrap())
+            .collect();
+        let mut via_parts = ShardedEngineConfig::from_parts(scenario.partition(), trees)
+            .parallelism(Parallelism::Threads(2))
+            .drain_threshold(128)
+            .build()
+            .unwrap();
         let requests: Vec<_> = scenario.stream().collect();
-        via_builder.submit_burst(&requests).unwrap();
-        via_deprecated.submit_burst(&requests).unwrap();
-        assert_eq!(
-            via_builder.finish().unwrap(),
-            via_deprecated.finish().unwrap()
-        );
+        via_scenario.submit_burst(&requests).unwrap();
+        via_parts.submit_burst(&requests).unwrap();
+        assert_eq!(via_scenario.finish().unwrap(), via_parts.finish().unwrap());
     }
 
     #[test]

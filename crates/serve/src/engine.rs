@@ -3,11 +3,13 @@
 use crate::drain::DrainControl;
 use crate::error::ServeError;
 use crate::ingest::{IngestMessage, IngestQueue};
+use crate::snapshot::{EngineSnapshot, SnapshotHub, SnapshotReader};
 use satn_core::{AlgorithmKind, SelfAdjustingTree};
 use satn_exec::Parallelism;
 use satn_sim::{ReshardSchedule, ShardedScenario};
 use satn_tree::{
     snapshot, CompleteTree, CostSummary, ElementId, MigrationCost, Occupancy, ShardedCostSummary,
+    TreeSnapshot,
 };
 use satn_workloads::shard::{
     algorithm_seed, handover, shard_epoch_seed, EpochedPartition, Partition, PolicyDriver,
@@ -15,6 +17,7 @@ use satn_workloads::shard::{
 };
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// Pending requests buffered across all shards before an automatic drain.
 pub const DEFAULT_DRAIN_THRESHOLD: usize = 4_096;
@@ -72,6 +75,19 @@ enum OnlineSchedule {
 /// ([`ShardedScenario::epoch_replay`]) reproduces the engine's per-epoch
 /// cost summaries, migration costs, and boundary fingerprints byte for byte
 /// at every thread count — determinism stays *derived*, not hand-kept.
+///
+/// ## The read phase
+///
+/// Lookups never enter the write path above. Call
+/// [`ShardedEngine::snapshots`] to open the engine's **read side**: from
+/// then on every batch-drain boundary (automatic, flush-forced, reshard
+/// fence, or final) atomically publishes an immutable [`EngineSnapshot`] —
+/// the epoch's partition plus one frozen [`TreeSnapshot`] per shard —
+/// which any number of [`SnapshotReader`] handles serve lock-free, on any
+/// thread, while the engine keeps draining. Reads never mutate, so the
+/// determinism oracle is untouched; each snapshot is stamped with the
+/// requests accounted when it was frozen, tying every answered lookup to
+/// one point on the deterministic write timeline.
 pub struct ShardedEngine {
     log: EpochedPartition,
     shards: Vec<Shard>,
@@ -86,34 +102,21 @@ pub struct ShardedEngine {
     /// Requests submitted before each epoch boundary, matching
     /// [`satn_sim::ShardedReplay::boundaries`].
     boundaries: Vec<usize>,
+    /// The read side, opened by [`ShardedEngine::snapshots`]: `None` until
+    /// a reader exists, so write-only runs pay nothing for the feature.
+    hub: Option<Arc<SnapshotHub>>,
+    /// The current epoch's partition, shared with published snapshots
+    /// (re-cloned only when the epoch changes).
+    partition_cache: Option<(u32, Arc<Partition>)>,
 }
 
 impl ShardedEngine {
-    /// Assembles a **static** engine from a partition and one pre-built tree
-    /// per shard (shard `s`'s tree serves local ids `0..` of
-    /// `partition.owned(s)`). Built this way the engine cannot reshard —
-    /// arbitrary pre-built trees carry no rebuild recipe.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the tree count differs from the partition's shard count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ShardedEngineConfig::from_parts(..).build()` — it validates instead of panicking"
-    )]
-    pub fn new(
-        partition: Partition,
-        trees: Vec<Box<dyn SelfAdjustingTree + Send>>,
-        parallelism: Parallelism,
-    ) -> Self {
-        match ShardedEngine::assemble(partition, trees, parallelism) {
-            Ok(engine) => engine,
-            Err(error) => panic!("{error}"),
-        }
-    }
-
-    /// The non-panicking constructor behind both the deprecated
-    /// [`ShardedEngine::new`] and [`crate::ShardedEngineConfig`].
+    /// The non-panicking constructor behind
+    /// [`ShardedEngineConfig::from_parts`](crate::ShardedEngineConfig::from_parts):
+    /// a **static** engine from a partition and one pre-built tree per shard
+    /// (shard `s`'s tree serves local ids `0..` of `partition.owned(s)`).
+    /// Built this way the engine cannot reshard — arbitrary pre-built trees
+    /// carry no rebuild recipe.
     pub(crate) fn assemble(
         partition: Partition,
         trees: Vec<Box<dyn SelfAdjustingTree + Send>>,
@@ -144,38 +147,21 @@ impl ShardedEngine {
             schedule: OnlineSchedule::External,
             epoch_fingerprints: Vec::new(),
             boundaries: Vec::new(),
+            hub: None,
+            partition_cache: None,
         })
     }
 
-    /// Builds the engine a [`ShardedScenario`] describes: the scenario's
-    /// epoch-0 partition, with every shard tree instantiated exactly as the
-    /// scenario's standalone per-shard reference scenarios build theirs
-    /// (same levels, same derived seeds, same initial placement — that is
-    /// what makes the serial replay a byte-exact oracle). The scenario's
-    /// [`ReshardSchedule`] is applied online: manual events fire at their
-    /// stream positions, a policy observes the routed stream at its cadence
-    /// — both reproducing the schedule [`ShardedScenario::epoch_log`]
-    /// derives offline.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServeError::Tree`] if a shard's algorithm cannot be
-    /// instantiated (e.g. an offline layout over an invalid sequence), or
-    /// [`ServeError::ReshardUnsupported`] for a reshard schedule with an
-    /// offline algorithm.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ShardedEngineConfig::from_scenario(..).parallelism(..).build()`"
-    )]
-    pub fn from_scenario(
-        scenario: &ShardedScenario,
-        parallelism: Parallelism,
-    ) -> Result<Self, ServeError> {
-        ShardedEngine::build_from_scenario(scenario, parallelism)
-    }
-
-    /// The construction behind both the deprecated
-    /// [`ShardedEngine::from_scenario`] and [`crate::ShardedEngineConfig`].
+    /// The construction behind
+    /// [`ShardedEngineConfig::from_scenario`](crate::ShardedEngineConfig::from_scenario):
+    /// the scenario's epoch-0 partition, with every shard tree instantiated
+    /// exactly as the scenario's standalone per-shard reference scenarios
+    /// build theirs (same levels, same derived seeds, same initial placement
+    /// — that is what makes the serial replay a byte-exact oracle). The
+    /// scenario's [`ReshardSchedule`] is applied online: manual events fire
+    /// at their stream positions, a policy observes the routed stream at its
+    /// cadence — both reproducing the schedule
+    /// [`ShardedScenario::epoch_log`] derives offline.
     pub(crate) fn build_from_scenario(
         scenario: &ShardedScenario,
         parallelism: Parallelism,
@@ -214,27 +200,11 @@ impl ShardedEngine {
         Ok(engine)
     }
 
-    /// Provides the rebuild recipe a raw-tree engine needs to reshard: the
-    /// algorithm every post-handover tree is re-instantiated with, and the
-    /// base seed of the per-`(shard, epoch)` derived seeds (builder style).
-    ///
-    /// # Panics
-    ///
-    /// Panics for offline algorithms, which cannot be rebuilt mid-stream.
-    #[must_use]
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ShardedEngineConfig::resharding(..)` — it validates instead of panicking"
-    )]
-    pub fn with_resharding(mut self, algorithm: AlgorithmKind, seed: u64) -> Self {
-        match self.set_resharding(algorithm, seed) {
-            Ok(()) => self,
-            Err(error) => panic!("{error}"),
-        }
-    }
-
-    /// The validated setter behind the deprecated
-    /// [`ShardedEngine::with_resharding`] and [`crate::ShardedEngineConfig`].
+    /// The validated setter behind
+    /// [`ShardedEngineConfig::resharding`](crate::ShardedEngineConfig::resharding):
+    /// the rebuild recipe a raw-tree engine needs to reshard — the algorithm
+    /// every post-handover tree is re-instantiated with, and the base seed
+    /// of the per-`(shard, epoch)` derived seeds.
     pub(crate) fn set_resharding(
         &mut self,
         algorithm: AlgorithmKind,
@@ -249,27 +219,10 @@ impl ShardedEngine {
         Ok(())
     }
 
-    /// Overrides the automatic-drain threshold (builder style). The cadence
-    /// never changes any result — only how much is buffered between drains.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threshold` is zero.
-    #[must_use]
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ShardedEngineConfig::drain_threshold(..)` — it validates instead of panicking"
-    )]
-    pub fn with_drain_threshold(mut self, threshold: usize) -> Self {
-        match self.set_drain_threshold(threshold) {
-            Ok(()) => self,
-            Err(error) => panic!("{error}"),
-        }
-    }
-
-    /// The validated setter behind the deprecated
-    /// [`ShardedEngine::with_drain_threshold`] and
-    /// [`crate::ShardedEngineConfig`].
+    /// The validated setter behind
+    /// [`ShardedEngineConfig::drain_threshold`](crate::ShardedEngineConfig::drain_threshold).
+    /// The cadence never changes any result — only how much is buffered
+    /// between drains.
     pub(crate) fn set_drain_threshold(&mut self, threshold: usize) -> Result<(), ServeError> {
         if threshold == 0 {
             return Err(ServeError::InvalidConfig(
@@ -320,6 +273,52 @@ impl ShardedEngine {
     /// [`ShardedEngine::drain`] first).
     pub fn accounting(&self) -> &ShardedCostSummary {
         &self.accounting
+    }
+
+    /// Opens the engine's read side and hands out a lock-free
+    /// [`SnapshotReader`]. The first call freezes and publishes the current
+    /// state; from then on every drain boundary publishes a fresh
+    /// [`EngineSnapshot`] that all readers (this one and its clones, on any
+    /// thread) observe via one atomic version check. Call before moving the
+    /// engine to its serving thread; clone the reader per consumer.
+    pub fn snapshots(&mut self) -> SnapshotReader {
+        if self.hub.is_none() {
+            let initial = self.freeze();
+            self.hub = Some(Arc::new(SnapshotHub::new(initial)));
+        }
+        SnapshotReader::new(Arc::clone(self.hub.as_ref().expect("hub just installed")))
+    }
+
+    /// Freezes the engine's current served state (the most recent drain
+    /// boundary: trees only change inside drains, so capturing between them
+    /// is always consistent with the accounting).
+    fn freeze(&mut self) -> EngineSnapshot {
+        let epoch = self.log.current_epoch();
+        let partition = match &self.partition_cache {
+            Some((cached, arc)) if *cached == epoch => Arc::clone(arc),
+            _ => {
+                let arc = Arc::new(self.log.current().clone());
+                self.partition_cache = Some((epoch, Arc::clone(&arc)));
+                arc
+            }
+        };
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| TreeSnapshot::capture(shard.tree.occupancy()))
+            .collect();
+        EngineSnapshot::assemble(epoch, self.accounting.requests(), partition, shards)
+    }
+
+    /// Publishes the current state to the read side, if one is open. Called
+    /// at every boundary where the served state advanced: after a drain,
+    /// after a reshard's epoch bump, and at `finish`.
+    fn publish_snapshot(&mut self) {
+        if self.hub.is_none() {
+            return;
+        }
+        let snapshot = self.freeze();
+        self.hub.as_ref().expect("checked above").publish(snapshot);
     }
 
     /// Routes one request to its owning shard's batch under the current
@@ -399,7 +398,10 @@ impl ShardedEngine {
                 (delta, outcome)
             },
         )
-        .map_err(|(shard, error)| ServeError::Tree { shard, error })
+        .map_err(|(shard, error)| ServeError::Tree { shard, error })?;
+        // The drain boundary is the read side's publication point.
+        self.publish_snapshot();
+        Ok(())
     }
 
     /// Reshards the engine with the deterministic handover protocol: drain
@@ -457,8 +459,11 @@ impl ShardedEngine {
                     })?;
             self.shards[shard].tree = tree;
         }
-        // 3. Epoch bump in the ledger, carrying the migration cost.
+        // 3. Epoch bump in the ledger, carrying the migration cost — and a
+        // publication, so readers see the new epoch's placement immediately
+        // rather than at the next drain.
         self.accounting.begin_epoch(outcome.migration);
+        self.publish_snapshot();
         Ok(())
     }
 
@@ -529,6 +534,8 @@ impl ShardedEngine {
     pub fn finish(mut self) -> Result<EngineReport, ServeError> {
         self.drain()?;
         self.fire_due_manual_events(true)?;
+        // Readers outlive the engine: leave them the final state.
+        self.publish_snapshot();
         self.capture_boundary_fingerprints();
         let per_shard = self
             .shards
@@ -864,6 +871,56 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, ServeError::ReshardUnsupported { .. }));
+    }
+
+    #[test]
+    fn snapshot_readers_track_drain_boundaries() {
+        let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Range);
+        let mut engine = ShardedEngineConfig::from_scenario(&sharded)
+            .parallelism(Parallelism::Serial)
+            .drain_threshold(500)
+            .build()
+            .unwrap();
+        let mut reader = engine.snapshots();
+        assert_eq!(reader.snapshot().served(), 0);
+        assert_eq!(reader.lookup(ElementId::new(0)).unwrap().epoch, 0);
+
+        for element in sharded.stream() {
+            engine.submit(element).unwrap();
+        }
+        engine.drain().unwrap();
+        let at_drain = std::sync::Arc::clone(reader.snapshot());
+        assert_eq!(at_drain.served(), 3_000);
+        for shard in 0..engine.shards() {
+            assert_eq!(at_drain.fingerprint(shard), engine.fingerprint(shard));
+        }
+
+        let report = engine.finish().unwrap();
+        let final_snap = std::sync::Arc::clone(reader.snapshot());
+        for (shard, shard_report) in report.per_shard.iter().enumerate() {
+            assert_eq!(
+                final_snap.fingerprint(shard as u32),
+                shard_report.fingerprint,
+                "published snapshot diverged from the final report on shard {shard}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_follow_reshards_to_the_new_epoch() {
+        let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Range);
+        let mut engine = engine(&sharded, Parallelism::Serial);
+        let mut reader = engine.snapshots();
+        let moved = ElementId::new(0);
+        let before = reader.lookup(moved).unwrap();
+        assert_eq!((before.epoch, before.shard), (0, 0));
+        engine.reshard(ReshardPlan::new([(moved, 2)])).unwrap();
+        let after = reader.lookup(moved).unwrap();
+        assert_eq!(
+            (after.epoch, after.shard),
+            (1, 2),
+            "the post-reshard publication must route under the new partition"
+        );
     }
 
     #[test]

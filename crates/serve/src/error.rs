@@ -36,14 +36,17 @@ pub enum ServeError {
     },
     /// A reshard plan does not fit the engine's partition.
     Reshard(ReshardError),
-    /// The engine cannot reshard: it was built without rebuild information
-    /// ([`crate::ShardedEngine::new`] with raw trees) or its algorithm is
+    /// The engine cannot reshard: it was assembled without rebuild
+    /// information (raw trees instead of a scenario) or its algorithm is
     /// offline (Static-Opt computes its layout from the whole future
     /// subsequence, which no online handover can know).
     ReshardUnsupported {
         /// Why resharding is unavailable.
         reason: &'static str,
     },
+    /// A lookup was issued on an ingest handle that has no snapshot reader
+    /// attached — the transport can carry writes but not reads.
+    LookupUnsupported,
     /// The ingestion peer is gone: the queue consumer was dropped (channel
     /// transport) or the connection was shut down (network transport).
     Closed,
@@ -102,6 +105,9 @@ impl fmt::Display for ServeError {
             ServeError::ReshardUnsupported { reason } => {
                 write!(f, "the engine cannot reshard: {reason}")
             }
+            ServeError::LookupUnsupported => {
+                f.write_str("this ingest handle has no snapshot reader to serve lookups")
+            }
             ServeError::Closed => f.write_str("the ingest peer is gone"),
             ServeError::Io(error) => write!(f, "transport: {error}"),
             ServeError::Protocol(error) => write!(f, "protocol: {error}"),
@@ -120,6 +126,7 @@ impl std::error::Error for ServeError {
             ServeError::Network { error, .. } => Some(error),
             ServeError::Reshard(error) => Some(error),
             ServeError::ReshardUnsupported { .. } => None,
+            ServeError::LookupUnsupported => None,
             ServeError::Closed => None,
             ServeError::Io(error) => Some(error),
             ServeError::Protocol(error) => Some(error),

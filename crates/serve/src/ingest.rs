@@ -20,6 +20,7 @@
 //! or over a wire.
 
 use crate::error::ServeError;
+use crate::snapshot::{LookupAnswer, SnapshotReader};
 use satn_tree::ElementId;
 use satn_workloads::shard::ReshardPlan;
 use std::sync::mpsc;
@@ -84,6 +85,20 @@ pub trait Ingest {
     ///
     /// Same contract as [`Ingest::send`].
     fn reshard(&mut self, plan: &ReshardPlan) -> Result<(), ServeError>;
+
+    /// Looks up an element's current placement — the **read phase** of the
+    /// protocol. Lookups never enter the write path: they are answered from
+    /// the engine's most recently published snapshot (in-process via a
+    /// [`SnapshotReader`], over the network via a `Lookup`/`Found` frame
+    /// exchange), so they neither mutate the trees nor contend with the
+    /// shard drain path.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::LookupUnsupported`] if this handle has no read side
+    /// attached, [`ServeError::OutOfUniverse`] for an element the engine
+    /// does not hold, plus the transport errors of [`Ingest::send`].
+    fn lookup(&mut self, element: ElementId) -> Result<LookupAnswer, ServeError>;
 }
 
 /// Replays a request stream through any [`Ingest`] transport in bursts of
@@ -120,12 +135,26 @@ pub fn replay<I: Ingest + ?Sized>(
 
 /// The in-process producer half: cloneable, blocking on a full queue
 /// (backpressure).
+///
+/// A plain sender carries only the write verbs; attach a
+/// [`SnapshotReader`] with [`IngestSender::with_snapshots`] to serve
+/// [`Ingest::lookup`] as well (each clone of the sender gets its own
+/// independently cached read handle).
 #[derive(Debug, Clone)]
 pub struct IngestSender {
     inner: mpsc::SyncSender<IngestMessage>,
+    snapshots: Option<SnapshotReader>,
 }
 
 impl IngestSender {
+    /// Attaches the read side: lookups on the returned sender are answered
+    /// lock-free from the engine's published snapshots.
+    #[must_use]
+    pub fn with_snapshots(mut self, reader: SnapshotReader) -> Self {
+        self.snapshots = Some(reader);
+        self
+    }
+
     /// Enqueues one protocol message, blocking while the queue is full.
     ///
     /// # Errors
@@ -174,6 +203,24 @@ impl IngestSender {
     pub fn reshard(&self, plan: ReshardPlan) -> Result<(), ServeError> {
         self.send_message(IngestMessage::Reshard(plan))
     }
+
+    /// Answers a lookup from the attached [`SnapshotReader`] — never touches
+    /// the queue, never blocks on the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::LookupUnsupported`] without an attached reader,
+    /// [`ServeError::OutOfUniverse`] for an unknown element.
+    pub fn lookup(&mut self, element: ElementId) -> Result<LookupAnswer, ServeError> {
+        let reader = self
+            .snapshots
+            .as_mut()
+            .ok_or(ServeError::LookupUnsupported)?;
+        let universe = reader.snapshot().partition().universe();
+        reader
+            .lookup(element)
+            .ok_or(ServeError::OutOfUniverse { element, universe })
+    }
 }
 
 impl Ingest for IngestSender {
@@ -191,6 +238,10 @@ impl Ingest for IngestSender {
 
     fn reshard(&mut self, plan: &ReshardPlan) -> Result<(), ServeError> {
         IngestSender::reshard(self, plan.clone())
+    }
+
+    fn lookup(&mut self, element: ElementId) -> Result<LookupAnswer, ServeError> {
+        IngestSender::lookup(self, element)
     }
 }
 
@@ -219,7 +270,10 @@ pub fn ingest_channel(capacity: usize) -> (IngestSender, IngestQueue) {
     assert!(capacity > 0, "the ingest queue capacity must be positive");
     let (sender, receiver) = mpsc::sync_channel(capacity);
     (
-        IngestSender { inner: sender },
+        IngestSender {
+            inner: sender,
+            snapshots: None,
+        },
         IngestQueue { inner: receiver },
     )
 }
@@ -313,6 +367,14 @@ mod tests {
             Some(IngestMessage::Reshard(ReshardPlan::empty()))
         );
         assert_eq!(queue.recv(), None);
+    }
+
+    #[test]
+    fn lookups_without_a_reader_are_unsupported_not_silent() {
+        let (mut sender, _queue) = ingest_channel(4);
+        let err = Ingest::lookup(&mut sender, ElementId::new(0)).unwrap_err();
+        assert!(matches!(err, ServeError::LookupUnsupported));
+        assert!(err.to_string().contains("snapshot reader"));
     }
 
     #[test]

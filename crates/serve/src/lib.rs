@@ -36,9 +36,14 @@
 //!   `satn-network`: source-affinity routing groups each source's ego-tree
 //!   onto one shard,
 //! * [`Ingest`] — the transport-agnostic ingestion trait (`send`,
-//!   `send_burst`, `flush`, `reshard`), implemented by both the in-process
-//!   [`IngestSender`] and the TCP client [`TcpIngest`]; code written
-//!   against it runs identically over either transport,
+//!   `send_burst`, `flush`, `reshard`, `lookup`), implemented by both the
+//!   in-process [`IngestSender`] and the TCP client [`TcpIngest`]; code
+//!   written against it runs identically over either transport,
+//! * [`ShardedEngine::snapshots`] / [`SnapshotReader`] — the lock-free
+//!   **read phase**: every drain boundary atomically publishes an immutable
+//!   [`EngineSnapshot`] (epoch partition + one frozen
+//!   [`TreeSnapshot`](satn_tree::TreeSnapshot) per shard) that any number
+//!   of reader handles serve lookups from without touching the write path,
 //! * [`ingest_channel`] / [`IngestQueue`] — the bounded channel-based
 //!   ingestion layer with backpressure and a drain/flush/reshard protocol,
 //! * [`wire`](crate::Frame) / [`serve_connections`] — the length-prefixed
@@ -101,6 +106,7 @@ mod engine;
 mod error;
 mod ingest;
 mod net;
+mod snapshot;
 mod wire;
 
 pub use config::ShardedEngineConfig;
@@ -109,8 +115,10 @@ pub use engine::{EngineReport, ShardReport, ShardedEngine, DEFAULT_DRAIN_THRESHO
 pub use error::ServeError;
 pub use ingest::{ingest_channel, replay, Ingest, IngestMessage, IngestQueue, IngestSender};
 pub use net::{serve_connections, ConnectionReport, TcpIngest, DEFAULT_WINDOW};
+pub use snapshot::{EngineSnapshot, LookupAnswer, SnapshotReader};
 pub use wire::{
-    decode_body, encode_frame, read_frame, write_frame, Frame, WireError, MAX_FRAME_BODY,
+    decode_body, encode_frame, read_frame, write_frame, Frame, WireError, MAX_BURST_ELEMENTS,
+    MAX_FRAME_BODY, MAX_PLAN_MOVES,
 };
 
 // Re-exported so engines can be configured without extra imports.
@@ -138,4 +146,10 @@ fn _assert_parallel_safe() {
     assert_send::<TcpIngest>();
     assert_send::<ConnectionReport>();
     assert_send::<Frame>();
+    // Readers are cloned across connection workers; snapshots are shared
+    // behind `Arc` by arbitrarily many reader threads.
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send::<SnapshotReader>();
+    assert_send_sync::<EngineSnapshot>();
+    assert_send_sync::<LookupAnswer>();
 }

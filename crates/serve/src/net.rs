@@ -27,18 +27,29 @@
 //!
 //! **Failure isolation:** a malformed frame or I/O error closes only its
 //! own connection (reported per connection in [`ConnectionReport`]); the
-//! engine and the other connections keep running.
+//! engine and the other connections keep running. A panicking worker
+//! poisons nothing that matters: the report mutex recovers via
+//! [`PoisonError::into_inner`], so the accept loop and the remaining
+//! connections carry on.
+//!
+//! **The read path:** a `Lookup` frame never enters the channel above.
+//! When the accept loop is given a [`SnapshotReader`], each connection
+//! worker answers lookups directly from the engine's published snapshot —
+//! lock-free, off the write path — and replies with a `Found` frame.
+//! Lookups carry no sequence number and consume no window slot; the
+//! `Found` reply is their acknowledgement.
 
 use crate::error::ServeError;
 use crate::ingest::{Ingest, IngestMessage, IngestSender};
-use crate::wire::{read_frame, write_frame, Frame, WireError};
+use crate::snapshot::{LookupAnswer, SnapshotReader};
+use crate::wire::{read_frame, write_frame, Frame, WireError, MAX_BURST_ELEMENTS};
 use satn_exec::{task_scope, Parallelism};
 use satn_tree::ElementId;
 use satn_workloads::shard::ReshardPlan;
 use std::fmt;
 use std::io::BufReader;
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Default number of unacknowledged frames a [`TcpIngest`] keeps in flight.
 pub const DEFAULT_WINDOW: usize = 32;
@@ -101,21 +112,24 @@ impl TcpIngest {
         self.acked
     }
 
+    /// Validates and applies one cumulative acknowledgement.
+    fn note_ack(&mut self, seq: u64) -> Result<(), ServeError> {
+        if seq <= self.acked || seq > self.sent {
+            return Err(WireError::Malformed {
+                reason: "acknowledgement sequence out of range",
+            }
+            .into());
+        }
+        self.acked = seq;
+        Ok(())
+    }
+
     /// Reads one acknowledgement frame from the server.
     fn recv_ack(&mut self) -> Result<(), ServeError> {
         match read_frame(&mut self.reader, &mut self.read_scratch)? {
-            Some(Frame::Ack { seq }) => {
-                if seq <= self.acked || seq > self.sent {
-                    return Err(WireError::Malformed {
-                        reason: "acknowledgement sequence out of range",
-                    }
-                    .into());
-                }
-                self.acked = seq;
-                Ok(())
-            }
+            Some(Frame::Ack { seq }) => self.note_ack(seq),
             Some(_) => Err(WireError::Malformed {
-                reason: "the server may only send acknowledgement frames",
+                reason: "expected an acknowledgement frame",
             }
             .into()),
             None => Err(ServeError::Closed),
@@ -176,8 +190,21 @@ impl Ingest for TcpIngest {
         self.send_frame(IngestMessage::Request(element))
     }
 
+    /// A burst longer than [`MAX_BURST_ELEMENTS`] is split into cap-sized
+    /// frames client-side — the elements still arrive in burst order, one
+    /// frame after another on the same ordered connection, so the engine
+    /// serves the exact same request sequence. (Before this split existed,
+    /// an over-cap burst encoded a frame the server rejected as oversized,
+    /// silently killing the connection mid-stream.)
     fn send_burst(&mut self, burst: &[ElementId]) -> Result<(), ServeError> {
-        self.send_frame(IngestMessage::Burst(burst.to_vec()))
+        if burst.is_empty() {
+            // An explicit empty burst is still one protocol message.
+            return self.send_frame(IngestMessage::Burst(Vec::new()));
+        }
+        for chunk in burst.chunks(MAX_BURST_ELEMENTS) {
+            self.send_frame(IngestMessage::Burst(chunk.to_vec()))?;
+        }
+        Ok(())
     }
 
     fn flush(&mut self) -> Result<(), ServeError> {
@@ -186,6 +213,39 @@ impl Ingest for TcpIngest {
 
     fn reshard(&mut self, plan: &ReshardPlan) -> Result<(), ServeError> {
         self.send_frame(IngestMessage::Reshard(plan.clone()))
+    }
+
+    /// Sends a `Lookup` frame and blocks for its `Found` reply. Lookups
+    /// take no window slot and no acknowledgement — but acknowledgements
+    /// for previously pipelined write frames may arrive first (the server
+    /// replies strictly in request order), so they are absorbed here.
+    fn lookup(&mut self, element: ElementId) -> Result<LookupAnswer, ServeError> {
+        write_frame(
+            &mut self.writer,
+            &Frame::Lookup { element },
+            &mut self.write_scratch,
+        )?;
+        loop {
+            match read_frame(&mut self.reader, &mut self.read_scratch)? {
+                Some(Frame::Found(answer)) => {
+                    if answer.element != element {
+                        return Err(WireError::Malformed {
+                            reason: "found frame answers a different element",
+                        }
+                        .into());
+                    }
+                    return Ok(answer);
+                }
+                Some(Frame::Ack { seq }) => self.note_ack(seq)?,
+                Some(_) => {
+                    return Err(WireError::Malformed {
+                        reason: "expected a found or acknowledgement frame",
+                    }
+                    .into())
+                }
+                None => return Err(ServeError::Closed),
+            }
+        }
     }
 }
 
@@ -207,6 +267,8 @@ pub struct ConnectionReport {
     pub connection: u64,
     /// Ingest frames accepted from this connection into the engine queue.
     pub frames: u64,
+    /// Lookups answered from the published snapshot (never enqueued).
+    pub lookups: u64,
     /// The error that closed the connection, if it did not end cleanly.
     /// Disconnects ([`ServeError::is_disconnect`]) are recorded here too —
     /// a client vanishing mid-burst is an observation, not a server
@@ -222,13 +284,19 @@ impl ConnectionReport {
     }
 }
 
-/// Serves one established connection: decodes frames, forwards them into
-/// the engine's bounded ingest channel (blocking there is what propagates
-/// engine backpressure onto the socket), and acknowledges each frame once
-/// enqueued. Returns the number of frames accepted and the error that ended
-/// the connection, if any.
-fn serve_connection(stream: &TcpStream, sender: &IngestSender) -> (u64, Option<ServeError>) {
+/// Serves one established connection: ingest frames are forwarded into the
+/// engine's bounded channel (blocking there is what propagates engine
+/// backpressure onto the socket) and acknowledged once enqueued; lookup
+/// frames are answered on the spot from `reads`' published snapshot,
+/// without ever touching the channel. Returns the accepted-frame and
+/// answered-lookup counts and the error that ended the connection, if any.
+fn serve_connection(
+    stream: &TcpStream,
+    sender: &IngestSender,
+    mut reads: Option<SnapshotReader>,
+) -> (u64, u64, Option<ServeError>) {
     let mut frames = 0u64;
+    let mut lookups = 0u64;
     let mut error = None;
     let outcome = (|| -> Result<(), ServeError> {
         stream.set_nodelay(true)?;
@@ -237,15 +305,28 @@ fn serve_connection(stream: &TcpStream, sender: &IngestSender) -> (u64, Option<S
         let mut read_scratch = Vec::new();
         let mut write_scratch = Vec::new();
         while let Some(frame) = read_frame(&mut reader, &mut read_scratch)? {
-            let Frame::Ingest(message) = frame else {
-                return Err(WireError::Malformed {
-                    reason: "clients may not send acknowledgement frames",
+            match frame {
+                Frame::Ingest(message) => {
+                    sender.send_message(message)?;
+                    frames += 1;
+                    write_frame(&mut writer, &Frame::Ack { seq: frames }, &mut write_scratch)?;
                 }
-                .into());
-            };
-            sender.send_message(message)?;
-            frames += 1;
-            write_frame(&mut writer, &Frame::Ack { seq: frames }, &mut write_scratch)?;
+                Frame::Lookup { element } => {
+                    let reader = reads.as_mut().ok_or(ServeError::LookupUnsupported)?;
+                    let universe = reader.snapshot().partition().universe();
+                    let answer = reader
+                        .lookup(element)
+                        .ok_or(ServeError::OutOfUniverse { element, universe })?;
+                    lookups += 1;
+                    write_frame(&mut writer, &Frame::Found(answer), &mut write_scratch)?;
+                }
+                Frame::Ack { .. } | Frame::Found(_) => {
+                    return Err(WireError::Malformed {
+                        reason: "clients may not send server reply frames",
+                    }
+                    .into())
+                }
+            }
         }
         Ok(())
     })();
@@ -254,19 +335,34 @@ fn serve_connection(stream: &TcpStream, sender: &IngestSender) -> (u64, Option<S
         let _ = stream.shutdown(Shutdown::Both);
         error = Some(cause);
     }
-    (frames, error)
+    (frames, lookups, error)
+}
+
+/// Appends one report, recovering the vector from a poisoned lock: a
+/// panicking connection worker must not take the whole accept loop (and
+/// every other connection's report) down with it — per-connection failure
+/// isolation extends to panics.
+fn record_report(reports: &Mutex<Vec<ConnectionReport>>, report: ConnectionReport) {
+    reports
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(report);
 }
 
 /// The server-side accept loop: accepts exactly `connections` connections
 /// from `listener` and serves each on the scoped [`task_scope`] pool with
 /// up to `parallelism` concurrent connection workers, forwarding every
-/// decoded frame into `sender`'s bounded channel. Returns one
-/// [`ConnectionReport`] per connection, in accept order.
+/// decoded ingest frame into `sender`'s bounded channel. When `reads` is
+/// given, each worker gets its own clone of the [`SnapshotReader`] and
+/// answers `Lookup` frames lock-free from the engine's published snapshot;
+/// without it, a lookup closes its connection with
+/// [`ServeError::LookupUnsupported`]. Returns one [`ConnectionReport`] per
+/// connection, in accept order.
 ///
-/// Per-connection failures (malformed frames, vanished clients) are
-/// **contained**: they appear in that connection's report while every other
-/// connection and the engine keep running. Only listener-level failures —
-/// `accept` itself erroring — abort the loop.
+/// Per-connection failures (malformed frames, vanished clients, even a
+/// panicking worker) are **contained**: they appear in that connection's
+/// report while every other connection and the engine keep running. Only
+/// listener-level failures — `accept` itself erroring — abort the loop.
 ///
 /// # Errors
 ///
@@ -276,6 +372,7 @@ fn serve_connection(stream: &TcpStream, sender: &IngestSender) -> (u64, Option<S
 pub fn serve_connections(
     listener: &TcpListener,
     sender: &IngestSender,
+    reads: Option<&SnapshotReader>,
     parallelism: Parallelism,
     connections: usize,
 ) -> Result<Vec<ConnectionReport>, ServeError> {
@@ -284,22 +381,25 @@ pub fn serve_connections(
         for connection in 0..connections as u64 {
             let (stream, _peer) = listener.accept()?;
             let sender = sender.clone();
+            // Each worker reads through its own independently cached handle.
+            let reads = reads.cloned();
             let reports = &reports;
             scope.spawn(move || {
-                let (frames, error) = serve_connection(&stream, &sender);
-                reports
-                    .lock()
-                    .expect("report lock never poisons")
-                    .push(ConnectionReport {
+                let (frames, lookups, error) = serve_connection(&stream, &sender, reads);
+                record_report(
+                    reports,
+                    ConnectionReport {
                         connection,
                         frames,
+                        lookups,
                         error,
-                    });
+                    },
+                );
             });
         }
         Ok(())
     })?;
-    let mut reports = reports.into_inner().expect("report lock never poisons");
+    let mut reports = reports.into_inner().unwrap_or_else(PoisonError::into_inner);
     reports.sort_unstable_by_key(|report| report.connection);
     Ok(reports)
 }
@@ -321,7 +421,7 @@ mod tests {
         let (listener, addr) = loopback_listener();
         let (sender, queue) = ingest_channel(64);
         let server = std::thread::spawn(move || {
-            serve_connections(&listener, &sender, Parallelism::Serial, 1).unwrap()
+            serve_connections(&listener, &sender, None, Parallelism::Serial, 1).unwrap()
         });
         let mut client = TcpIngest::connect(addr).unwrap();
         client.send(ElementId::new(5)).unwrap();
@@ -368,7 +468,7 @@ mod tests {
         let (listener, addr) = loopback_listener();
         let (sender, queue) = ingest_channel(1);
         let server = std::thread::spawn(move || {
-            serve_connections(&listener, &sender, Parallelism::Serial, 1).unwrap()
+            serve_connections(&listener, &sender, None, Parallelism::Serial, 1).unwrap()
         });
         let mut client = TcpIngest::connect(addr).unwrap().with_window(1);
         client.send(ElementId::new(0)).unwrap();
@@ -394,5 +494,98 @@ mod tests {
         let reports = server.join().unwrap();
         assert_eq!(reports[0].frames, 3);
         assert_eq!(drainer.join().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn lookups_without_a_server_side_reader_close_only_that_connection() {
+        let (listener, addr) = loopback_listener();
+        let (sender, queue) = ingest_channel(16);
+        let server = std::thread::spawn(move || {
+            serve_connections(&listener, &sender, None, Parallelism::Serial, 2).unwrap()
+        });
+        // Connection 0 issues a lookup the server cannot serve: the server
+        // closes it, surfacing the failure client-side too.
+        let mut reading = TcpIngest::connect(addr).unwrap();
+        assert!(Ingest::lookup(&mut reading, ElementId::new(0)).is_err());
+        drop(reading);
+        // Connection 1 still writes normally: failure isolation held.
+        let mut writing = TcpIngest::connect(addr).unwrap();
+        writing.send(ElementId::new(3)).unwrap();
+        assert_eq!(writing.finish().unwrap(), 1);
+        let reports = server.join().unwrap();
+        assert!(matches!(
+            reports[0].error,
+            Some(ServeError::LookupUnsupported)
+        ));
+        assert!(reports[1].is_clean(), "{:?}", reports[1].error);
+        drop(queue);
+    }
+
+    #[test]
+    fn poisoned_report_locks_are_recovered_not_propagated() {
+        // Poison the mutex exactly the way a panicking worker would: by
+        // panicking while holding the guard.
+        let reports = Mutex::new(vec![ConnectionReport {
+            connection: 0,
+            frames: 1,
+            lookups: 0,
+            error: None,
+        }]);
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = reports.lock().unwrap();
+            panic!("worker panic while holding the report lock");
+        }));
+        assert!(poisoner.is_err());
+        assert!(
+            reports.is_poisoned(),
+            "the panic must have poisoned the lock"
+        );
+
+        // The accept loop's recording path shrugs it off — the prior report
+        // survives and the new one lands.
+        record_report(
+            &reports,
+            ConnectionReport {
+                connection: 1,
+                frames: 7,
+                lookups: 2,
+                error: None,
+            },
+        );
+        let collected = reports.into_inner().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected[1].frames, 7);
+        assert_eq!(collected[1].lookups, 2);
+    }
+
+    #[test]
+    fn bursts_beyond_the_frame_cap_are_split_client_side() {
+        // A tiny window forces the split frames to interleave with acks,
+        // exercising the windowed path as well as the chunking itself.
+        let (listener, addr) = loopback_listener();
+        let (sender, queue) = ingest_channel(64);
+        let server = std::thread::spawn(move || {
+            serve_connections(&listener, &sender, None, Parallelism::Serial, 1).unwrap()
+        });
+        let burst: Vec<ElementId> = (0..2 * MAX_BURST_ELEMENTS as u32 + 3)
+            .map(ElementId::new)
+            .collect();
+        let mut client = TcpIngest::connect(addr).unwrap().with_window(2);
+        let drainer = {
+            let expected = burst.clone();
+            std::thread::spawn(move || {
+                let mut received = Vec::new();
+                while let Some(IngestMessage::Burst(chunk)) = queue.recv() {
+                    received.extend(chunk);
+                }
+                assert_eq!(received, expected, "split bursts must reassemble exactly");
+            })
+        };
+        Ingest::send_burst(&mut client, &burst).unwrap();
+        assert_eq!(client.finish().unwrap(), 3, "three frames, not one");
+        let reports = server.join().unwrap();
+        assert!(reports[0].is_clean(), "{:?}", reports[0].error);
+        assert_eq!(reports[0].frames, 3);
+        drainer.join().unwrap();
     }
 }

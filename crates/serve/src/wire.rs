@@ -11,6 +11,8 @@
 //! | `2` | `Flush`      | empty                                          |
 //! | `3` | `Reshard`    | count (`u32`), then count moves (`u32` element, `u32` destination shard) |
 //! | `4` | `Ack`        | acknowledged frame count (`u64`), server → client |
+//! | `5` | `Lookup`     | element id (`u32`) — snapshot read, client → server |
+//! | `6` | `Found`      | element (`u32`), shard (`u32`), node (`u32`), epoch (`u32`), served (`u64`), server → client |
 //!
 //! All integers are little-endian. The codec is **canonical**: for every
 //! frame there is exactly one encoding, and decoding validates that the
@@ -21,6 +23,15 @@
 //! moving the same element twice is rejected as
 //! [`WireError::DuplicateMove`] rather than unbalancing the engine.
 //!
+//! The [`MAX_FRAME_BODY`] cap is enforced **symmetrically**: [`read_frame`]
+//! rejects oversized length prefixes before allocating, and
+//! [`encode_frame`] refuses to produce a frame the peer would drop —
+//! a burst longer than [`MAX_BURST_ELEMENTS`] or a plan longer than
+//! [`MAX_PLAN_MOVES`] is an encode-side [`WireError::Oversized`], not a
+//! silently truncated count. (Clients split long bursts instead:
+//! [`TcpIngest::send_burst`](crate::TcpIngest::send_burst) chunks at the
+//! cap, so over-cap bursts survive end-to-end.)
+//!
 //! Determinism: the wire format carries the ingestion protocol verbatim —
 //! frame order is arrival order, and the engine behind the queue never
 //! knows which transport a message crossed. Encode/decode is a bijection
@@ -29,7 +40,8 @@
 
 use crate::error::ServeError;
 use crate::ingest::IngestMessage;
-use satn_tree::ElementId;
+use crate::snapshot::LookupAnswer;
+use satn_tree::{ElementId, NodeId};
 use satn_workloads::shard::ReshardPlan;
 use std::fmt;
 use std::io::{Read, Write};
@@ -39,11 +51,23 @@ use std::io::{Read, Write};
 /// or hostile length prefix cannot balloon server memory.
 pub const MAX_FRAME_BODY: u32 = 8 << 20;
 
+/// Most elements a single `Burst` frame can carry without its body
+/// exceeding [`MAX_FRAME_BODY`] (tag byte + count + 4 bytes per element).
+/// [`encode_frame`] rejects longer bursts; clients split at this boundary.
+pub const MAX_BURST_ELEMENTS: usize = (MAX_FRAME_BODY as usize - 5) / 4;
+
+/// Most moves a single `Reshard` frame can carry without its body exceeding
+/// [`MAX_FRAME_BODY`] (tag byte + count + 8 bytes per move). A plan is an
+/// atomic unit — it cannot be split — so a longer plan is an encode error.
+pub const MAX_PLAN_MOVES: usize = (MAX_FRAME_BODY as usize - 5) / 8;
+
 const TAG_REQUEST: u8 = 0;
 const TAG_BURST: u8 = 1;
 const TAG_FLUSH: u8 = 2;
 const TAG_RESHARD: u8 = 3;
 const TAG_ACK: u8 = 4;
+const TAG_LOOKUP: u8 = 5;
+const TAG_FOUND: u8 = 6;
 
 /// One frame of the wire protocol: an ingestion message travelling client →
 /// server, or an acknowledgement travelling server → client.
@@ -61,6 +85,19 @@ pub enum Frame {
         /// Number of frames acknowledged so far on this connection.
         seq: u64,
     },
+    /// A snapshot read (client → server): where does this element currently
+    /// sit? Lookups bypass the ingest queue entirely — the server answers
+    /// from the engine's published snapshot without touching the write
+    /// path, and the frame carries no sequence number because it is not
+    /// acknowledged; its [`Frame::Found`] reply *is* the acknowledgement.
+    Lookup {
+        /// The element being looked up.
+        element: ElementId,
+    },
+    /// The answer to a [`Frame::Lookup`] (server → client): the element's
+    /// placement in the snapshot that served the read, stamped with the
+    /// snapshot's epoch and write-timeline position.
+    Found(LookupAnswer),
 }
 
 /// A malformed or out-of-contract wire frame.
@@ -69,9 +106,12 @@ pub enum Frame {
 pub enum WireError {
     /// The stream ended mid-frame (inside the header or the body).
     Truncated,
-    /// The length prefix exceeds [`MAX_FRAME_BODY`].
+    /// A frame body longer than [`MAX_FRAME_BODY`]: on decode, a length
+    /// prefix exceeding the cap; on encode, a burst or reshard plan whose
+    /// payload cannot fit in one frame (see [`MAX_BURST_ELEMENTS`] /
+    /// [`MAX_PLAN_MOVES`]).
     Oversized {
-        /// The length the prefix claimed.
+        /// The length the body would have (saturated at `u32::MAX`).
         len: u32,
         /// The maximum this codec accepts.
         max: u32,
@@ -125,40 +165,84 @@ fn take_u64(bytes: &mut &[u8]) -> Result<u64, WireError> {
     Ok(u64::from_le_bytes(head.try_into().expect("8-byte split")))
 }
 
+/// Checks that a repeated payload of `count` items at `bytes_per_item`
+/// bytes (plus the tag byte and the count prefix) fits [`MAX_FRAME_BODY`],
+/// without the size arithmetic itself overflowing.
+fn check_body_fits(count: usize, bytes_per_item: u64) -> Result<u32, WireError> {
+    let body = 5u64.saturating_add((count as u64).saturating_mul(bytes_per_item));
+    if body > MAX_FRAME_BODY as u64 {
+        return Err(WireError::Oversized {
+            len: u32::try_from(body).unwrap_or(u32::MAX),
+            max: MAX_FRAME_BODY,
+        });
+    }
+    // `count` provably fits a u32 now: body ≤ 8 MiB bounds it.
+    Ok(u32::try_from(count).expect("count bounded by MAX_FRAME_BODY"))
+}
+
 /// Appends `frame`'s complete encoding (length prefix + body) to `buf`.
 /// Reusing one buffer across frames keeps the encode path allocation-free
 /// in steady state.
-pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] if the frame's body would exceed
+/// [`MAX_FRAME_BODY`] — the encoder refuses to produce a frame the peer's
+/// [`read_frame`] would reject, and it never truncates a count to make one
+/// fit. `buf` is left unchanged on error.
+pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) -> Result<(), WireError> {
     let start = buf.len();
     push_u32(buf, 0); // Length prefix, patched below.
-    match frame {
-        Frame::Ingest(IngestMessage::Request(element)) => {
-            buf.push(TAG_REQUEST);
-            push_u32(buf, element.index());
-        }
-        Frame::Ingest(IngestMessage::Burst(burst)) => {
-            buf.push(TAG_BURST);
-            push_u32(buf, burst.len() as u32);
-            for element in burst {
+    let result = (|| {
+        match frame {
+            Frame::Ingest(IngestMessage::Request(element)) => {
+                buf.push(TAG_REQUEST);
                 push_u32(buf, element.index());
             }
-        }
-        Frame::Ingest(IngestMessage::Flush) => buf.push(TAG_FLUSH),
-        Frame::Ingest(IngestMessage::Reshard(plan)) => {
-            buf.push(TAG_RESHARD);
-            push_u32(buf, plan.len() as u32);
-            for &(element, shard) in plan.moves() {
+            Frame::Ingest(IngestMessage::Burst(burst)) => {
+                let count = check_body_fits(burst.len(), 4)?;
+                buf.push(TAG_BURST);
+                push_u32(buf, count);
+                for element in burst {
+                    push_u32(buf, element.index());
+                }
+            }
+            Frame::Ingest(IngestMessage::Flush) => buf.push(TAG_FLUSH),
+            Frame::Ingest(IngestMessage::Reshard(plan)) => {
+                let count = check_body_fits(plan.len(), 8)?;
+                buf.push(TAG_RESHARD);
+                push_u32(buf, count);
+                for &(element, shard) in plan.moves() {
+                    push_u32(buf, element.index());
+                    push_u32(buf, shard);
+                }
+            }
+            Frame::Ack { seq } => {
+                buf.push(TAG_ACK);
+                buf.extend_from_slice(&seq.to_le_bytes());
+            }
+            Frame::Lookup { element } => {
+                buf.push(TAG_LOOKUP);
                 push_u32(buf, element.index());
-                push_u32(buf, shard);
+            }
+            Frame::Found(answer) => {
+                buf.push(TAG_FOUND);
+                push_u32(buf, answer.element.index());
+                push_u32(buf, answer.shard);
+                push_u32(buf, answer.node.index());
+                push_u32(buf, answer.epoch);
+                buf.extend_from_slice(&answer.served.to_le_bytes());
             }
         }
-        Frame::Ack { seq } => {
-            buf.push(TAG_ACK);
-            buf.extend_from_slice(&seq.to_le_bytes());
-        }
+        Ok(())
+    })();
+    if result.is_err() {
+        buf.truncate(start);
+        return result;
     }
     let body_len = (buf.len() - start - 4) as u32;
     buf[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
+    Ok(())
 }
 
 /// Decodes one frame **body** (everything after the length prefix).
@@ -212,6 +296,26 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
             let seq = take_u64(&mut payload)?;
             Frame::Ack { seq }
         }
+        TAG_LOOKUP => {
+            let element = take_u32(&mut payload)?;
+            Frame::Lookup {
+                element: ElementId::new(element),
+            }
+        }
+        TAG_FOUND => {
+            let element = ElementId::new(take_u32(&mut payload)?);
+            let shard = take_u32(&mut payload)?;
+            let node = NodeId::new(take_u32(&mut payload)?);
+            let epoch = take_u32(&mut payload)?;
+            let served = take_u64(&mut payload)?;
+            Frame::Found(LookupAnswer {
+                element,
+                shard,
+                node,
+                epoch,
+                served,
+            })
+        }
         other => return Err(WireError::UnknownTag(other)),
     };
     if !payload.is_empty() {
@@ -226,14 +330,15 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
 ///
 /// # Errors
 ///
-/// [`ServeError::Io`] on a transport failure.
+/// [`ServeError::Protocol`] if the frame is too large to encode (see
+/// [`encode_frame`]), [`ServeError::Io`] on a transport failure.
 pub fn write_frame<W: Write>(
     writer: &mut W,
     frame: &Frame,
     scratch: &mut Vec<u8>,
 ) -> Result<(), ServeError> {
     scratch.clear();
-    encode_frame(frame, scratch);
+    encode_frame(frame, scratch)?;
     writer.write_all(scratch)?;
     Ok(())
 }
@@ -290,7 +395,7 @@ mod tests {
 
     fn roundtrip(frame: Frame) {
         let mut buf = Vec::new();
-        encode_frame(&frame, &mut buf);
+        encode_frame(&frame, &mut buf).unwrap();
         let mut reader = &buf[..];
         let mut scratch = Vec::new();
         let decoded = read_frame(&mut reader, &mut scratch).unwrap().unwrap();
@@ -312,6 +417,57 @@ mod tests {
             (ElementId::new(0), 2),
         ]))));
         roundtrip(Frame::Ack { seq: u64::MAX });
+        roundtrip(Frame::Lookup {
+            element: ElementId::new(7),
+        });
+        roundtrip(Frame::Found(LookupAnswer {
+            element: ElementId::new(7),
+            shard: 3,
+            node: NodeId::new(1),
+            epoch: 2,
+            served: u64::MAX,
+        }));
+    }
+
+    #[test]
+    fn encode_rejects_over_cap_bursts_instead_of_truncating_the_count() {
+        // One element past the cap: the old `as u32` cast would have
+        // happily encoded a frame the reader rejects as Oversized.
+        let burst = vec![ElementId::new(0); MAX_BURST_ELEMENTS + 1];
+        let mut buf = vec![0xAB];
+        let err = encode_frame(&Frame::Ingest(IngestMessage::Burst(burst)), &mut buf).unwrap_err();
+        let over = 5 + 4 * (MAX_BURST_ELEMENTS as u32 + 1);
+        assert!(matches!(err, WireError::Oversized { len, max }
+            if len == over && max == MAX_FRAME_BODY));
+        assert_eq!(buf, vec![0xAB], "a failed encode leaves the buffer intact");
+
+        // Exactly at the cap round-trips.
+        let burst = vec![ElementId::new(9); MAX_BURST_ELEMENTS];
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Ingest(IngestMessage::Burst(burst.clone())),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(buf.len(), 4 + 5 + 4 * MAX_BURST_ELEMENTS);
+        assert!(buf.len() - 4 <= MAX_FRAME_BODY as usize);
+        let mut reader = &buf[..];
+        let decoded = read_frame(&mut reader, &mut Vec::new()).unwrap().unwrap();
+        assert_eq!(decoded, Frame::Ingest(IngestMessage::Burst(burst)));
+    }
+
+    #[test]
+    fn encode_rejects_over_cap_reshard_plans() {
+        let moves: Vec<_> = (0..=MAX_PLAN_MOVES as u32)
+            .map(|i| (ElementId::new(i), 0u32))
+            .collect();
+        let plan = ReshardPlan::new(moves);
+        let err = encode_frame(
+            &Frame::Ingest(IngestMessage::Reshard(plan)),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WireError::Oversized { .. }));
     }
 
     #[test]
@@ -333,7 +489,8 @@ mod tests {
         encode_frame(
             &Frame::Ingest(IngestMessage::Burst((0..10).map(ElementId::new).collect())),
             &mut buf,
-        );
+        )
+        .unwrap();
         buf.truncate(buf.len() - 3);
         let mut reader = &buf[..];
         let err = read_frame(&mut reader, &mut Vec::new()).unwrap_err();

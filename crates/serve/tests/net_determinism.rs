@@ -63,7 +63,7 @@ fn run_over_tcp(scenario: &ShardedScenario, parallelism: Parallelism) -> EngineR
     let addr = listener.local_addr().unwrap();
     let (sender, queue) = ingest_channel(16);
     let server = std::thread::spawn(move || {
-        serve_connections(&listener, &sender, Parallelism::Serial, 1).unwrap()
+        serve_connections(&listener, &sender, None, Parallelism::Serial, 1).unwrap()
     });
     let requests: Vec<ElementId> = scenario.stream().collect();
     let client = std::thread::spawn(move || {

@@ -1,0 +1,159 @@
+//! Property: every snapshot the engine publishes — and therefore every
+//! lookup answered from it — matches the **serial prefix replay** at that
+//! checkpoint, at every thread count and drain cadence.
+//!
+//! A snapshot stamped `served = n` freezes the engine's state at the drain
+//! boundary after the first `n` global requests. The oracle
+//! ([`ShardedScenario::prefix_fingerprints`]) replays exactly those `n`
+//! requests serially, shard by shard, and renders each tree's placement.
+//! Fingerprints are byte-identical renderings of the full placement, so
+//! fingerprint equality implies every individual lookup answer (node,
+//! level, access cost) agrees with the serial replay too.
+//!
+//! Each run also races a lock-free reader thread against the engine while
+//! it drains: whatever snapshots that thread happens to catch mid-flight
+//! are held to the same oracle, proving the read phase never observes a
+//! half-published state.
+
+use satn_serve::{EngineSnapshot, Parallelism, ShardedEngineConfig};
+use satn_sim::{AlgorithmKind, ShardedScenario, SimRunner, WorkloadSpec};
+use satn_tree::ElementId;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn scenario() -> ShardedScenario {
+    ShardedScenario::new(
+        AlgorithmKind::RotorPush,
+        WorkloadSpec::Combined { a: 1.8, p: 0.7 },
+        4,
+        5,
+        3_000,
+        22,
+    )
+}
+
+/// Drives the full scenario stream through an engine, collecting every
+/// distinct snapshot the submitting thread observes at drain boundaries
+/// plus whatever a concurrent lock-free reader catches mid-flight.
+fn observed_snapshots(parallelism: Parallelism, threshold: usize) -> Vec<Arc<EngineSnapshot>> {
+    let scenario = scenario();
+    let mut engine = ShardedEngineConfig::from_scenario(&scenario)
+        .parallelism(parallelism)
+        .drain_threshold(threshold)
+        .build()
+        .unwrap();
+    let mut reader = engine.snapshots();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let racer = {
+        let mut reader = reader.clone();
+        let stop = Arc::clone(&stop);
+        let universe = scenario.universe();
+        thread::spawn(move || {
+            let mut caught: Vec<Arc<EngineSnapshot>> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let snapshot = Arc::clone(reader.snapshot());
+                if caught.last().map(|s| s.served()) == Some(snapshot.served()) {
+                    continue;
+                }
+                // Answer a spread of lookups from whatever is current —
+                // lock-free, while the engine is draining.
+                for element in (0..universe).step_by(7) {
+                    let answer = snapshot.lookup(ElementId::new(element)).unwrap();
+                    assert_eq!(answer.served, snapshot.served());
+                    assert_eq!(answer.epoch, snapshot.epoch());
+                }
+                caught.push(snapshot);
+            }
+            caught
+        })
+    };
+
+    let mut observed: Vec<Arc<EngineSnapshot>> = Vec::new();
+    for request in scenario.stream() {
+        engine.submit(request).unwrap();
+        let snapshot = reader.snapshot();
+        if observed.last().map(|s| s.served()) != Some(snapshot.served()) {
+            observed.push(Arc::clone(snapshot));
+        }
+    }
+    engine.finish().unwrap();
+    observed.push(Arc::clone(reader.snapshot()));
+    stop.store(true, Ordering::Relaxed);
+    observed.extend(racer.join().unwrap());
+    observed
+}
+
+/// The property itself: every observed snapshot equals the serial replay
+/// of its own prefix of the request stream, byte for byte.
+fn snapshots_match_prefix_replay(parallelism: Parallelism, threshold: usize) {
+    let scenario = scenario();
+    let runner = SimRunner::new();
+    let observed = observed_snapshots(parallelism, threshold);
+
+    // Dedup by served stamp; two observations of the same checkpoint
+    // (submitter vs racer) must already agree with each other.
+    let mut checkpoints: BTreeMap<u64, Arc<EngineSnapshot>> = BTreeMap::new();
+    for snapshot in observed {
+        let shards = scenario.partition().shards();
+        if let Some(previous) = checkpoints.get(&snapshot.served()) {
+            for shard in 0..shards {
+                assert_eq!(previous.fingerprint(shard), snapshot.fingerprint(shard));
+            }
+        } else {
+            checkpoints.insert(snapshot.served(), snapshot);
+        }
+    }
+    assert!(
+        checkpoints.keys().any(|&served| served > 0),
+        "the run must publish at least one post-drain snapshot"
+    );
+    assert_eq!(
+        checkpoints.keys().next_back(),
+        Some(&(scenario.requests as u64)),
+        "the final snapshot carries the whole stream"
+    );
+
+    for (&served, snapshot) in &checkpoints {
+        let reference = scenario
+            .prefix_fingerprints(&runner, served as usize)
+            .unwrap();
+        for shard in 0..scenario.partition().shards() {
+            assert_eq!(
+                snapshot.fingerprint(shard),
+                reference[shard as usize],
+                "shard {shard} diverged from the serial replay at checkpoint {served} \
+                 ({parallelism:?}, threshold {threshold})"
+            );
+        }
+        // Spot-check the answers a client would actually receive.
+        for element in (0..scenario.universe()).step_by(11) {
+            let answer = snapshot.lookup(ElementId::new(element)).unwrap();
+            assert_eq!(answer.element, ElementId::new(element));
+            assert_eq!(answer.served, served);
+            let (shard, local) = snapshot
+                .partition()
+                .localize(ElementId::new(element))
+                .unwrap();
+            assert_eq!(shard, answer.shard);
+            assert_eq!(snapshot.shard(shard).node_of(local), Some(answer.node));
+        }
+    }
+}
+
+#[test]
+fn serial_snapshots_match_the_prefix_replay() {
+    snapshots_match_prefix_replay(Parallelism::Serial, 250);
+}
+
+#[test]
+fn two_thread_snapshots_match_the_prefix_replay() {
+    snapshots_match_prefix_replay(Parallelism::Threads(2), 500);
+}
+
+#[test]
+fn auto_snapshots_match_the_prefix_replay() {
+    snapshots_match_prefix_replay(Parallelism::Auto, 997);
+}

@@ -51,7 +51,7 @@ fn single_connection_server(
 ) {
     let (sender, queue) = ingest_channel(capacity);
     let server = std::thread::spawn(move || {
-        serve_connections(&listener, &sender, Parallelism::Serial, 1).unwrap()
+        serve_connections(&listener, &sender, None, Parallelism::Serial, 1).unwrap()
     });
     (queue, server)
 }
@@ -167,7 +167,7 @@ fn zero_length_bursts_are_acknowledged_noops() {
     let (listener, addr) = loopback();
     let (sender, queue) = ingest_channel(8);
     let server = std::thread::spawn(move || {
-        serve_connections(&listener, &sender, Parallelism::Serial, 1).unwrap()
+        serve_connections(&listener, &sender, None, Parallelism::Serial, 1).unwrap()
     });
     let mut engine = engine(&scenario, Parallelism::Serial);
     let engine_thread = std::thread::spawn(move || {
@@ -201,7 +201,7 @@ fn reshard_frames_interleave_with_flushes_over_the_wire() {
     let (listener, addr) = loopback();
     let (sender, queue) = ingest_channel(4);
     let server = std::thread::spawn(move || {
-        serve_connections(&listener, &sender, Parallelism::Serial, 1).unwrap()
+        serve_connections(&listener, &sender, None, Parallelism::Serial, 1).unwrap()
     });
     let mut engine = engine(&scenario, Parallelism::Threads(2));
     let engine_thread = std::thread::spawn(move || {
@@ -274,7 +274,7 @@ fn failures_are_isolated_per_connection() {
     let (listener, addr) = loopback();
     let (sender, queue) = ingest_channel(64);
     let server = std::thread::spawn(move || {
-        serve_connections(&listener, &sender, Parallelism::Threads(3), 3).unwrap()
+        serve_connections(&listener, &sender, None, Parallelism::Threads(3), 3).unwrap()
     });
     let drainer = drain_in_background(queue);
 
@@ -327,6 +327,65 @@ fn both_transports_feed_the_queue_identically() {
     }
 
     assert_eq!(in_process, over_wire);
+}
+
+/// The read phase end to end: a `TcpIngest` client interleaves `Lookup`
+/// frames with pipelined writes, and every `Found` answer — whatever
+/// snapshot the server happened to hold when it arrived — names exactly
+/// the node the serial prefix replay puts that element at, at the
+/// checkpoint the answer is stamped with.
+#[test]
+fn lookups_are_served_end_to_end_from_published_snapshots() {
+    let scenario = scenario(1_200);
+    let requests: Vec<ElementId> = scenario.stream().collect();
+    let (listener, addr) = loopback();
+    let (sender, queue) = ingest_channel(8);
+    let mut engine = ShardedEngineConfig::from_scenario(&scenario)
+        .parallelism(Parallelism::Threads(2))
+        .drain_threshold(300)
+        .build()
+        .unwrap();
+    let reader = engine.snapshots();
+    let server = std::thread::spawn(move || {
+        serve_connections(&listener, &sender, Some(&reader), Parallelism::Serial, 1).unwrap()
+    });
+    let engine_thread = std::thread::spawn(move || {
+        engine.serve_queue(&queue).unwrap();
+        engine.finish().unwrap()
+    });
+
+    let mut client = TcpIngest::connect(addr).unwrap();
+    let mut answers = Vec::new();
+    // A lookup before any write is answered from the initial snapshot.
+    answers.push(client.lookup(ElementId::new(5)).unwrap());
+    for (chunk, probe) in requests.chunks(300).zip([2u32, 9, 17, 23]) {
+        client.send_burst(chunk).unwrap();
+        client.flush().unwrap();
+        answers.push(client.lookup(ElementId::new(probe)).unwrap());
+    }
+    client.finish().unwrap();
+    assert!(server.join().unwrap()[0].is_clean());
+    let report = engine_thread.join().unwrap();
+    assert_eq!(report.requests, 1_200);
+
+    // Answers come back in request order from monotonically advancing
+    // snapshots; each one matches the serial replay of its own prefix.
+    let runner = satn_sim::SimRunner::new();
+    let partition = scenario.partition();
+    for pair in answers.windows(2) {
+        assert!(pair[0].served <= pair[1].served);
+    }
+    for answer in answers {
+        let reference = scenario
+            .prefix_fingerprints(&runner, answer.served as usize)
+            .unwrap();
+        let (shard, local) = partition.localize(answer.element).unwrap();
+        assert_eq!(shard, answer.shard);
+        let occupancy =
+            satn_tree::snapshot::occupancy_from_str(&reference[shard as usize]).unwrap();
+        assert_eq!(occupancy.node_of(local), answer.node);
+        assert_eq!(answer.epoch, 0);
+    }
 }
 
 /// `IngestSender` is still exported and still the channel producer — the

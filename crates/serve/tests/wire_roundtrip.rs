@@ -5,13 +5,13 @@
 //! reproduces the original bytes — is asserted too.
 
 use proptest::prelude::*;
-use satn_serve::{decode_body, encode_frame, Frame, IngestMessage, ReshardPlan};
-use satn_tree::ElementId;
+use satn_serve::{decode_body, encode_frame, Frame, IngestMessage, LookupAnswer, ReshardPlan};
+use satn_tree::{ElementId, NodeId};
 
 /// Encodes `frame`, strips the length prefix, and decodes the body back.
 fn roundtrip(frame: &Frame) -> Frame {
     let mut bytes = Vec::new();
-    encode_frame(frame, &mut bytes);
+    encode_frame(frame, &mut bytes).expect("roundtrip frames fit the cap");
     let (prefix, body) = bytes.split_at(4);
     assert_eq!(
         u32::from_le_bytes(prefix.try_into().unwrap()) as usize,
@@ -22,7 +22,7 @@ fn roundtrip(frame: &Frame) -> Frame {
 
     // Canonicality: re-encoding the decoded frame reproduces the bytes.
     let mut reencoded = Vec::new();
-    encode_frame(&decoded, &mut reencoded);
+    encode_frame(&decoded, &mut reencoded).expect("roundtrip frames fit the cap");
     assert_eq!(reencoded, bytes, "the codec must be canonical");
     decoded
 }
@@ -64,6 +64,30 @@ proptest! {
     #[test]
     fn ack_frames_roundtrip(seq in 0u64..u64::MAX) {
         let frame = Frame::Ack { seq };
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn lookup_frames_roundtrip(element in 0u32..2_000_000) {
+        let frame = Frame::Lookup { element: ElementId::new(element) };
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn found_frames_roundtrip(
+        element in 0u32..2_000_000,
+        shard in 0u32..1_024,
+        node in 0u32..1_000_000,
+        epoch in 0u32..10_000,
+        served in 0u64..u64::MAX,
+    ) {
+        let frame = Frame::Found(LookupAnswer {
+            element: ElementId::new(element),
+            shard,
+            node: NodeId::new(node),
+            epoch,
+            served,
+        });
         prop_assert_eq!(roundtrip(&frame), frame);
     }
 }

@@ -351,6 +351,48 @@ impl ShardedScenario {
             log,
         })
     }
+
+    /// The serial per-shard reference fingerprints after the first `prefix`
+    /// global requests — the oracle for **snapshot reads**: a serving
+    /// engine's published snapshot stamped with `prefix` accounted requests
+    /// must carry exactly these per-shard fingerprints (`satn-serve`'s
+    /// `snapshot_reads` property test asserts this at every thread count),
+    /// so every lookup answered from that snapshot reflects the serial
+    /// replay's state at that checkpoint.
+    ///
+    /// Each shard's localized subsequence of the first `prefix` requests is
+    /// replayed through a standalone per-shard [`Scenario`] — the same
+    /// construction as [`ShardedScenario::shard_scenarios`], truncated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing per-shard run, in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a scenario with a reshard schedule: prefixes of a
+    /// resharding run are epoch-dependent; its oracle is
+    /// [`ShardedScenario::epoch_replay`].
+    pub fn prefix_fingerprints(
+        &self,
+        runner: &SimRunner,
+        prefix: usize,
+    ) -> Result<Vec<String>, SimError> {
+        assert!(
+            matches!(self.reshard, ReshardSchedule::Static),
+            "prefix fingerprints are defined for static schedules only"
+        );
+        let partition = self.partition();
+        let split = partition.split_stream(self.stream().take(prefix));
+        self.epoch_scenarios(0, &partition, split, None)
+            .iter()
+            .map(|scenario| {
+                runner
+                    .run(scenario)
+                    .map(|result| result.final_snapshot().to_owned())
+            })
+            .collect()
+    }
 }
 
 /// The outcome of an epoch-segmented serial reference replay
@@ -430,6 +472,36 @@ mod tests {
             assert_eq!(result.summary.requests() as usize, shard_scenario.requests);
             assert!(runner.replay_matches(shard_scenario).unwrap());
         }
+    }
+
+    #[test]
+    fn prefix_fingerprints_interpolate_the_replay() {
+        let sharded = scenario(ShardRouter::Hash);
+        let runner = SimRunner::new();
+        // The full-length prefix is the replay itself, byte for byte.
+        let full = sharded
+            .prefix_fingerprints(&runner, sharded.requests)
+            .unwrap();
+        let replay = sharded.epoch_replay(&runner).unwrap();
+        for shard in 0..4 {
+            assert_eq!(full[shard as usize], replay.fingerprint(0, shard));
+        }
+        // Mid-stream prefixes are deterministic and genuinely intermediate:
+        // at least one shard's tree still differs from its final state.
+        let mid = sharded.prefix_fingerprints(&runner, 700).unwrap();
+        assert_eq!(mid, sharded.prefix_fingerprints(&runner, 700).unwrap());
+        assert_ne!(mid, full);
+    }
+
+    #[test]
+    #[should_panic(expected = "static schedules only")]
+    fn prefix_fingerprints_reject_reshard_schedules() {
+        let mut sharded = scenario(ShardRouter::Hash);
+        sharded.reshard = ReshardSchedule::Policy(ReshardPolicy::MoveHottest {
+            every: 500,
+            max_moves: 8,
+        });
+        let _ = sharded.prefix_fingerprints(&SimRunner::new(), 100);
     }
 
     #[test]

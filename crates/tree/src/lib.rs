@@ -16,7 +16,9 @@
 //! * [`MarkedRound`] — the restricted (marking-rule) swap session online
 //!   algorithms must use, and [`FreeSwapSession`] for offline baselines,
 //! * [`ServeCost`] / [`CostSummary`] — cost accounting,
-//! * [`placement`] — initial placements (random, frequency-BFS).
+//! * [`placement`] — initial placements (random, frequency-BFS),
+//! * [`snapshot`] / [`TreeSnapshot`] — text checkpoints and immutable
+//!   point-in-time views for lock-free concurrent reads.
 //!
 //! Higher layers build on this crate: `satn-rotor` adds rotor pointers and
 //! flip-ranks, `satn-core` implements the online algorithms themselves.
@@ -52,6 +54,7 @@ pub use cost::{CostSummary, EpochCostSummary, MigrationCost, ServeCost, ShardedC
 pub use error::TreeError;
 pub use node::{Ancestors, Direction, ElementId, NodeId};
 pub use occupancy::Occupancy;
+pub use snapshot::TreeSnapshot;
 pub use swap::{FreeSwapSession, MarkScratch, MarkedRound};
 pub use topology::CompleteTree;
 
@@ -67,6 +70,7 @@ fn _assert_parallel_safe() {
     assert_send_sync::<MarkScratch>();
     assert_send_sync::<TreeError>();
     assert_send_sync::<Ancestors>();
+    assert_send_sync::<TreeSnapshot>();
 }
 
 #[cfg(test)]

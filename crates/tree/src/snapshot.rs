@@ -1,15 +1,112 @@
-//! Saving and restoring occupancies.
+//! Saving and restoring occupancies — and immutable point-in-time views.
 //!
 //! Long experiments (and the interactive examples) occasionally need to
 //! checkpoint the state of a tree and resume later, or to ship an interesting
 //! configuration into a bug report or unit test. The snapshot format is a
 //! deliberately simple text format: a header with the node count followed by
 //! the element stored at each node in heap order.
+//!
+//! [`TreeSnapshot`] is the in-memory counterpart: a frozen copy of an
+//! occupancy that answers lookups (`nd`, `el`, levels, access costs) without
+//! ever mutating, built for concurrent read-mostly serving — writers keep
+//! adjusting a live [`Occupancy`] while readers share immutable snapshots of
+//! earlier states.
 
-use crate::node::ElementId;
+use crate::node::{ElementId, NodeId};
 use crate::occupancy::Occupancy;
 use crate::topology::CompleteTree;
 use std::fmt;
+
+/// An immutable point-in-time view of an [`Occupancy`]: the element↔node
+/// bijection and the topology, frozen at capture time.
+///
+/// Snapshots exist so pure lookups can be served concurrently without
+/// synchronizing with writers: a snapshot never changes after
+/// [`TreeSnapshot::capture`], so any number of threads may share one (it is
+/// `Send + Sync`) while the live tree keeps self-adjusting. Both directions
+/// of the bijection are kept, so `nd(e)` and `el(v)` are single array reads.
+///
+/// [`TreeSnapshot::fingerprint`] renders the exact same text format as
+/// [`occupancy_to_string`], which is what lets snapshot reads be checked
+/// against the serial-replay determinism oracle byte for byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeSnapshot {
+    tree: CompleteTree,
+    /// Element stored at each node, indexed by node id (heap order).
+    element_of: Box<[ElementId]>,
+    /// Node holding each element, indexed by element id.
+    node_of: Box<[NodeId]>,
+}
+
+impl TreeSnapshot {
+    /// Freezes the current state of an occupancy.
+    pub fn capture(occupancy: &Occupancy) -> Self {
+        TreeSnapshot {
+            tree: occupancy.tree(),
+            element_of: occupancy.elements_in_heap_order().into(),
+            node_of: occupancy.nodes_by_element().into(),
+        }
+    }
+
+    /// The tree topology the snapshot was taken on.
+    #[inline]
+    pub fn tree(&self) -> CompleteTree {
+        self.tree
+    }
+
+    /// Number of elements (equal to the number of nodes).
+    #[inline]
+    pub fn num_elements(&self) -> u32 {
+        self.tree.num_nodes()
+    }
+
+    /// The node that held `element` at capture time, or `None` for an
+    /// element outside this tree's universe (lookups come from the network,
+    /// so out-of-range ids must not panic).
+    #[inline]
+    pub fn node_of(&self, element: ElementId) -> Option<NodeId> {
+        self.node_of.get(element.usize()).copied()
+    }
+
+    /// The element that was stored at `node`, or `None` for a node outside
+    /// the tree.
+    #[inline]
+    pub fn element_at(&self, node: NodeId) -> Option<ElementId> {
+        self.element_of.get(node.usize()).copied()
+    }
+
+    /// The level `element` sat at, or `None` if out of range.
+    #[inline]
+    pub fn level_of(&self, element: ElementId) -> Option<u32> {
+        self.node_of(element).map(NodeId::level)
+    }
+
+    /// The access cost `ℓ(e) + 1` the element would have paid at capture
+    /// time, or `None` if out of range.
+    #[inline]
+    pub fn access_cost(&self, element: ElementId) -> Option<u64> {
+        self.level_of(element).map(|level| level as u64 + 1)
+    }
+
+    /// The elements in heap (BFS) order — `el` as a slice.
+    #[inline]
+    pub fn elements_in_heap_order(&self) -> &[ElementId] {
+        &self.element_of
+    }
+
+    /// Renders the snapshot in the replay-fingerprint text format —
+    /// byte-identical to [`occupancy_to_string`] applied to the occupancy
+    /// the snapshot was captured from.
+    pub fn fingerprint(&self) -> String {
+        placement_to_string(self.tree, &self.element_of)
+    }
+
+    /// Rebuilds a mutable [`Occupancy`] equal to the captured state.
+    pub fn to_occupancy(&self) -> Occupancy {
+        Occupancy::from_placement(self.tree, self.element_of.to_vec())
+            .expect("a snapshot is a frozen bijection")
+    }
+}
 
 /// Errors produced while parsing an occupancy snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,8 +158,15 @@ impl std::error::Error for SnapshotError {}
 
 /// Serialises an occupancy into the snapshot text format.
 pub fn occupancy_to_string(occupancy: &Occupancy) -> String {
-    let mut output = format!("satn-occupancy nodes={}\n", occupancy.tree().num_nodes());
-    for element in occupancy.elements_in_heap_order() {
+    placement_to_string(occupancy.tree(), occupancy.elements_in_heap_order())
+}
+
+/// The shared renderer behind [`occupancy_to_string`] and
+/// [`TreeSnapshot::fingerprint`]: one format, one implementation, so the two
+/// can never drift apart.
+fn placement_to_string(tree: CompleteTree, elements: &[ElementId]) -> String {
+    let mut output = format!("satn-occupancy nodes={}\n", tree.num_nodes());
+    for element in elements {
         output.push_str(&element.index().to_string());
         output.push('\n');
     }
@@ -160,6 +264,43 @@ mod tests {
             occupancy_from_str("satn-occupancy nodes=3\n0\n1\n"),
             Err(SnapshotError::NotABijection { .. })
         ));
+    }
+
+    #[test]
+    fn tree_snapshots_freeze_the_captured_state() {
+        let tree = CompleteTree::with_levels(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut occupancy = placement::random_occupancy(tree, &mut rng);
+        let snapshot = TreeSnapshot::capture(&occupancy);
+        assert_eq!(snapshot.num_elements(), 31);
+        for (node, element) in occupancy.iter() {
+            assert_eq!(snapshot.node_of(element), Some(node));
+            assert_eq!(snapshot.element_at(node), Some(element));
+            assert_eq!(snapshot.level_of(element), Some(node.level()));
+            assert_eq!(snapshot.access_cost(element), Some(node.level() as u64 + 1));
+        }
+        // Out-of-range lookups answer None instead of panicking.
+        assert_eq!(snapshot.node_of(ElementId::new(31)), None);
+        assert_eq!(snapshot.element_at(NodeId::new(31)), None);
+        // The snapshot fingerprint is byte-identical to the occupancy's.
+        assert_eq!(snapshot.fingerprint(), occupancy_to_string(&occupancy));
+        assert_eq!(snapshot.to_occupancy(), occupancy);
+
+        // Mutating the live occupancy never changes the frozen view.
+        let before = snapshot.clone();
+        occupancy.swap_nodes(NodeId::ROOT, NodeId::new(1)).unwrap();
+        assert_eq!(snapshot, before);
+        assert_ne!(snapshot.fingerprint(), occupancy_to_string(&occupancy));
+    }
+
+    #[test]
+    fn tree_snapshot_fingerprints_parse_back() {
+        let tree = CompleteTree::with_levels(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let occupancy = placement::random_occupancy(tree, &mut rng);
+        let snapshot = TreeSnapshot::capture(&occupancy);
+        let restored = occupancy_from_str(&snapshot.fingerprint()).unwrap();
+        assert_eq!(restored, occupancy);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! | [`network`] | `satn-network` | multi-source datacenter networks composed of per-source ego-trees |
 //! | [`sim`] | `satn-sim` | scenario-simulation engine: declarative grids, batched serving, invariant hooks, replay |
 //! | [`exec`] | `satn-exec` | deterministic parallel execution layer: scoped worker pool, order-preserving fan-out |
-//! | [`serve`] | `satn-serve` | sharded multi-tree serving engine: transport-agnostic ingestion, wire protocol + `satnd` TCP front door, per-shard trees, replay fingerprints |
+//! | [`serve`] | `satn-serve` | sharded multi-tree serving engine: transport-agnostic ingestion, wire protocol + `satnd` TCP front door, lock-free snapshot reads, replay fingerprints |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -70,9 +70,9 @@ pub use satn_exec::{for_each_ordered, ordered_map, ordered_map_mut, Parallelism}
 pub use satn_network::{Host, HostPair, SelfAdjustingNetwork};
 pub use satn_rotor::{RotorState, RotorWalk};
 pub use satn_serve::{
-    ingest_channel, replay, serve_connections, EngineReport, Frame, Ingest, IngestMessage,
-    IngestQueue, IngestSender, ServeError, ShardedEngine, ShardedEngineConfig, SourceShardedEngine,
-    TcpIngest, WireError,
+    ingest_channel, replay, serve_connections, EngineReport, EngineSnapshot, Frame, Ingest,
+    IngestMessage, IngestQueue, IngestSender, LookupAnswer, ServeError, ShardedEngine,
+    ShardedEngineConfig, SnapshotReader, SourceShardedEngine, TcpIngest, WireError,
 };
 pub use satn_sim::{
     Checkpoints, InvariantObserver, Observer, ReshardPlan, ReshardPolicy, ReshardSchedule,
@@ -80,6 +80,6 @@ pub use satn_sim::{
 };
 pub use satn_tree::{
     CompleteTree, CostSummary, Direction, ElementId, MigrationCost, NodeId, Occupancy, ServeCost,
-    TreeError,
+    TreeError, TreeSnapshot,
 };
 pub use satn_workloads::{fit_tree_levels, Workload};
