@@ -11,16 +11,21 @@
 //! bench-report [--requests N] [--runs K] [--threads N|auto|serial] [--out PATH]
 //! ```
 //!
-//! The committed `BENCH_PR3.json` / `BENCH_PR4.json` files at the repository
-//! root are the data points of this trajectory; rerun on any machine with
-//! `cargo run --release -p satn-bench --bin bench-report`.
+//! The committed `BENCH_PR*.json` files at the repository root are the data
+//! points of this trajectory; rerun on any machine with
+//! `cargo run --release -p satn-bench --bin bench-report`. Since PR 8 the
+//! report also carries a **layout section**: the grid under the heap vs the
+//! cache-blocked storage layout (run concurrently on a
+//! [`Parallelism::split`] nested-parallelism budget, with the
+//! layout-invariance oracle), the root-to-leaf walk microbench across tree
+//! sizes, and the sharded engine's throughput per layout.
 
 use satn_core::AlgorithmKind;
-use satn_exec::Parallelism;
+use satn_exec::{ordered_map, Parallelism};
 use satn_serve::{EngineReport, ReshardPolicy, ReshardSchedule, ShardedEngineConfig};
 use satn_sim::{Checkpoints, ScenarioGrid, ScenarioResult, SimRunner};
 use satn_sim::{Scenario, ShardRouter, ShardedScenario, WorkloadSpec};
-use satn_tree::ElementId;
+use satn_tree::{CompleteTree, ElementId, LayoutKind, NodeId, Occupancy};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -238,11 +243,150 @@ fn reshard_section_json(
     ))
 }
 
+/// Times random root-to-leaf occupancy walks (the serve hot path's slab
+/// access pattern) under `kind`, returning the fastest observed nanoseconds
+/// per walk. Each sample is only ~0.1–1 ms of work, so the estimator is the
+/// minimum over several warm samples — the standard least-noise choice for a
+/// fixed-work microloop, immune to scheduler and frequency-scaling spikes
+/// that a small-sample median still admits.
+fn time_walks(levels: u32, kind: LayoutKind, runs: usize) -> f64 {
+    const WALKS: usize = 4_096;
+    let runs = runs.max(9);
+    let tree = CompleteTree::with_levels(levels).expect("bench levels are valid");
+    let leaves = tree.nodes_at_level(tree.max_level());
+    // Pseudorandom leaf elements (identity placement: element i sits at
+    // node i), so consecutive walks share no cache lines on large trees.
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let targets: Vec<ElementId> = (0..WALKS)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let offset = (state >> 33) as u32 % leaves;
+            ElementId::new(NodeId::from_level_offset(tree.max_level(), offset).index())
+        })
+        .collect();
+    let occupancy = Occupancy::identity_with_layout(tree, kind);
+    let mut best = f64::INFINITY;
+    for sample in 0..=runs {
+        let started = Instant::now();
+        let mut acc = 0u64;
+        for &element in &targets {
+            let node = occupancy.node_of(element);
+            for ancestor in node.ancestors() {
+                acc ^= u64::from(occupancy.element_at(ancestor).index());
+            }
+        }
+        std::hint::black_box(acc);
+        let elapsed = started.elapsed().as_secs_f64() * 1e9 / WALKS as f64;
+        if sample > 0 {
+            // The first (cold-cache) sample is the warm-up; skip it.
+            best = best.min(elapsed);
+        }
+    }
+    best
+}
+
+/// The layout section: the full scenario grid under the heap vs the blocked
+/// layout — run **concurrently** on a [`Parallelism::split`] budget (two
+/// outer grid tasks, each with its own inner worker share) — with the
+/// layout-invariance oracle (byte-identical fingerprints and cost
+/// summaries), plus the root-to-leaf walk microbench across tree sizes and
+/// the sharded engine's end-to-end throughput per layout. Returns the JSON
+/// fragment, or `None` if the invariance oracle fails.
+fn layout_section_json(
+    grid: &ScenarioGrid,
+    requests_per_engine_run: usize,
+    runs: usize,
+    parallelism: Parallelism,
+) -> Option<String> {
+    type GridTiming = (Vec<f64>, Vec<(Scenario, ScenarioResult)>);
+    let kinds = [LayoutKind::Heap, LayoutKind::Blocked];
+    let (outer, inner) = parallelism.split(kinds.len());
+    let outcomes: Vec<GridTiming> = ordered_map(&kinds, outer, |&kind| {
+        let mut grid = grid.clone();
+        grid.layout = kind;
+        let runner = SimRunner::new().with_parallelism(inner);
+        let _ = runner.run_grid(&grid, false); // warm-up
+        time_grid(&runner, &grid, runs)
+    });
+    let [(mut heap_ms, heap_results), (mut blocked_ms, blocked_results)]: [GridTiming; 2] =
+        outcomes.try_into().expect("two layout grids were timed");
+
+    // The invariance oracle: same cells, byte-identical results — the
+    // layout must never leak into a fingerprint or a cost.
+    let invariant = heap_results.len() == blocked_results.len()
+        && heap_results.iter().zip(&blocked_results).all(
+            |((heap_scenario, heap_result), (blocked_scenario, blocked_result))| {
+                heap_scenario.name() == blocked_scenario.name() && heap_result == blocked_result
+            },
+        );
+    if !invariant {
+        eprintln!("FATAL: the blocked layout changed a fingerprint or a cost summary");
+        return None;
+    }
+    let heap_median = median_ms(&mut heap_ms);
+    let blocked_median = median_ms(&mut blocked_ms);
+    println!(
+        "# layout grid ({} outer × {} inner workers): heap {heap_median:.1} ms | blocked {blocked_median:.1} ms | fingerprints layout-invariant",
+        outer.threads(),
+        inner.threads(),
+    );
+
+    // The walk microbench: heap vs blocked ns/walk across tree sizes.
+    let mut walk_sections = Vec::new();
+    for levels in [10u32, 13, 16, 20] {
+        let heap_ns = time_walks(levels, LayoutKind::Heap, runs);
+        let blocked_ns = time_walks(levels, LayoutKind::Blocked, runs);
+        let elements = (1u64 << levels) - 1;
+        println!(
+            "# layout walk 2^{levels}-1 elements: heap {heap_ns:.1} ns | blocked {blocked_ns:.1} ns | {:.2}x",
+            heap_ns / blocked_ns,
+        );
+        walk_sections.push(format!(
+            "      {{ \"elements\": {elements}, \"heap_ns_per_walk\": {heap_ns:.2}, \"blocked_ns_per_walk\": {blocked_ns:.2}, \"blocked_speedup\": {:.4} }}",
+            heap_ns / blocked_ns,
+        ));
+    }
+
+    // End-to-end: the sharded engine under each layout, same stream.
+    let mut engine_rps = Vec::new();
+    for kind in kinds {
+        let mut scenario = ShardedScenario::new(
+            AlgorithmKind::RotorPush,
+            WorkloadSpec::Combined { a: 1.9, p: 0.75 },
+            4,
+            10,
+            requests_per_engine_run,
+            2022,
+        );
+        scenario.layout = kind;
+        let requests: Vec<ElementId> = scenario.stream().collect();
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let (elapsed, _) = time_sharded(&scenario, &requests, parallelism);
+            samples.push(elapsed);
+        }
+        let median = median_ms(&mut samples);
+        let rps = requests_per_engine_run as f64 / (median / 1_000.0);
+        println!("# layout engine {kind}: {median:.1} ms ({rps:.0} req/s)");
+        engine_rps.push(format!("\"{kind}_requests_per_s\": {rps:.0}"));
+    }
+
+    Some(format!(
+        "{{\n    \"grid\": {{ \"heap_median_ms\": {heap_median:.3}, \"blocked_median_ms\": {blocked_median:.3}, \"outer_workers\": {}, \"inner_workers\": {}, \"fingerprints_layout_invariant\": true }},\n    \"walk\": [\n{}\n    ],\n    \"engine\": {{ {} }}\n  }}",
+        outer.threads(),
+        inner.threads(),
+        walk_sections.join(",\n"),
+        engine_rps.join(", "),
+    ))
+}
+
 fn main() -> ExitCode {
     let mut requests = 5_000usize;
     let mut runs = 5usize;
     let mut parallelism = Parallelism::Auto;
-    let mut out = "BENCH_PR5.json".to_owned();
+    let mut out = "BENCH_PR8.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(argument) = args.next() {
         match argument.as_str() {
@@ -324,8 +468,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    // Layout section: heap vs blocked storage — grid invariance oracle,
+    // walk microbench, engine throughput — on a split worker budget.
+    let Some(layout_json) = layout_section_json(&grid, 40 * requests, runs, parallelism) else {
+        return ExitCode::FAILURE;
+    };
+
     let json = format!(
-        "{{\n  \"benchmark\": \"sim-smoke-grid\",\n  \"grid_cells\": {},\n  \"requests_per_cell\": {},\n  \"runs\": {},\n  \"available_threads\": {},\n  \"parallel_workers\": {},\n  \"serial_ms\": {},\n  \"parallel_ms\": {},\n  \"serial_median_ms\": {:.3},\n  \"parallel_median_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"deterministic\": true,\n  \"shard_scaling\": {},\n  \"resharding\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"sim-smoke-grid\",\n  \"grid_cells\": {},\n  \"requests_per_cell\": {},\n  \"runs\": {},\n  \"available_threads\": {},\n  \"parallel_workers\": {},\n  \"serial_ms\": {},\n  \"parallel_ms\": {},\n  \"serial_median_ms\": {:.3},\n  \"parallel_median_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"deterministic\": true,\n  \"shard_scaling\": {},\n  \"resharding\": {},\n  \"layout\": {}\n}}\n",
         grid.len(),
         requests,
         runs,
@@ -338,6 +488,7 @@ fn main() -> ExitCode {
         speedup,
         sharded_json,
         reshard_json,
+        layout_json,
     );
     if let Err(error) = std::fs::write(&out, json) {
         eprintln!("failed to write {out}: {error}");

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! serve-smoke [--shards N] [--threads N|auto|serial] [--requests N] [--seed S]
-//!             [--reshard-every N]
+//!             [--reshard-every N] [--layout heap|blocked]
 //! ```
 
 use rand::rngs::StdRng;
@@ -23,12 +23,12 @@ use satn_serve::{
     SourceShardedEngine,
 };
 use satn_sim::{ShardRouter, ShardedScenario, SimRunner, WorkloadSpec};
-use satn_tree::ElementId;
+use satn_tree::{ElementId, LayoutKind};
 use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: serve-smoke [--shards N] [--threads N|auto|serial] [--requests N] \
-                     [--seed S] [--reshard-every N]";
+                     [--seed S] [--reshard-every N] [--layout heap|blocked]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -153,6 +153,7 @@ fn main() -> ExitCode {
     let mut seed = 2022u64;
     let mut parallelism = Parallelism::Auto;
     let mut reshard_every = 0usize;
+    let mut layout = LayoutKind::default();
     let mut args = std::env::args().skip(1);
     while let Some(argument) = args.next() {
         match argument.as_str() {
@@ -176,6 +177,10 @@ fn main() -> ExitCode {
                 Some(value) if value > 0 => reshard_every = value,
                 _ => return usage(),
             },
+            "--layout" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => layout = value,
+                None => return usage(),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -191,7 +196,8 @@ fn main() -> ExitCode {
         AlgorithmKind::StaticOpt,
     ];
     println!(
-        "# serve-smoke — {} routers × {} algorithms, {} shards, {} requests each, {} workers{}",
+        "# serve-smoke — {} routers × {} algorithms, {} shards, {} requests each, {} workers, \
+         {layout} layout{}",
         ShardRouter::ALL.len(),
         algorithms.len(),
         shards,
@@ -216,6 +222,7 @@ fn main() -> ExitCode {
                 seed,
             );
             scenario.router = router;
+            scenario.layout = layout;
             // Offline algorithms cannot be rebuilt mid-stream; they keep
             // exercising the static path next to the resharding runs.
             if reshard_every > 0 && algorithm != AlgorithmKind::StaticOpt {

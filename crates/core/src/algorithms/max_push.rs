@@ -124,7 +124,10 @@ impl SelfAdjustingTree for MaxPush {
         requests: &[ElementId],
         summary: &mut CostSummary,
     ) -> Result<(), TreeError> {
-        for &element in requests {
+        for (i, &element) in requests.iter().enumerate() {
+            if let Some(&next) = requests.get(i + 1) {
+                self.occupancy.touch_path(next);
+            }
             self.occupancy.check_element(element)?;
             let depth = self.occupancy.level_of(element);
 

@@ -159,7 +159,10 @@ impl SelfAdjustingTree for RotorPush {
         requests: &[ElementId],
         summary: &mut CostSummary,
     ) -> Result<(), TreeError> {
-        for &element in requests {
+        for (i, &element) in requests.iter().enumerate() {
+            if let Some(&next) = requests.get(i + 1) {
+                self.occupancy.touch_path(next);
+            }
             self.occupancy.check_element(element)?;
             let u = self.occupancy.node_of(element);
             let level = u.level();

@@ -55,7 +55,10 @@ fn static_serve_batch(
     requests: &[ElementId],
     summary: &mut CostSummary,
 ) -> Result<(), TreeError> {
-    for &request in requests {
+    for (i, &request) in requests.iter().enumerate() {
+        if let Some(&next) = requests.get(i + 1) {
+            occupancy.touch_path(next);
+        }
         occupancy.check_element(request)?;
         summary.record(ServeCost::new(occupancy.access_cost(request), 0));
     }
@@ -106,6 +109,15 @@ impl StaticOpt {
             weights[element.usize()] += 1.0;
         }
         Ok(Self::from_weights(tree, &weights))
+    }
+
+    /// Re-stores the frequency-ordered placement under `kind`, so the static
+    /// baseline participates in layout comparisons on equal footing.
+    #[must_use]
+    pub fn with_layout(self, kind: satn_tree::LayoutKind) -> Self {
+        StaticOpt {
+            occupancy: self.occupancy.with_layout(kind),
+        }
     }
 }
 

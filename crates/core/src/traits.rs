@@ -52,11 +52,15 @@ pub trait SelfAdjustingTree {
     /// Serves a batch of requests, recording every per-request cost into
     /// `summary`.
     ///
-    /// The default implementation loops over [`SelfAdjustingTree::serve`];
-    /// algorithms with cheap per-request state transitions override it with
-    /// an allocation-free fast path. Overrides must be observationally
-    /// identical to the default: same final occupancy, same per-request
-    /// costs (the differential tests in `satn-sim` assert this).
+    /// The default implementation loops over [`SelfAdjustingTree::serve`],
+    /// touching the *next* request's root path
+    /// ([`Occupancy::touch_path`]) before serving the current one so the
+    /// upcoming walk's cache lines are in flight while this walk computes.
+    /// Algorithms with cheap per-request state transitions override it with
+    /// an allocation-free fast path (keeping the same prefetch pass).
+    /// Overrides must be observationally identical to the default: same
+    /// final occupancy, same per-request costs (the differential tests in
+    /// `satn-sim` assert this).
     ///
     /// # Errors
     ///
@@ -67,7 +71,10 @@ pub trait SelfAdjustingTree {
         requests: &[ElementId],
         summary: &mut CostSummary,
     ) -> Result<(), TreeError> {
-        for &request in requests {
+        for (i, &request) in requests.iter().enumerate() {
+            if let Some(&next) = requests.get(i + 1) {
+                self.occupancy().touch_path(next);
+            }
             summary.record(self.serve(request)?);
         }
         Ok(())

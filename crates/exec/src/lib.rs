@@ -83,6 +83,45 @@ impl Parallelism {
             n => Parallelism::Threads(n),
         }
     }
+
+    /// Splits this budget across two nesting levels — `outer_tasks`
+    /// independent outer work items (grid cells, epochs) that each fan out
+    /// again on the inside (shard drains) — and returns `(outer, inner)`
+    /// modes whose product never exceeds the budget, so nested calls cannot
+    /// oversubscribe the machine.
+    ///
+    /// The outer level gets `min(outer_tasks, budget)` workers (there is no
+    /// point in more workers than tasks); the inner level divides what is
+    /// left: `max(1, budget / outer)`.
+    ///
+    /// ```
+    /// use satn_exec::Parallelism;
+    ///
+    /// let (outer, inner) = Parallelism::Threads(8).split(2);
+    /// assert_eq!(outer.threads() , 2);
+    /// assert_eq!(inner.threads(), 4);
+    /// // Serial stays serial at both levels.
+    /// let (outer, inner) = Parallelism::Serial.split(16);
+    /// assert_eq!((outer.threads(), inner.threads()), (1, 1));
+    /// ```
+    pub fn split(self, outer_tasks: usize) -> (Parallelism, Parallelism) {
+        let budget = self.threads();
+        let outer = budget.min(outer_tasks).max(1);
+        let inner = (budget / outer).max(1);
+        (
+            Parallelism::from_thread_count_exact(outer),
+            Parallelism::from_thread_count_exact(inner),
+        )
+    }
+
+    /// Like [`Parallelism::from_thread_count`] but without the `0 → Auto`
+    /// CLI convention: the count is taken literally.
+    fn from_thread_count_exact(threads: usize) -> Self {
+        match threads {
+            0 | 1 => Parallelism::Serial,
+            n => Parallelism::Threads(n),
+        }
+    }
 }
 
 impl fmt::Display for Parallelism {
@@ -461,6 +500,36 @@ mod tests {
             let got = ordered_map(&items, parallelism, |&n| n.wrapping_mul(31) ^ 7);
             assert_eq!(got, expected, "{parallelism:?}");
         }
+    }
+
+    #[test]
+    fn split_never_oversubscribes_the_budget() {
+        for budget in 1..=32usize {
+            for outer_tasks in [1usize, 2, 3, 7, 16, 100] {
+                let (outer, inner) = Parallelism::Threads(budget).split(outer_tasks);
+                assert!(
+                    outer.threads() * inner.threads() <= budget.max(1),
+                    "budget={budget} tasks={outer_tasks}: {} x {}",
+                    outer.threads(),
+                    inner.threads()
+                );
+                assert!(outer.threads() <= outer_tasks.max(1));
+                assert!(outer.threads() >= 1 && inner.threads() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn split_uses_the_whole_budget_when_tasks_divide_it() {
+        let (outer, inner) = Parallelism::Threads(12).split(4);
+        assert_eq!((outer.threads(), inner.threads()), (4, 3));
+        let (outer, inner) = Parallelism::Threads(6).split(100);
+        assert_eq!((outer.threads(), inner.threads()), (6, 1));
+        let (outer, inner) = Parallelism::Serial.split(8);
+        assert_eq!((outer, inner), (Parallelism::Serial, Parallelism::Serial));
+        // Zero outer tasks degrades gracefully to serial x budget.
+        let (outer, inner) = Parallelism::Threads(4).split(0);
+        assert_eq!((outer.threads(), inner.threads()), (1, 4));
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! ```text
 //! satnd [--listen ADDR] [--shards N] [--levels N] [--algorithm A]
 //!       [--workload W] [--requests N] [--seed S] [--router R]
-//!       [--threads N|auto|serial] [--reshard-every N] [--connections N]
-//!       [--capacity N] [--verify]
+//!       [--threads N|auto|serial] [--layout heap|blocked]
+//!       [--reshard-every N] [--connections N] [--capacity N] [--verify]
 //! ```
 //!
 //! The scenario flags describe the engine the server fronts; with
@@ -32,6 +32,7 @@ use satn_serve::{
     ServeError, ShardedEngineConfig, ShardedScenario,
 };
 use satn_sim::{ShardRouter, SimRunner, WorkloadSpec};
+use satn_tree::LayoutKind;
 use std::io::Write;
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -39,8 +40,8 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: satnd [--listen ADDR] [--shards N] [--levels N] [--algorithm A] \
                      [--workload W] [--requests N] [--seed S] [--router hash|range|source] \
-                     [--threads N|auto|serial] [--reshard-every N] [--connections N] \
-                     [--capacity N] [--verify]";
+                     [--threads N|auto|serial] [--layout heap|blocked] [--reshard-every N] \
+                     [--connections N] [--capacity N] [--verify]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -57,6 +58,7 @@ fn main() -> ExitCode {
     let mut seed = 2022u64;
     let mut router: Option<ShardRouter> = None;
     let mut parallelism = Parallelism::Auto;
+    let mut layout = LayoutKind::default();
     let mut reshard_every = 0usize;
     let mut connections = 1usize;
     let mut capacity = 16usize;
@@ -101,6 +103,10 @@ fn main() -> ExitCode {
                 Some(value) => parallelism = value,
                 None => return usage(),
             },
+            "--layout" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => layout = value,
+                None => return usage(),
+            },
             "--reshard-every" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(value) if value > 0 => reshard_every = value,
                 _ => return usage(),
@@ -127,6 +133,7 @@ fn main() -> ExitCode {
     }
 
     let mut scenario = ShardedScenario::new(algorithm, workload, shards, levels, requests, seed);
+    scenario.layout = layout;
     if let Some(router) = router {
         scenario.router = router;
     }

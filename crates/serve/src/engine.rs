@@ -8,8 +8,8 @@ use satn_core::{AlgorithmKind, SelfAdjustingTree};
 use satn_exec::Parallelism;
 use satn_sim::{ReshardSchedule, ShardedScenario};
 use satn_tree::{
-    snapshot, CompleteTree, CostSummary, ElementId, MigrationCost, Occupancy, ShardedCostSummary,
-    TreeSnapshot,
+    snapshot, CompleteTree, CostSummary, ElementId, LayoutKind, MigrationCost, Occupancy,
+    ShardedCostSummary, TreeSnapshot,
 };
 use satn_workloads::shard::{
     algorithm_seed, handover, shard_epoch_seed, EpochedPartition, Partition, PolicyDriver,
@@ -95,6 +95,11 @@ pub struct ShardedEngine {
     parallelism: Parallelism,
     control: DrainControl,
     rebuild: Option<(AlgorithmKind, u64)>,
+    /// The physical tree-storage layout applied to post-handover rebuilds
+    /// (scenario-built engines inherit the scenario's; see
+    /// [`satn_tree::LayoutKind`]). Pure performance knob: every fingerprint
+    /// and cost is layout-invariant.
+    layout: LayoutKind,
     schedule: OnlineSchedule,
     /// Per completed epoch, the per-shard fingerprints at its closing drain
     /// fence (the final epoch's fingerprints are appended by `finish`).
@@ -144,6 +149,7 @@ impl ShardedEngine {
             parallelism,
             control: DrainControl::new(DEFAULT_DRAIN_THRESHOLD),
             rebuild: None,
+            layout: LayoutKind::default(),
             schedule: OnlineSchedule::External,
             epoch_fingerprints: Vec::new(),
             boundaries: Vec::new(),
@@ -196,6 +202,7 @@ impl ShardedEngine {
         }
         let mut engine = ShardedEngine::assemble(partition, trees, parallelism)?;
         engine.rebuild = (!offline).then_some((scenario.algorithm, scenario.seed));
+        engine.layout = scenario.layout;
         engine.schedule = schedule;
         Ok(engine)
     }
@@ -217,6 +224,14 @@ impl ShardedEngine {
         }
         self.rebuild = Some((algorithm, seed));
         Ok(())
+    }
+
+    /// The setter behind
+    /// [`ShardedEngineConfig::layout`](crate::ShardedEngineConfig::layout)
+    /// for parts-built engines: the storage layout every post-handover tree
+    /// is rebuilt under (the pre-built trees keep their own).
+    pub(crate) fn set_rebuild_layout(&mut self, layout: LayoutKind) {
+        self.layout = layout;
     }
 
     /// The validated setter behind
@@ -448,7 +463,7 @@ impl ShardedEngine {
             let levels = (placement.len() + 1).trailing_zeros();
             let tree = CompleteTree::with_levels(levels)
                 .expect("handover placements have complete-tree sizes");
-            let occupancy = Occupancy::from_placement(tree, placement)
+            let occupancy = Occupancy::from_placement_with_layout(tree, placement, self.layout)
                 .expect("handover placements are bijections");
             let seed = algorithm_seed(shard_epoch_seed(base_seed, shard as u32, epoch));
             let tree =

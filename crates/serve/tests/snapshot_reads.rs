@@ -143,6 +143,75 @@ fn snapshots_match_prefix_replay(parallelism: Parallelism, threshold: usize) {
     }
 }
 
+/// Regression for the partition-publication cost: within one epoch every
+/// published snapshot must share the **same** partition allocation (one
+/// `Arc` clone per publication, never a deep re-clone per drain); only a
+/// reshard's epoch bump mints a fresh one, which the new epoch's snapshots
+/// then share again.
+#[test]
+fn snapshots_share_one_partition_allocation_per_epoch() {
+    let scenario = scenario();
+    let mut engine = ShardedEngineConfig::from_scenario(&scenario)
+        .parallelism(Parallelism::Serial)
+        .drain_threshold(256)
+        .build()
+        .unwrap();
+    let mut reader = engine.snapshots();
+
+    let mut epoch0: Vec<Arc<EngineSnapshot>> = Vec::new();
+    for request in scenario.stream() {
+        engine.submit(request).unwrap();
+        let snapshot = reader.snapshot();
+        if epoch0.last().map(|s| s.served()) != Some(snapshot.served()) {
+            epoch0.push(Arc::clone(snapshot));
+        }
+    }
+    assert!(
+        epoch0.len() >= 4,
+        "the stream must cross several drain boundaries for the property to bite"
+    );
+    for snapshot in &epoch0 {
+        assert_eq!(snapshot.epoch(), 0);
+        assert!(
+            std::ptr::eq(snapshot.partition(), epoch0[0].partition()),
+            "an epoch-0 snapshot re-cloned the partition instead of sharing the cached Arc"
+        );
+    }
+
+    // The reshard bumps the epoch: its publication carries a new shared
+    // allocation, which every later epoch-1 snapshot reuses in turn.
+    engine
+        .reshard(satn_workloads::shard::ReshardPlan::new([(
+            ElementId::new(0),
+            1,
+        )]))
+        .unwrap();
+    let bumped = Arc::clone(reader.snapshot());
+    assert_eq!(bumped.epoch(), 1);
+    assert!(
+        !std::ptr::eq(bumped.partition(), epoch0[0].partition()),
+        "the epoch bump must mint a fresh partition allocation"
+    );
+    let mut epoch1 = vec![bumped];
+    for request in scenario.stream() {
+        engine.submit(request).unwrap();
+        let snapshot = reader.snapshot();
+        if epoch1.last().map(|s| s.served()) != Some(snapshot.served()) {
+            epoch1.push(Arc::clone(snapshot));
+        }
+    }
+    engine.finish().unwrap();
+    epoch1.push(Arc::clone(reader.snapshot()));
+    assert!(epoch1.len() >= 4);
+    for snapshot in &epoch1 {
+        assert_eq!(snapshot.epoch(), 1);
+        assert!(
+            std::ptr::eq(snapshot.partition(), epoch1[0].partition()),
+            "an epoch-1 snapshot re-cloned the partition instead of sharing the cached Arc"
+        );
+    }
+}
+
 #[test]
 fn serial_snapshots_match_the_prefix_replay() {
     snapshots_match_prefix_replay(Parallelism::Serial, 250);

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use satn_core::{AlgorithmKind, SelfAdjustingTree};
-use satn_tree::{placement, CompleteTree, ElementId, Occupancy, TreeError};
+use satn_tree::{placement, CompleteTree, ElementId, LayoutKind, Occupancy, TreeError};
 use satn_workloads::stream::{
     CombinedStream, HotBlockStream, MarkovBurstyStream, RoundRobinPathStream,
     ShiftingHotspotStream, TemporalStream, UniformStream, ZipfStream,
@@ -356,6 +356,9 @@ pub struct Scenario {
     pub checkpoints: Checkpoints,
     /// The initial element placement.
     pub initial: InitialPlacement,
+    /// The physical storage layout of the tree's occupancy. Pure
+    /// performance knob: every fingerprint and cost is layout-invariant.
+    pub layout: LayoutKind,
 }
 
 impl Scenario {
@@ -376,6 +379,7 @@ impl Scenario {
             seed,
             checkpoints: Checkpoints::final_only(),
             initial: InitialPlacement::Random,
+            layout: LayoutKind::default(),
         }
     }
 
@@ -432,7 +436,7 @@ impl Scenario {
     /// bijection over the scenario's tree.
     pub fn initial_occupancy(&self) -> Occupancy {
         let tree = self.tree();
-        match &self.initial {
+        let occupancy = match &self.initial {
             InitialPlacement::Identity => Occupancy::identity(tree),
             InitialPlacement::Random => {
                 placement::random_occupancy(tree, &mut StdRng::seed_from_u64(self.placement_seed()))
@@ -441,7 +445,8 @@ impl Scenario {
                 Occupancy::from_placement(tree, placement.clone())
                     .expect("a fixed placement must be a bijection over the scenario's tree")
             }
-        }
+        };
+        occupancy.with_layout(self.layout)
     }
 
     /// The request stream of this scenario.
@@ -506,6 +511,8 @@ pub struct ScenarioGrid {
     pub checkpoints: Checkpoints,
     /// Initial placement of every cell.
     pub initial: InitialPlacement,
+    /// Storage layout of every cell's occupancy.
+    pub layout: LayoutKind,
 }
 
 impl ScenarioGrid {
@@ -526,6 +533,7 @@ impl ScenarioGrid {
             seed,
             checkpoints: Checkpoints::final_only(),
             initial: InitialPlacement::Random,
+            layout: LayoutKind::default(),
         }
     }
 
@@ -552,6 +560,7 @@ impl ScenarioGrid {
                     seed: self.seed,
                     checkpoints: self.checkpoints,
                     initial: self.initial.clone(),
+                    layout: self.layout,
                 })
             })
         })

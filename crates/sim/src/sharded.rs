@@ -14,7 +14,7 @@
 use crate::runner::{ScenarioResult, SimError, SimRunner};
 use crate::scenario::{Checkpoints, InitialPlacement, Scenario, WorkloadSpec};
 use satn_core::AlgorithmKind;
-use satn_tree::{snapshot, ElementId, Occupancy, ShardedCostSummary};
+use satn_tree::{snapshot, ElementId, LayoutKind, Occupancy, ShardedCostSummary};
 use satn_workloads::shard::{
     derive_schedule, handover, shard_epoch_seed, EpochedPartition, Partition, ReshardEvent,
     ReshardPolicy, ShardRouter,
@@ -70,6 +70,9 @@ pub struct ShardedScenario {
     pub initial: InitialPlacement,
     /// When (and how) the partition reshards mid-stream.
     pub reshard: ReshardSchedule,
+    /// Storage layout of every shard tree's occupancy (performance knob;
+    /// all fingerprints are layout-invariant).
+    pub layout: LayoutKind,
 }
 
 impl ShardedScenario {
@@ -93,6 +96,7 @@ impl ShardedScenario {
             router: ShardRouter::Hash,
             initial: InitialPlacement::Random,
             reshard: ReshardSchedule::Static,
+            layout: LayoutKind::default(),
         }
     }
 
@@ -277,6 +281,7 @@ impl ShardedScenario {
                     seed: self.shard_epoch_seed(shard, epoch),
                     checkpoints: Checkpoints::final_only(),
                     initial,
+                    layout: self.layout,
                 }
             })
             .collect()

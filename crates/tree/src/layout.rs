@@ -1,0 +1,362 @@
+//! Physical storage layouts for the implicit tree.
+//!
+//! Every API in this crate speaks logical [`NodeId`]s — heap indices where
+//! the children of `i` are `2i+1` and `2i+2`. A [`TreeLayout`] maps each
+//! logical node to a *physical slot* in the occupancy slabs, so the storage
+//! order can be permuted for cache locality without changing a single
+//! observable: costs, fingerprints, and replay oracles all read logical
+//! order and are layout-invariant by construction (the mapping is a pure
+//! bijection, proven by tests).
+//!
+//! Two layouts exist:
+//!
+//! * [`LayoutKind::Heap`] — the identity mapping (`slot == index`), today's
+//!   behaviour and the default.
+//! * [`LayoutKind::Blocked`] — levels are grouped into bands of
+//!   [`BLOCK_LEVELS`] levels; each band is stored as an array of
+//!   cache-line-sized blocks, one per subtree fragment, with heap
+//!   (Eytzinger) order *inside* the block. A root-to-leaf walk then touches
+//!   one block per band — roughly `depth / 4` cache lines instead of one
+//!   line per level.
+//!
+//! The forward map is branchless: both layouts compile down to the same
+//! shift/mask/add formula driven by a per-level constant table, so `Heap`
+//! pays nothing for the abstraction.
+
+use crate::node::NodeId;
+use crate::topology::CompleteTree;
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of tree levels grouped into one block of the [`LayoutKind::Blocked`]
+/// layout. A full block holds `2^4 - 1 = 15` nodes and is stored with a
+/// stride of 16 slots, so a slab of `u32`s keeps each block inside one
+/// 64-byte cache line.
+pub const BLOCK_LEVELS: u32 = 4;
+
+/// Slots per full block (`2^BLOCK_LEVELS`); also the alignment unit for
+/// band base offsets.
+const FULL_STRIDE: usize = 1 << BLOCK_LEVELS;
+
+/// Which physical storage order an [`Occupancy`](crate::Occupancy) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LayoutKind {
+    /// Identity layout: logical heap index == physical slot.
+    #[default]
+    Heap,
+    /// Cache-blocked layout: subtree blocks of [`BLOCK_LEVELS`] levels,
+    /// Eytzinger order within each block.
+    Blocked,
+}
+
+impl fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutKind::Heap => f.write_str("heap"),
+            LayoutKind::Blocked => f.write_str("blocked"),
+        }
+    }
+}
+
+impl FromStr for LayoutKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "heap" | "identity" => Ok(LayoutKind::Heap),
+            "blocked" | "block" | "cache" => Ok(LayoutKind::Blocked),
+            other => Err(format!(
+                "unknown layout '{other}' (expected 'heap' or 'blocked')"
+            )),
+        }
+    }
+}
+
+/// Per-level constants driving the branchless forward map.
+///
+/// For a node at this level with one-based index `i1 = index + 1`:
+///
+/// ```text
+/// slot = ((i1 >> depth_shift) << stride_shift) + (i1 & mask) + offset
+/// ```
+///
+/// `i1 >> depth_shift` is the one-based index of the node's block root,
+/// `<< stride_shift` scales block number to slots, `i1 & mask` is the
+/// node's position among its block root's descendants at this depth, and
+/// `offset` folds the band base, the block-number bias, and the in-block
+/// Eytzinger base into one signed constant. The `Heap` layout is the
+/// special case `{0, 0, 0, -1}`, i.e. `slot = i1 - 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LevelMap {
+    depth_shift: u32,
+    stride_shift: u32,
+    mask: u32,
+    offset: i64,
+}
+
+impl LevelMap {
+    const IDENTITY: LevelMap = LevelMap {
+        depth_shift: 0,
+        stride_shift: 0,
+        mask: 0,
+        offset: -1,
+    };
+}
+
+/// One band of levels in the blocked layout, used by the inverse map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Band {
+    /// First physical slot of the band.
+    base: usize,
+    /// One past the last physical slot of the band.
+    end: usize,
+    /// First tree level covered by the band.
+    start_level: u32,
+    /// Number of levels in the band (block height; stride is `1 << height`).
+    height: u32,
+}
+
+/// A bijection between logical node indices and physical storage slots.
+///
+/// Constructed per tree; [`slot_of`](TreeLayout::slot_of) is the hot-path
+/// forward map (a handful of ALU ops, no branches on the layout kind) and
+/// [`node_at`](TreeLayout::node_at) is the inverse used when a slab stores
+/// slots and a logical node must be recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeLayout {
+    kind: LayoutKind,
+    tree: CompleteTree,
+    physical_len: usize,
+    levels: Vec<LevelMap>,
+    bands: Vec<Band>,
+}
+
+impl TreeLayout {
+    /// Builds the layout tables for `tree` under `kind`.
+    pub fn new(tree: CompleteTree, kind: LayoutKind) -> Self {
+        match kind {
+            LayoutKind::Heap => TreeLayout {
+                kind,
+                tree,
+                physical_len: tree.num_nodes() as usize,
+                levels: vec![LevelMap::IDENTITY; tree.num_levels() as usize],
+                bands: Vec::new(),
+            },
+            LayoutKind::Blocked => Self::blocked(tree),
+        }
+    }
+
+    fn blocked(tree: CompleteTree) -> Self {
+        let num_levels = tree.num_levels();
+        // The remainder band sits at the *top* of the tree: the top levels
+        // hold exponentially few nodes (and stay cache-hot regardless), so
+        // giving them the short block wastes the least padding while the
+        // bulk of the tree gets full-height blocks.
+        let remainder = num_levels % BLOCK_LEVELS;
+        let mut levels = Vec::with_capacity(num_levels as usize);
+        let mut bands = Vec::new();
+        let mut base = 0usize;
+        let mut start_level = 0u32;
+        while start_level < num_levels {
+            let height = if start_level == 0 && remainder > 0 {
+                remainder
+            } else {
+                BLOCK_LEVELS
+            };
+            let num_blocks = 1usize << start_level;
+            let stride = 1usize << height;
+            for depth in 0..height {
+                let level = start_level + depth;
+                levels.push(LevelMap {
+                    depth_shift: depth,
+                    stride_shift: height,
+                    mask: (1u32 << depth) - 1,
+                    offset: base as i64 - ((1i64 << start_level) << height) + (1i64 << depth) - 1,
+                });
+                debug_assert_eq!(levels.len() as u32 - 1, level);
+            }
+            let end = base + num_blocks * stride;
+            bands.push(Band {
+                base,
+                end,
+                start_level,
+                height,
+            });
+            start_level += height;
+            // Keep every subsequent band (all full-stride) starting on a
+            // cache-line boundary relative to the slab base.
+            base = end.next_multiple_of(FULL_STRIDE);
+        }
+        let physical_len = bands.last().map_or(0, |b| b.end);
+        TreeLayout {
+            kind: LayoutKind::Blocked,
+            tree,
+            physical_len,
+            levels,
+            bands,
+        }
+    }
+
+    /// The layout kind this mapping implements.
+    #[inline]
+    pub fn kind(&self) -> LayoutKind {
+        self.kind
+    }
+
+    /// The tree this layout was built for.
+    #[inline]
+    pub fn tree(&self) -> CompleteTree {
+        self.tree
+    }
+
+    /// Number of physical slots a slab must hold. Equals the node count for
+    /// `Heap`; slightly larger for `Blocked` (one pad slot per block plus
+    /// band alignment — slots that [`node_at`](Self::node_at) never maps).
+    #[inline]
+    pub fn physical_len(&self) -> usize {
+        self.physical_len
+    }
+
+    /// Maps a logical node to its physical slot. Branchless on the layout
+    /// kind: a table lookup plus shift/mask/add arithmetic.
+    #[inline]
+    pub fn slot_of(&self, node: NodeId) -> usize {
+        let i1 = node.index() + 1;
+        let lm = self.levels[node.level() as usize];
+        let slot = (((i1 >> lm.depth_shift) as i64) << lm.stride_shift)
+            + (i1 & lm.mask) as i64
+            + lm.offset;
+        debug_assert!((0..self.physical_len as i64).contains(&slot));
+        slot as usize
+    }
+
+    /// Inverse of [`slot_of`](Self::slot_of): recovers the logical node
+    /// stored at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `slot` is an occupied slot (not block padding);
+    /// callers only feed back slots previously produced by `slot_of`.
+    #[inline]
+    pub fn node_at(&self, slot: usize) -> NodeId {
+        if self.bands.is_empty() {
+            debug_assert!(slot < self.physical_len);
+            return NodeId::new(slot as u32);
+        }
+        for band in &self.bands {
+            if slot < band.end {
+                debug_assert!(slot >= band.base, "slot {slot} falls into band padding");
+                let rel = slot - band.base;
+                let block = (rel >> band.height) as u32;
+                let local1 = (rel as u32 & ((1u32 << band.height) - 1)) + 1;
+                let depth = u32::BITS - 1 - local1.leading_zeros();
+                debug_assert!(depth < band.height, "slot {slot} is a block pad slot");
+                let root1 = (1u32 << band.start_level) + block;
+                let i1 = (root1 << depth) + (local1 - (1u32 << depth));
+                return NodeId::new(i1 - 1);
+            }
+        }
+        panic!(
+            "slot {slot} out of range (physical_len {})",
+            self.physical_len
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(levels: u32) -> CompleteTree {
+        CompleteTree::with_levels(levels).unwrap()
+    }
+
+    #[test]
+    fn heap_layout_is_identity() {
+        let t = tree(7);
+        let layout = TreeLayout::new(t, LayoutKind::Heap);
+        assert_eq!(layout.physical_len(), t.num_nodes() as usize);
+        for node in t.nodes() {
+            assert_eq!(layout.slot_of(node), node.usize());
+            assert_eq!(layout.node_at(node.usize()), node);
+        }
+    }
+
+    #[test]
+    fn blocked_layout_is_a_bijection_for_all_sizes() {
+        for levels in 1..=16 {
+            let t = tree(levels);
+            let layout = TreeLayout::new(t, LayoutKind::Blocked);
+            let mut seen = vec![false; layout.physical_len()];
+            for node in t.nodes() {
+                let slot = layout.slot_of(node);
+                assert!(
+                    slot < layout.physical_len(),
+                    "levels={levels} node={node:?}"
+                );
+                assert!(!seen[slot], "levels={levels}: slot {slot} reused");
+                seen[slot] = true;
+                assert_eq!(layout.node_at(slot), node, "levels={levels} slot={slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_padding_overhead_is_bounded() {
+        // Pad slots are one per block plus band alignment; the overhead must
+        // stay well under the naive next-power-of-two blow-up.
+        for levels in 4..=20 {
+            let t = tree(levels);
+            let layout = TreeLayout::new(t, LayoutKind::Blocked);
+            let nodes = t.num_nodes() as usize;
+            assert!(layout.physical_len() >= nodes);
+            assert!(
+                layout.physical_len() <= nodes + nodes / 8 + 2 * FULL_STRIDE,
+                "levels={levels}: physical_len {} for {} nodes",
+                layout.physical_len(),
+                nodes
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_walk_stays_within_one_block_per_band() {
+        // A root-to-leaf walk must touch at most ceil(levels / BLOCK_LEVELS)
+        // distinct blocks (of FULL_STRIDE slots each).
+        let t = tree(12);
+        let layout = TreeLayout::new(t, LayoutKind::Blocked);
+        for leaf in t.leaves() {
+            let mut blocks: Vec<usize> = leaf
+                .ancestors()
+                .map(|n| layout.slot_of(n) / FULL_STRIDE)
+                .collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            assert!(blocks.len() as u32 <= t.num_levels().div_ceil(BLOCK_LEVELS));
+        }
+    }
+
+    #[test]
+    fn full_bands_start_cache_line_aligned() {
+        let t = tree(14); // remainder band of 2 levels on top, then 4+4+4
+        let layout = TreeLayout::new(t, LayoutKind::Blocked);
+        for band in &layout.bands {
+            if band.height == BLOCK_LEVELS {
+                assert_eq!(band.base % FULL_STRIDE, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn layout_kind_parses_and_displays() {
+        assert_eq!("heap".parse::<LayoutKind>().unwrap(), LayoutKind::Heap);
+        assert_eq!(
+            "Blocked".parse::<LayoutKind>().unwrap(),
+            LayoutKind::Blocked
+        );
+        assert!("vEB".parse::<LayoutKind>().is_err());
+        assert_eq!(LayoutKind::Heap.to_string(), "heap");
+        assert_eq!(LayoutKind::Blocked.to_string(), "blocked");
+        assert_eq!(LayoutKind::default(), LayoutKind::Heap);
+    }
+}

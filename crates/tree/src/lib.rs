@@ -42,6 +42,7 @@
 
 mod cost;
 mod error;
+mod layout;
 mod node;
 mod occupancy;
 pub mod placement;
@@ -52,6 +53,7 @@ mod topology;
 
 pub use cost::{CostSummary, EpochCostSummary, MigrationCost, ServeCost, ShardedCostSummary};
 pub use error::TreeError;
+pub use layout::{LayoutKind, TreeLayout, BLOCK_LEVELS};
 pub use node::{Ancestors, Direction, ElementId, NodeId};
 pub use occupancy::Occupancy;
 pub use snapshot::TreeSnapshot;
@@ -64,6 +66,7 @@ pub use topology::CompleteTree;
 fn _assert_parallel_safe() {
     fn assert_send_sync<T: Send + Sync + 'static>() {}
     assert_send_sync::<CompleteTree>();
+    assert_send_sync::<TreeLayout>();
     assert_send_sync::<Occupancy>();
     assert_send_sync::<CostSummary>();
     assert_send_sync::<ServeCost>();

@@ -12,6 +12,7 @@
 //! adjusting a live [`Occupancy`] while readers share immutable snapshots of
 //! earlier states.
 
+use crate::layout::TreeLayout;
 use crate::node::{ElementId, NodeId};
 use crate::occupancy::Occupancy;
 use crate::topology::CompleteTree;
@@ -29,22 +30,30 @@ use std::fmt;
 /// [`TreeSnapshot::fingerprint`] renders the exact same text format as
 /// [`occupancy_to_string`], which is what lets snapshot reads be checked
 /// against the serial-replay determinism oracle byte for byte.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct TreeSnapshot {
     tree: CompleteTree,
-    /// Element stored at each node, indexed by node id (heap order).
+    /// The physical layout the slabs below are keyed by — inherited from the
+    /// captured occupancy, invisible in every answer the snapshot gives.
+    layout: TreeLayout,
+    /// Element stored at each node, indexed by physical slot.
     element_of: Box<[ElementId]>,
-    /// Node holding each element, indexed by element id.
-    node_of: Box<[NodeId]>,
+    /// Logical heap index of the node holding each element, indexed by
+    /// element id — layout-independent, so `nd(e)` never pays the layout's
+    /// inverse mapping.
+    node_of: Box<[u32]>,
 }
 
 impl TreeSnapshot {
-    /// Freezes the current state of an occupancy.
+    /// Freezes the current state of an occupancy. The capture is two slab
+    /// memcpys regardless of layout.
     pub fn capture(occupancy: &Occupancy) -> Self {
+        let (layout, element_of, node_of) = occupancy.raw_parts();
         TreeSnapshot {
             tree: occupancy.tree(),
-            element_of: occupancy.elements_in_heap_order().into(),
-            node_of: occupancy.nodes_by_element().into(),
+            layout: layout.clone(),
+            element_of: element_of.into(),
+            node_of: node_of.into(),
         }
     }
 
@@ -65,14 +74,20 @@ impl TreeSnapshot {
     /// so out-of-range ids must not panic).
     #[inline]
     pub fn node_of(&self, element: ElementId) -> Option<NodeId> {
-        self.node_of.get(element.usize()).copied()
+        self.node_of
+            .get(element.usize())
+            .map(|&index| NodeId::new(index))
     }
 
     /// The element that was stored at `node`, or `None` for a node outside
     /// the tree.
     #[inline]
     pub fn element_at(&self, node: NodeId) -> Option<ElementId> {
-        self.element_of.get(node.usize()).copied()
+        if self.tree.contains(node) {
+            Some(self.element_of[self.layout.slot_of(node)])
+        } else {
+            None
+        }
     }
 
     /// The level `element` sat at, or `None` if out of range.
@@ -88,25 +103,51 @@ impl TreeSnapshot {
         self.level_of(element).map(|level| level as u64 + 1)
     }
 
-    /// The elements in heap (BFS) order — `el` as a slice.
-    #[inline]
-    pub fn elements_in_heap_order(&self) -> &[ElementId] {
-        &self.element_of
+    /// The elements in logical heap (BFS) order — `el` rendered
+    /// layout-independently, as fingerprints and golden files expect.
+    pub fn placement_in_heap_order(&self) -> Vec<ElementId> {
+        self.tree
+            .nodes()
+            .map(|node| self.element_of[self.layout.slot_of(node)])
+            .collect()
     }
 
     /// Renders the snapshot in the replay-fingerprint text format —
     /// byte-identical to [`occupancy_to_string`] applied to the occupancy
-    /// the snapshot was captured from.
+    /// the snapshot was captured from, whatever layout either side uses.
     pub fn fingerprint(&self) -> String {
-        placement_to_string(self.tree, &self.element_of)
+        placement_to_string(self.tree, &self.placement_in_heap_order())
     }
 
-    /// Rebuilds a mutable [`Occupancy`] equal to the captured state.
+    /// Rebuilds a mutable [`Occupancy`] equal to the captured state, stored
+    /// under the same layout the capture came from.
     pub fn to_occupancy(&self) -> Occupancy {
-        Occupancy::from_placement(self.tree, self.element_of.to_vec())
-            .expect("a snapshot is a frozen bijection")
+        Occupancy::from_placement_with_layout(
+            self.tree,
+            self.placement_in_heap_order(),
+            self.layout.kind(),
+        )
+        .expect("a snapshot is a frozen bijection")
     }
 }
+
+/// Layout-agnostic equality, matching [`Occupancy`]'s: snapshots are equal
+/// when they froze the same logical placement on the same tree.
+impl PartialEq for TreeSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        if self.tree != other.tree {
+            return false;
+        }
+        if self.layout == other.layout {
+            return self.element_of == other.element_of;
+        }
+        self.tree
+            .nodes()
+            .all(|node| self.element_at(node) == other.element_at(node))
+    }
+}
+
+impl Eq for TreeSnapshot {}
 
 /// Errors produced while parsing an occupancy snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,9 +197,11 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// Serialises an occupancy into the snapshot text format.
+/// Serialises an occupancy into the snapshot text format. The output lists
+/// elements in logical heap order and is therefore identical for every
+/// storage layout of the same placement.
 pub fn occupancy_to_string(occupancy: &Occupancy) -> String {
-    placement_to_string(occupancy.tree(), occupancy.elements_in_heap_order())
+    placement_to_string(occupancy.tree(), &occupancy.placement_in_heap_order())
 }
 
 /// The shared renderer behind [`occupancy_to_string`] and
@@ -301,6 +344,30 @@ mod tests {
         let snapshot = TreeSnapshot::capture(&occupancy);
         let restored = occupancy_from_str(&snapshot.fingerprint()).unwrap();
         assert_eq!(restored, occupancy);
+    }
+
+    #[test]
+    fn snapshots_are_layout_invariant() {
+        use crate::layout::LayoutKind;
+        let tree = CompleteTree::with_levels(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let heap = placement::random_occupancy(tree, &mut rng);
+        let blocked = heap.clone().with_layout(LayoutKind::Blocked);
+        let snap_heap = TreeSnapshot::capture(&heap);
+        let snap_blocked = TreeSnapshot::capture(&blocked);
+        // Byte-identical fingerprints and equal snapshots across layouts.
+        assert_eq!(snap_heap.fingerprint(), snap_blocked.fingerprint());
+        assert_eq!(snap_heap, snap_blocked);
+        for (node, element) in heap.iter() {
+            assert_eq!(snap_blocked.element_at(node), Some(element));
+            assert_eq!(snap_blocked.node_of(element), Some(node));
+        }
+        // Round-tripping keeps the layout kind.
+        assert_eq!(
+            snap_blocked.to_occupancy().layout_kind(),
+            LayoutKind::Blocked
+        );
+        assert_eq!(snap_blocked.to_occupancy(), heap);
     }
 
     #[test]

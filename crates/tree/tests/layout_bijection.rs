@@ -1,0 +1,123 @@
+//! The layout-invariance contract, proven at two levels.
+//!
+//! * **Bijection property**: for random tree sizes, the blocked layout's
+//!   `slot_of`/`node_at` pair is a bijection between logical heap indices
+//!   and distinct physical slots — the algebraic fact that makes every
+//!   higher-level guarantee below possible.
+//! * **End-to-end invariance**: the full simulation grid (all 7 algorithms
+//!   × the paper's workload families × several tree sizes), run under the
+//!   heap layout and under the blocked layout at serial, two-thread, and
+//!   auto worker budgets, produces **byte-identical** checkpoint
+//!   fingerprints and cost summaries in every cell. The layout is a pure
+//!   performance knob; it must never leak into a result.
+
+use proptest::prelude::*;
+use satn_exec::Parallelism;
+use satn_sim::{AlgorithmKind, Checkpoints, ScenarioGrid, SimRunner, WorkloadSpec};
+use satn_tree::{CompleteTree, ElementId, LayoutKind, NodeId, Occupancy, TreeLayout, TreeSnapshot};
+use std::collections::HashSet;
+
+proptest! {
+    /// `slot_of` is injective into `0..physical_len`, and `node_at` inverts
+    /// it exactly, for every tree size the substrate supports in a test.
+    #[test]
+    fn blocked_slots_are_a_bijection(levels in 1u32..=14) {
+        let tree = CompleteTree::with_levels(levels).unwrap();
+        let layout = TreeLayout::new(tree, LayoutKind::Blocked);
+        let mut seen = HashSet::with_capacity(tree.num_nodes() as usize);
+        for node in tree.nodes() {
+            let slot = layout.slot_of(node);
+            prop_assert!(slot < layout.physical_len());
+            prop_assert!(seen.insert(slot), "slot {slot} assigned twice");
+            prop_assert_eq!(layout.node_at(slot), node);
+        }
+    }
+
+    /// Swapping through the blocked layout tracks the logical placement
+    /// exactly: an occupancy rebuilt under the other layout from the same
+    /// placement compares equal (the comparison is layout-agnostic), and
+    /// snapshots of both render the same fingerprint.
+    #[test]
+    fn occupancies_compare_and_render_layout_agnostically(
+        levels in 2u32..=8,
+        swaps in proptest::collection::vec(1u32..100_000, 0..64),
+    ) {
+        let tree = CompleteTree::with_levels(levels).unwrap();
+        let mut heap = Occupancy::identity_with_layout(tree, LayoutKind::Heap);
+        let mut blocked = Occupancy::identity_with_layout(tree, LayoutKind::Blocked);
+        let n = tree.num_nodes();
+        for index in swaps {
+            // Swaps must be parent-child adjacent: pick a non-root node and
+            // swap it with its parent.
+            let child = NodeId::new(1 + index % (n - 1));
+            let parent = child.parent().unwrap();
+            heap.swap_nodes(child, parent).unwrap();
+            blocked.swap_nodes(child, parent).unwrap();
+        }
+        prop_assert_eq!(&heap, &blocked);
+        let heap_snapshot = TreeSnapshot::capture(&heap);
+        let blocked_snapshot = TreeSnapshot::capture(&blocked);
+        prop_assert_eq!(heap_snapshot.fingerprint(), blocked_snapshot.fingerprint());
+        for node in tree.nodes() {
+            prop_assert_eq!(heap.element_at(node), blocked.element_at(node));
+        }
+        for element in (0..n).map(ElementId::new) {
+            prop_assert_eq!(heap.node_of(element), blocked.node_of(element));
+        }
+    }
+}
+
+/// Runs the full grid under `layout` at `parallelism` and returns every
+/// cell's `(name, result)` pair in grid order.
+fn grid_results(
+    layout: LayoutKind,
+    parallelism: Parallelism,
+) -> Vec<(String, satn_sim::ScenarioResult)> {
+    let mut grid = ScenarioGrid::new(
+        AlgorithmKind::ALL,
+        WorkloadSpec::paper_families(),
+        [4u32, 6],
+        600,
+        2022,
+    );
+    grid.checkpoints = Checkpoints::every(150);
+    grid.layout = layout;
+    SimRunner::new()
+        .with_parallelism(parallelism)
+        .run_grid(&grid, false)
+        .unwrap_or_else(|failure| panic!("scenario {} failed: {}", failure.0.name(), failure.1))
+        .into_iter()
+        .map(|(scenario, result)| (scenario.name(), result))
+        .collect()
+}
+
+/// The end-to-end invariance oracle: all 7 algorithms, every paper workload
+/// family, two tree sizes, four checkpoints per run — byte-identical
+/// between the heap and the blocked layout at every worker budget.
+#[test]
+fn full_grid_fingerprints_are_layout_invariant_at_every_thread_count() {
+    let reference = grid_results(LayoutKind::Heap, Parallelism::Serial);
+    assert!(
+        reference.len() >= 7,
+        "the grid must cover all algorithms for the oracle to mean anything"
+    );
+    for parallelism in [
+        Parallelism::Serial,
+        Parallelism::Threads(2),
+        Parallelism::Auto,
+    ] {
+        for layout in [LayoutKind::Heap, LayoutKind::Blocked] {
+            let results = grid_results(layout, parallelism);
+            assert_eq!(results.len(), reference.len());
+            for ((name, result), (reference_name, reference_result)) in
+                results.iter().zip(&reference)
+            {
+                assert_eq!(name, reference_name);
+                assert_eq!(
+                    result, reference_result,
+                    "cell {name} diverged under {layout} layout at {parallelism:?}"
+                );
+            }
+        }
+    }
+}
