@@ -11,7 +11,7 @@
 //! ```text
 //! satn-load --addr ADDR [--shards N] [--levels N] [--algorithm A]
 //!           [--workload W] [--requests N] [--seed S] [--burst N]
-//!           [--window N] [--reads FRACTION] [--out FILE]
+//!           [--window N] [--reads FRACTION] [--stats] [--out FILE]
 //! ```
 //!
 //! With `--reads FRACTION` (0 ≤ f < 1) the generator interleaves `Lookup`
@@ -21,6 +21,12 @@
 //! server's published snapshots, so their RTTs measure the lock-free read
 //! path, not the write path.
 //!
+//! With `--stats` the generator additionally polls the server's metrics
+//! registry over the wire (a `Stats` frame, answered off the write path)
+//! roughly every reporting interval, printing the server-side drain latency
+//! quantiles and served counts beside the client RTTs, and embeds the final
+//! server snapshot in the JSON report.
+//!
 //! Writes a JSON report (throughput + p50/p99/p999/max frame RTT, and the
 //! same quantiles for lookup RTTs when reads are mixed in) to `--out`, and
 //! prints the same summary to stdout. Retries the initial connection for a
@@ -28,6 +34,7 @@
 
 use satn_bench::LatencyHistogram;
 use satn_core::AlgorithmKind;
+use satn_obs::{names, MetricsSnapshot};
 use satn_serve::{Ingest, ServeError, ShardedScenario, TcpIngest, DEFAULT_WINDOW};
 use satn_sim::WorkloadSpec;
 use satn_tree::ElementId;
@@ -37,7 +44,10 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: satn-load --addr ADDR [--shards N] [--levels N] [--algorithm A] \
                      [--workload W] [--requests N] [--seed S] [--burst N] [--window N] \
-                     [--reads FRACTION] [--out FILE]";
+                     [--reads FRACTION] [--stats] [--out FILE]";
+
+/// How often `--stats` polls the server registry mid-run.
+const STATS_INTERVAL: Duration = Duration::from_millis(250);
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -65,6 +75,27 @@ struct LoadReport {
     elapsed: f64,
     histogram: LatencyHistogram,
     lookup_histogram: LatencyHistogram,
+    server: Option<MetricsSnapshot>,
+}
+
+/// One interim `--stats` line: the server-side counters and drain quantiles
+/// a client can see mid-run, printed beside the client's own RTT numbers.
+fn print_stats_line(snapshot: &MetricsSnapshot) {
+    let micros = |d: Duration| d.as_secs_f64() * 1e6;
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+    let (p50, p99) = snapshot
+        .histogram(names::DRAIN_LATENCY)
+        .map(|drain| (micros(drain.quantile(0.50)), micros(drain.quantile(0.99))))
+        .unwrap_or((0.0, 0.0));
+    println!(
+        "stats: served={} drains={} drain_us p50={p50:.1} p99={p99:.1} lookups={} \
+         queue_depth={} epoch={}",
+        counter(names::REQUESTS_SERVED),
+        counter(names::BATCHES_DRAINED),
+        counter(names::LOOKUPS_ANSWERED),
+        snapshot.gauge(names::INGEST_QUEUE_DEPTH).unwrap_or(0),
+        snapshot.gauge(names::RESHARD_EPOCH).unwrap_or(0),
+    );
 }
 
 /// Replays the scenario stream in bursts, timing each frame from write to
@@ -77,6 +108,7 @@ fn run(
     burst: usize,
     window: usize,
     reads: f64,
+    stats: bool,
 ) -> Result<LoadReport, ServeError> {
     let mut client = connect_with_retry(addr)?.with_window(window);
     let requests: Vec<ElementId> = scenario.stream().collect();
@@ -89,6 +121,7 @@ fn run(
     // earns reads / (1 - reads) of a lookup.
     let mut owed = 0.0f64;
     let started = Instant::now();
+    let mut last_poll = started;
     for chunk in requests.chunks(burst) {
         client.send_burst(chunk)?;
         in_flight.push_back(Instant::now());
@@ -100,6 +133,10 @@ fn run(
             lookup_histogram.record(asked_at.elapsed());
             lookups += 1;
             owed -= 1.0;
+        }
+        if stats && last_poll.elapsed() >= STATS_INTERVAL {
+            print_stats_line(&client.stats()?);
+            last_poll = Instant::now();
         }
         // Every ack the send and lookup loops have absorbed closes one
         // frame's RTT.
@@ -115,6 +152,16 @@ fn run(
         histogram.record(sent_at.elapsed());
         recorded += 1;
     }
+    // The final poll happens after every write is acknowledged — i.e.
+    // enqueued; the served count can still trail the sent count until the
+    // engine's final drain, which only its own shutdown path observes.
+    let server = if stats {
+        let snapshot = client.stats()?;
+        print_stats_line(&snapshot);
+        Some(snapshot)
+    } else {
+        None
+    };
     let frames = client.finish()?;
     let elapsed = started.elapsed().as_secs_f64();
     Ok(LoadReport {
@@ -124,6 +171,7 @@ fn run(
         elapsed,
         histogram,
         lookup_histogram,
+        server,
     })
 }
 
@@ -146,12 +194,37 @@ fn json(
         )
     };
     let elapsed = report.elapsed.max(f64::MIN_POSITIVE);
+    let server = report
+        .server
+        .as_ref()
+        .map(|snapshot| {
+            let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+            let drain = snapshot
+                .histogram(names::DRAIN_LATENCY)
+                .cloned()
+                .unwrap_or_default();
+            format!(
+                "{{\n    \"requests_served\": {},\n    \"batches_drained\": {},\n    \
+                 \"lookups_answered\": {},\n    \"migration_units\": {},\n    \
+                 \"reshard_epoch\": {},\n    \"drain_latency_us\": {{\n      \
+                 \"p50\": {:.1},\n      \"p99\": {:.1},\n      \"max\": {:.1}\n    }}\n  }}",
+                counter(names::REQUESTS_SERVED),
+                counter(names::BATCHES_DRAINED),
+                counter(names::LOOKUPS_ANSWERED),
+                counter(names::MIGRATION_UNITS),
+                snapshot.gauge(names::RESHARD_EPOCH).unwrap_or(0),
+                micros(drain.quantile(0.50)),
+                micros(drain.quantile(0.99)),
+                micros(drain.max()),
+            )
+        })
+        .unwrap_or_else(|| String::from("null"));
     format!(
         "{{\n  \"scenario\": \"{}\",\n  \"requests\": {},\n  \"frames\": {},\n  \
          \"lookups\": {},\n  \"reads\": {:.4},\n  \"burst\": {},\n  \"window\": {},\n  \
          \"elapsed_s\": {:.6},\n  \"throughput_req_per_s\": {:.0},\n  \
          \"throughput_ops_per_s\": {:.0},\n  \"frame_rtt_us\": {},\n  \
-         \"lookup_rtt_us\": {}\n}}\n",
+         \"lookup_rtt_us\": {},\n  \"server\": {}\n}}\n",
         scenario.name(),
         report.requests,
         report.frames,
@@ -164,6 +237,7 @@ fn json(
         (report.requests as u64 + report.lookups) as f64 / elapsed,
         quantiles(&report.histogram),
         quantiles(&report.lookup_histogram),
+        server,
     )
 }
 
@@ -178,6 +252,7 @@ fn main() -> ExitCode {
     let mut burst = 512usize;
     let mut window = DEFAULT_WINDOW;
     let mut reads = 0.0f64;
+    let mut stats = false;
     let mut out = None;
 
     let mut args = std::env::args().skip(1);
@@ -223,6 +298,7 @@ fn main() -> ExitCode {
                 Some(value) if (0.0..1.0).contains(&value) => reads = value,
                 _ => return usage(),
             },
+            "--stats" => stats = true,
             "--out" => match args.next() {
                 Some(value) => out = Some(value),
                 None => return usage(),
@@ -239,7 +315,7 @@ fn main() -> ExitCode {
     };
 
     let scenario = ShardedScenario::new(algorithm, workload, shards, levels, requests, seed);
-    let report = match run(&addr, &scenario, burst, window, reads) {
+    let report = match run(&addr, &scenario, burst, window, reads, stats) {
         Ok(report) => report,
         Err(error) => {
             eprintln!("satn-load: {error}");

@@ -1,173 +1,11 @@
-//! A log-bucketed latency histogram for the load generator: constant memory,
-//! no allocation per sample, quantiles accurate to ~±9% (8 sub-buckets per
-//! octave), which is plenty for p50/p99/p999 tail reporting.
+//! The log-bucketed latency histogram the load generator reports tail
+//! quantiles with. The implementation now lives in `satn-obs` — it is the
+//! same histogram the engine records drain latencies into and ships back in
+//! a `MetricsSnapshot`, where it gained a lock-free [`AtomicHistogram`]
+//! recording front and a deterministic [`LatencyHistogram::merge`] — so this
+//! module is a re-export keeping `satn_bench::LatencyHistogram` working.
+//!
+//! [`AtomicHistogram`]: satn_obs::AtomicHistogram
+//! [`LatencyHistogram::merge`]: satn_obs::LatencyHistogram::merge
 
-use std::time::Duration;
-
-/// Sub-buckets per power of two of nanoseconds.
-const SUB_BUCKETS: usize = 8;
-/// The highest octave: 2^39 ns (~9 minutes); larger samples clamp into it.
-const MAX_OCTAVE: usize = 39;
-/// Indices `0..8` hold exact sub-8ns counts; octaves `3..=MAX_OCTAVE` hold
-/// eight sub-buckets each, contiguously.
-const NUM_BUCKETS: usize = SUB_BUCKETS + (MAX_OCTAVE - 2) * SUB_BUCKETS;
-
-/// A fixed-size log-bucketed histogram of latencies.
-///
-/// ```
-/// use satn_bench::LatencyHistogram;
-/// use std::time::Duration;
-///
-/// let mut histogram = LatencyHistogram::new();
-/// for micros in [10, 20, 30, 40, 1000] {
-///     histogram.record(Duration::from_micros(micros));
-/// }
-/// assert_eq!(histogram.samples(), 5);
-/// assert!(histogram.quantile(0.99) >= Duration::from_micros(900));
-/// ```
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    samples: u64,
-    max: u64,
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; NUM_BUCKETS],
-            samples: 0,
-            max: 0,
-        }
-    }
-
-    fn bucket_of(nanos: u64) -> usize {
-        if nanos < SUB_BUCKETS as u64 {
-            return nanos as usize;
-        }
-        let octave = (63 - nanos.leading_zeros() as usize).min(MAX_OCTAVE);
-        // Position within the octave, scaled to SUB_BUCKETS slots.
-        let offset = ((nanos >> (octave - 3)) & (SUB_BUCKETS as u64 - 1)) as usize;
-        SUB_BUCKETS + (octave - 3) * SUB_BUCKETS + offset
-    }
-
-    /// The representative (upper-edge) latency of bucket `index`.
-    fn bucket_value(index: usize) -> u64 {
-        if index < SUB_BUCKETS {
-            return index as u64;
-        }
-        let octave = index / SUB_BUCKETS + 2;
-        let offset = (index % SUB_BUCKETS) as u64;
-        (1u64 << octave) + ((offset + 1) << (octave - 3))
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, latency: Duration) {
-        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-        self.buckets[Self::bucket_of(nanos)] += 1;
-        self.samples += 1;
-        self.max = self.max.max(nanos);
-    }
-
-    /// The number of recorded samples.
-    pub fn samples(&self) -> u64 {
-        self.samples
-    }
-
-    /// The largest recorded sample (exact, not bucketed).
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max)
-    }
-
-    /// The latency at quantile `q` (0.0 ..= 1.0): the upper edge of the
-    /// bucket containing the `ceil(q * samples)`-th smallest sample, clamped
-    /// to the exact observed maximum. Zero if nothing was recorded.
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.samples == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q * self.samples as f64).ceil() as u64).clamp(1, self.samples);
-        let mut seen = 0u64;
-        for (index, &count) in self.buckets.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return Duration::from_nanos(Self::bucket_value(index).min(self.max));
-            }
-        }
-        Duration::from_nanos(self.max)
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn quantiles_bracket_the_recorded_range() {
-        let mut histogram = LatencyHistogram::new();
-        for micros in 1..=1_000u64 {
-            histogram.record(Duration::from_micros(micros));
-        }
-        assert_eq!(histogram.samples(), 1_000);
-        let p50 = histogram.quantile(0.50);
-        let p99 = histogram.quantile(0.99);
-        let p999 = histogram.quantile(0.999);
-        assert!(p50 >= Duration::from_micros(400) && p50 <= Duration::from_micros(640));
-        assert!(p99 >= Duration::from_micros(850) && p99 <= Duration::from_micros(1_130));
-        assert!(p999 >= p99);
-        assert_eq!(histogram.max(), Duration::from_micros(1_000));
-        assert!(histogram.quantile(1.0) <= histogram.max());
-    }
-
-    #[test]
-    fn empty_histograms_report_zero() {
-        let histogram = LatencyHistogram::new();
-        assert_eq!(histogram.samples(), 0);
-        assert_eq!(histogram.quantile(0.99), Duration::ZERO);
-    }
-
-    #[test]
-    fn tiny_latencies_use_exact_buckets() {
-        let mut histogram = LatencyHistogram::new();
-        histogram.record(Duration::from_nanos(3));
-        assert_eq!(histogram.quantile(1.0), Duration::from_nanos(3));
-    }
-
-    #[test]
-    fn buckets_are_monotonic() {
-        let mut previous = 0;
-        for index in 0..NUM_BUCKETS {
-            let value = LatencyHistogram::bucket_value(index);
-            assert!(value >= previous, "bucket {index} regressed");
-            previous = value;
-        }
-        // And the mapping itself never regresses: growing latencies land in
-        // non-decreasing buckets.
-        let mut previous = 0;
-        for shift in 0..50u64 {
-            let bucket = LatencyHistogram::bucket_of(1u64 << shift);
-            assert!(bucket >= previous, "nanos 2^{shift} regressed");
-            previous = bucket;
-        }
-    }
-
-    #[test]
-    fn recording_is_order_insensitive() {
-        let mut forward = LatencyHistogram::new();
-        let mut backward = LatencyHistogram::new();
-        for micros in 1..=100u64 {
-            forward.record(Duration::from_micros(micros));
-            backward.record(Duration::from_micros(101 - micros));
-        }
-        for q in [0.5, 0.9, 0.99] {
-            assert_eq!(forward.quantile(q), backward.quantile(q));
-        }
-    }
-}
+pub use satn_obs::LatencyHistogram;

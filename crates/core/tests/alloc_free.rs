@@ -11,6 +11,12 @@
 //! ever counted — allocations from the libtest harness or any other process
 //! thread cannot perturb it — and the test is still the only one in this
 //! integration binary so the measured windows never interleave.
+//!
+//! The same criterion covers the `satn-obs` instrumentation the serving
+//! engine threads through its drain boundaries: counters, gauges, the
+//! atomic drain-latency histogram, per-tag wire accounting, and the bounded
+//! trace ring must all stay allocation-free in steady state, so turning
+//! metrics on cannot regress the hot path they observe.
 
 // The counting allocator must implement `GlobalAlloc`, which is an unsafe
 // trait; this is the one place in the workspace that needs it, and it only
@@ -135,10 +141,77 @@ where
     );
 }
 
+/// Measures serving **with the observability layer on**: per batch, exactly
+/// the registry updates the engine performs at a drain boundary (counters,
+/// cost adds, per-shard gauges, queue-depth inc/dec, a latency sample, a
+/// wire-frame note, and a trace-ring record). Zero allocations: the
+/// histogram's buckets are boxed at construction and the ring recycles its
+/// preallocated slots once full.
+fn assert_instrumented_serving_alloc_free() {
+    use satn_obs::{EngineMetrics, TraceKind, TraceRing, TraceStamp};
+    use std::time::Duration;
+
+    let tree = CompleteTree::with_levels(10).unwrap();
+    let requests = steady_state_requests(tree.num_nodes(), 4_096);
+    let metrics = EngineMetrics::new(4);
+    let tracer = TraceRing::new(64);
+    // Fill the ring past capacity so the measured block exercises the
+    // recycling path, not the initial growth into preallocated slots.
+    for served in 0..128u64 {
+        tracer.record(TraceStamp {
+            kind: TraceKind::Drain,
+            epoch: 0,
+            served,
+            detail: 1,
+        });
+    }
+    let mut network = RotorPush::new(Occupancy::identity(tree));
+    let mut warmup = CostSummary::new();
+    network.serve_batch(&requests[..64], &mut warmup).unwrap();
+
+    let mut served = 0u64;
+    let instrumented_allocations = count_allocations(|| {
+        for (batch, chunk) in requests.chunks(256).enumerate() {
+            let mut delta = CostSummary::new();
+            network.serve_batch(chunk, &mut delta).unwrap();
+            let cost = delta.total();
+            metrics.requests_served.add(delta.requests());
+            metrics.access_cost.add(cost.access);
+            metrics.adjustment_cost.add(cost.adjustment);
+            metrics.batches_drained.inc();
+            metrics.shard_buffered[batch % 4].set(0);
+            metrics.ingest_queue_depth.inc();
+            metrics.ingest_queue_depth.dec();
+            metrics
+                .drain_latency
+                .record(Duration::from_nanos(1 + 977 * batch as u64));
+            metrics.note_wire_frame(0, 9);
+            served += delta.requests();
+            tracer.record(TraceStamp {
+                kind: TraceKind::Drain,
+                epoch: 0,
+                served,
+                detail: delta.requests(),
+            });
+        }
+    });
+    assert_eq!(served as usize, requests.len());
+    assert_eq!(metrics.requests_served.get() as usize, requests.len());
+    assert_eq!(
+        instrumented_allocations,
+        0,
+        "instrumented serving allocated {instrumented_allocations} times over {} requests",
+        requests.len()
+    );
+}
+
 #[test]
 fn self_adjusting_steady_state_serves_without_allocating() {
     assert_steady_state_alloc_free("rotor-push", RotorPush::new);
     assert_steady_state_alloc_free("move-to-front", MoveToFront::new);
     assert_steady_state_alloc_free("move-half", MoveHalf::new);
     assert_steady_state_alloc_free("max-push", MaxPush::new);
+    // The same criterion with the metrics registry and tracer engaged: the
+    // observability layer adds no allocation to the path it observes.
+    assert_instrumented_serving_alloc_free();
 }

@@ -369,6 +369,7 @@ where
 pub struct TaskScope<'env> {
     state: Mutex<TaskQueue<'env>>,
     available: Condvar,
+    gauges: Option<&'env satn_obs::TaskGauges>,
 }
 
 struct TaskQueue<'env> {
@@ -385,6 +386,9 @@ impl<'env> TaskScope<'env> {
         assert!(!state.closed, "spawn after the task scope closed");
         state.tasks.push_back(Box::new(task));
         drop(state);
+        if let Some(gauges) = self.gauges {
+            gauges.queued.inc();
+        }
         self.available.notify_one();
     }
 
@@ -441,12 +445,32 @@ impl fmt::Debug for TaskScope<'_> {
 /// stopped) — mirroring the ordered-map primitives. Queued tasks behind a
 /// panicking worker may be abandoned.
 pub fn task_scope<'env, R>(parallelism: Parallelism, f: impl FnOnce(&TaskScope<'env>) -> R) -> R {
+    task_scope_instrumented(parallelism, None, f)
+}
+
+/// [`task_scope`] with optional task-lifecycle telemetry: when `gauges` is
+/// provided, spawned tasks move its `queued → running → completed` gauges as
+/// they progress through the pool. The gauge updates are relaxed atomics on
+/// the existing lock boundaries — instrumentation adds no lock and no
+/// allocation to the task path.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by a task, like [`task_scope`]. A
+/// panicking task is neither completed nor decremented from `running` — the
+/// whole scope is unwinding at that point and the gauges are advisory.
+pub fn task_scope_instrumented<'env, R>(
+    parallelism: Parallelism,
+    gauges: Option<&'env satn_obs::TaskGauges>,
+    f: impl FnOnce(&TaskScope<'env>) -> R,
+) -> R {
     let scope = TaskScope {
         state: Mutex::new(TaskQueue {
             tasks: VecDeque::new(),
             closed: false,
         }),
         available: Condvar::new(),
+        gauges,
     };
     let workers = parallelism.threads();
     std::thread::scope(|s| {
@@ -455,7 +479,15 @@ pub fn task_scope<'env, R>(parallelism: Parallelism, f: impl FnOnce(&TaskScope<'
                 let scope = &scope;
                 s.spawn(move || {
                     while let Some(task) = scope.next_task() {
+                        if let Some(gauges) = scope.gauges {
+                            gauges.queued.dec();
+                            gauges.running.inc();
+                        }
                         task();
+                        if let Some(gauges) = scope.gauges {
+                            gauges.running.dec();
+                            gauges.completed.inc();
+                        }
                     }
                 })
             })
@@ -734,6 +766,19 @@ mod tests {
             }
         });
         assert_eq!(lengths.into_inner().unwrap(), 9);
+    }
+
+    #[test]
+    fn task_scope_gauges_settle_to_the_task_count() {
+        let gauges = satn_obs::TaskGauges::new();
+        task_scope_instrumented(Parallelism::Threads(3), Some(&gauges), |scope| {
+            for _ in 0..25 {
+                scope.spawn(|| {});
+            }
+        });
+        assert_eq!(gauges.completed.get(), 25);
+        assert_eq!(gauges.queued.get(), 0);
+        assert_eq!(gauges.running.get(), 0);
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Log-bucketed latency histograms: constant memory, no allocation per
+//! sample, quantiles accurate to ~±9% (8 sub-buckets per octave).
+//!
+//! [`LatencyHistogram`] is the single-writer form (moved here from
+//! `satn-bench`, which re-exports it for its existing callers);
+//! [`AtomicHistogram`] shares the exact same bucket geometry but records
+//! lock-free from any thread, and freezes into a `LatencyHistogram` via
+//! [`AtomicHistogram::snapshot`]. Merging is deterministic — element-wise
+//! bucket addition — so per-shard histograms combine associatively and
+//! commutatively into one, independent of merge order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-buckets per power of two of nanoseconds.
+const SUB_BUCKETS: usize = 8;
+/// The highest octave: 2^39 ns (~9 minutes); larger samples clamp into it.
+const MAX_OCTAVE: usize = 39;
+/// Indices `0..8` hold exact sub-8ns counts; octaves `3..=MAX_OCTAVE` hold
+/// eight sub-buckets each, contiguously.
+pub(crate) const NUM_BUCKETS: usize = SUB_BUCKETS + (MAX_OCTAVE - 2) * SUB_BUCKETS;
+
+fn bucket_of(nanos: u64) -> usize {
+    if nanos < SUB_BUCKETS as u64 {
+        return nanos as usize;
+    }
+    let octave = (63 - nanos.leading_zeros() as usize).min(MAX_OCTAVE);
+    // Position within the octave, scaled to SUB_BUCKETS slots.
+    let offset = ((nanos >> (octave - 3)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    SUB_BUCKETS + (octave - 3) * SUB_BUCKETS + offset
+}
+
+/// The inclusive lower edge of bucket `index` (every sample in the bucket is
+/// `>=` this).
+fn bucket_lower(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = index / SUB_BUCKETS + 2;
+    let offset = (index % SUB_BUCKETS) as u64;
+    (1u64 << octave) + (offset << (octave - 3))
+}
+
+/// The exclusive upper edge of bucket `index` — equal to the next bucket's
+/// lower edge within an octave and at every octave boundary, so the edges
+/// tile the axis without gaps (what makes interpolated quantiles globally
+/// monotone).
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        // Exact buckets hold a single integer value.
+        return index as u64;
+    }
+    let octave = index / SUB_BUCKETS + 2;
+    let offset = (index % SUB_BUCKETS) as u64;
+    (1u64 << octave) + ((offset + 1) << (octave - 3))
+}
+
+/// A fixed-size log-bucketed histogram of latencies.
+///
+/// ```
+/// use satn_obs::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let mut histogram = LatencyHistogram::new();
+/// for micros in [10, 20, 30, 40, 1000] {
+///     histogram.record(Duration::from_micros(micros));
+/// }
+/// assert_eq!(histogram.samples(), 5);
+/// assert!(histogram.quantile(0.99) >= Duration::from_micros(900));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    samples: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            samples: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_of(nanos)] += 1;
+        self.samples += 1;
+        self.max = self.max.max(nanos);
+    }
+
+    /// The number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max)
+    }
+
+    /// Folds `other` into `self`: element-wise bucket addition, sample-count
+    /// addition, max of maxes. Associative and commutative (the buckets form
+    /// a vector sum), so any merge tree over the same histograms yields the
+    /// same result — per-shard histograms can be combined in shard order, in
+    /// arrival order, or pairwise, identically.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.samples += other.samples;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The latency at quantile `q` (0.0 ..= 1.0), linearly interpolated
+    /// within the bucket containing the `ceil(q * samples)`-th smallest
+    /// sample and clamped to the exact observed maximum. Zero if nothing was
+    /// recorded.
+    ///
+    /// Interpolation treats a bucket's `count` samples as evenly spaced over
+    /// `(lower, upper]`; because bucket edges tile the axis (a bucket's
+    /// upper edge is the next bucket's lower edge, across octave boundaries
+    /// too), the result is monotone in `q` with no plateaus-then-jumps at
+    /// bucket boundaries, and `quantile(1.0)` is exactly [`Self::max`].
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.samples == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.samples as f64).ceil() as u64).clamp(1, self.samples);
+        if rank == self.samples {
+            // The top-ranked sample is known exactly; interpolating would
+            // undershoot whenever it clamped into the last octave (≥ 2^40 ns),
+            // whose upper edge sits below the true value.
+            return Duration::from_nanos(self.max);
+        }
+        let mut seen = 0u64;
+        for (index, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if seen + count >= rank {
+                let lower = bucket_lower(index);
+                let width = bucket_upper(index) - lower;
+                let into = rank - seen; // 1 ..= count
+                let value = lower + width.saturating_mul(into) / count;
+                return Duration::from_nanos(value.min(self.max));
+            }
+            seen += count;
+        }
+        Duration::from_nanos(self.max)
+    }
+
+    /// The non-empty buckets as `(bucket index, count)` pairs in ascending
+    /// index order — the sparse form the wire codec serializes.
+    pub(crate) fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| (index, count))
+    }
+
+    /// The exact observed maximum in nanoseconds (the codec's stamp).
+    pub(crate) fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    /// Rebuilds a histogram from its sparse form. Used by the wire decoder;
+    /// `pairs` must be ascending, in range, and non-zero (validated there).
+    pub(crate) fn from_sparse(max: u64, pairs: &[(usize, u64)]) -> Self {
+        let mut histogram = LatencyHistogram::new();
+        for &(index, count) in pairs {
+            histogram.buckets[index] = count;
+            histogram.samples += count;
+        }
+        histogram.max = max;
+        histogram
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// The lock-free sibling of [`LatencyHistogram`]: same bucket geometry, but
+/// every bucket is an `AtomicU64`, so any number of threads can
+/// [`AtomicHistogram::record`] concurrently without a lock or an allocation.
+///
+/// [`AtomicHistogram::snapshot`] freezes the current contents into a plain
+/// [`LatencyHistogram`]. The freeze reads buckets one by one, so a snapshot
+/// raced by writers may split a concurrent sample across the read point —
+/// fine for the advisory timing data this records (the determinism oracle
+/// checks *counters*, never timings), and exact whenever the writer is
+/// quiescent (drain boundaries, end of run).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        AtomicHistogram {
+            buckets: buckets.into_boxed_slice(),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency sample: two relaxed atomic updates, no lock, no
+    /// allocation.
+    pub fn record(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far (sums the buckets).
+    pub fn samples(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|bucket| bucket.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Freezes the current contents into an owned [`LatencyHistogram`].
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|bucket| bucket.load(Ordering::Relaxed))
+            .collect();
+        let samples = buckets.iter().sum();
+        LatencyHistogram {
+            buckets,
+            samples,
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_the_recorded_range() {
+        let mut histogram = LatencyHistogram::new();
+        for micros in 1..=1_000u64 {
+            histogram.record(Duration::from_micros(micros));
+        }
+        assert_eq!(histogram.samples(), 1_000);
+        let p50 = histogram.quantile(0.50);
+        let p99 = histogram.quantile(0.99);
+        let p999 = histogram.quantile(0.999);
+        assert!(p50 >= Duration::from_micros(400) && p50 <= Duration::from_micros(640));
+        assert!(p99 >= Duration::from_micros(850) && p99 <= Duration::from_micros(1_130));
+        assert!(p999 >= p99);
+        assert_eq!(histogram.max(), Duration::from_micros(1_000));
+        assert!(histogram.quantile(1.0) <= histogram.max());
+    }
+
+    #[test]
+    fn empty_histograms_report_zero() {
+        let histogram = LatencyHistogram::new();
+        assert_eq!(histogram.samples(), 0);
+        assert_eq!(histogram.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn tiny_latencies_use_exact_buckets() {
+        let mut histogram = LatencyHistogram::new();
+        histogram.record(Duration::from_nanos(3));
+        assert_eq!(histogram.quantile(1.0), Duration::from_nanos(3));
+    }
+
+    #[test]
+    fn bucket_edges_tile_the_axis() {
+        // A bucket's upper edge is the next bucket's lower edge (with the
+        // one benign +1 step out of the exact-integer range), so
+        // interpolated quantiles cannot jump backwards at any boundary.
+        for index in 0..NUM_BUCKETS {
+            assert!(
+                bucket_lower(index) <= bucket_upper(index),
+                "bucket {index} inverted"
+            );
+            if index + 1 < NUM_BUCKETS {
+                assert!(
+                    bucket_upper(index) <= bucket_lower(index + 1),
+                    "gap inversion after bucket {index}"
+                );
+            }
+        }
+        // And the mapping itself never regresses: growing latencies land in
+        // non-decreasing buckets.
+        let mut previous = 0;
+        for shift in 0..50u64 {
+            let bucket = bucket_of(1u64 << shift);
+            assert!(bucket >= previous, "nanos 2^{shift} regressed");
+            previous = bucket;
+        }
+    }
+
+    #[test]
+    fn samples_fall_inside_their_bucket_edges() {
+        // Stay below 2^40: larger samples deliberately clamp into the last
+        // octave, where the upper edge no longer bounds them.
+        for nanos in (0..10_000u64).chain((0..40).map(|shift| (1u64 << shift) + 13)) {
+            let index = bucket_of(nanos);
+            assert!(nanos >= bucket_lower(index), "nanos {nanos} below bucket");
+            if (SUB_BUCKETS..NUM_BUCKETS - 1).contains(&index) {
+                assert!(nanos < bucket_upper(index), "nanos {nanos} above bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn recording_is_order_insensitive() {
+        let mut forward = LatencyHistogram::new();
+        let mut backward = LatencyHistogram::new();
+        for micros in 1..=100u64 {
+            forward.record(Duration::from_micros(micros));
+            backward.record(Duration::from_micros(101 - micros));
+        }
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(forward.quantile(q), backward.quantile(q));
+        }
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for micros in 1..=500u64 {
+            left.record(Duration::from_micros(micros));
+            both.record(Duration::from_micros(micros));
+        }
+        for micros in 400..=900u64 {
+            right.record(Duration::from_micros(micros));
+            both.record(Duration::from_micros(micros));
+        }
+        left.merge(&right);
+        assert_eq!(left, both);
+        assert_eq!(left.samples(), 500 + 501);
+        assert_eq!(left.max(), Duration::from_micros(900));
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_the_identity() {
+        let mut histogram = LatencyHistogram::new();
+        histogram.record(Duration::from_micros(17));
+        let before = histogram.clone();
+        histogram.merge(&LatencyHistogram::new());
+        assert_eq!(histogram, before);
+    }
+
+    #[test]
+    fn quantile_of_one_is_exactly_the_max() {
+        let mut histogram = LatencyHistogram::new();
+        for nanos in [3u64, 900, 123_456, 77_000_001] {
+            histogram.record(Duration::from_nanos(nanos));
+        }
+        assert_eq!(histogram.quantile(1.0), histogram.max());
+        assert_eq!(histogram.max(), Duration::from_nanos(77_000_001));
+    }
+
+    #[test]
+    fn interpolation_moves_within_a_bucket() {
+        // 1000 identical-bucket samples: quantiles interpolate across the
+        // bucket instead of all collapsing onto the upper edge.
+        let mut histogram = LatencyHistogram::new();
+        for _ in 0..1_000 {
+            histogram.record(Duration::from_nanos(1_000_000));
+        }
+        let p10 = histogram.quantile(0.10);
+        let p90 = histogram.quantile(0.90);
+        assert!(p10 <= p90);
+        assert!(p90 <= histogram.max());
+        // The bucket containing 1_000_000 ns spans less than ±9%.
+        assert!(p10 >= Duration::from_nanos(900_000));
+    }
+
+    #[test]
+    fn atomic_histogram_matches_the_single_writer_form() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        for micros in 1..=1_000u64 {
+            atomic.record(Duration::from_micros(micros));
+            plain.record(Duration::from_micros(micros));
+        }
+        assert_eq!(atomic.samples(), 1_000);
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_records_all_land() {
+        let atomic = AtomicHistogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for micros in 1..=250u64 {
+                        atomic.record(Duration::from_micros(micros));
+                    }
+                });
+            }
+        });
+        let snapshot = atomic.snapshot();
+        assert_eq!(snapshot.samples(), 1_000);
+        assert_eq!(snapshot.max(), Duration::from_micros(250));
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_the_histogram() {
+        let mut histogram = LatencyHistogram::new();
+        for nanos in [0u64, 5, 42, 900, 1 << 20, u64::MAX / 2] {
+            histogram.record(Duration::from_nanos(nanos));
+        }
+        let pairs: Vec<(usize, u64)> = histogram.nonzero_buckets().collect();
+        let rebuilt = LatencyHistogram::from_sparse(histogram.max_nanos(), &pairs);
+        assert_eq!(rebuilt, histogram);
+    }
+}

@@ -1,0 +1,172 @@
+//! The atomic metric primitives: [`Counter`], [`Gauge`], and the pool
+//! [`TaskGauges`] bundle.
+//!
+//! Every primitive is one `AtomicU64` updated with relaxed read-modify-write
+//! operations — no lock, no allocation, safe to hammer from any number of
+//! threads. Relaxed ordering is deliberate: metrics are *reported*, never
+//! used for synchronization, and the determinism oracle only ever reads them
+//! at drain boundaries where the engine thread's own program order already
+//! fixes their values.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter (requests served, frames decoded, …).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that moves both ways (queue depth, buffered requests, epoch).
+///
+/// [`Gauge::dec`] saturates at zero instead of wrapping: paired
+/// increment/decrement sites on different threads can transiently race, and
+/// a `u64::MAX` queue depth in a metrics dump would be strictly worse than
+/// an off-by-one that the next update corrects.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the value outright.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero.
+    #[inline]
+    pub fn dec(&self) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(1);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Task-lifecycle gauges for a worker pool: spawned tasks move
+/// `queued → running → completed`.
+#[derive(Debug, Default)]
+pub struct TaskGauges {
+    /// Tasks spawned but not yet picked up by a worker.
+    pub queued: Gauge,
+    /// Tasks currently executing on a worker.
+    pub running: Gauge,
+    /// Tasks finished since the gauges were created.
+    pub completed: Counter,
+}
+
+impl TaskGauges {
+    /// Fresh gauges, all zero.
+    pub const fn new() -> Self {
+        TaskGauges {
+            queued: Gauge::new(),
+            running: Gauge::new(),
+            completed: Counter::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let counter = Counter::new();
+        counter.inc();
+        counter.add(41);
+        assert_eq!(counter.get(), 42);
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_saturate() {
+        let gauge = Gauge::new();
+        gauge.inc();
+        gauge.inc();
+        gauge.dec();
+        assert_eq!(gauge.get(), 1);
+        gauge.dec();
+        gauge.dec(); // Below zero: saturates instead of wrapping.
+        assert_eq!(gauge.get(), 0);
+        gauge.set(7);
+        assert_eq!(gauge.get(), 7);
+    }
+
+    #[test]
+    fn concurrent_updates_never_lose_increments() {
+        let counter = Counter::new();
+        let gauge = Gauge::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                        gauge.inc();
+                        gauge.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 40_000);
+        assert_eq!(gauge.get(), 0);
+    }
+
+    #[test]
+    fn task_gauges_model_the_lifecycle() {
+        let gauges = TaskGauges::new();
+        gauges.queued.inc();
+        gauges.queued.dec();
+        gauges.running.inc();
+        gauges.running.dec();
+        gauges.completed.inc();
+        assert_eq!(gauges.queued.get(), 0);
+        assert_eq!(gauges.running.get(), 0);
+        assert_eq!(gauges.completed.get(), 1);
+    }
+}

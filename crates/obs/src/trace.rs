@@ -1,0 +1,259 @@
+//! A bounded ring-buffer event tracer for drain and reshard-handover spans.
+//!
+//! Every trace carries a deterministic [`TraceStamp`] — event kind, reshard
+//! epoch, cumulative served-request count, plus one kind-specific detail
+//! value — and an advisory wall-clock offset measured from ring creation.
+//! The stamp sequence produced by a run is a pure function of the workload
+//! (the engine records stamps only at drain boundaries and reshard phases,
+//! both of which are replay-deterministic); the wall-clock column is the
+//! only part that varies between runs, and nothing oracle-checked ever
+//! reads it.
+//!
+//! Reshard handovers appear as three-phase spans:
+//! [`TraceKind::ReshardFence`] (the epoch being closed, detail = planned
+//! moves) → [`TraceKind::ReshardMigrate`] (the new epoch, detail = total
+//! migration cost units) → [`TraceKind::ReshardEpochBump`] (detail = keys
+//! actually moved). Matching the three by their shared served-count locates
+//! one handover in a trace dump.
+//!
+//! The ring holds the most recent [`TraceRing::capacity`] events; older
+//! events are dropped and counted, never reallocated over. Recording takes
+//! a short mutex critical section (push + pop on a preallocated deque) —
+//! traces are emitted at drain/reshard cadence, not per request, so the
+//! lock is uncontended by construction and the hot path never sees it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default event capacity of an engine's [`TraceRing`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// What kind of engine event a trace records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A batch drain completed; detail = requests served by this drain.
+    Drain,
+    /// A snapshot was published; detail = its version number.
+    SnapshotPublish,
+    /// Reshard phase 1 — the outgoing epoch is fenced; detail = planned
+    /// moves, epoch = the epoch being closed.
+    ReshardFence,
+    /// Reshard phase 2 — keys migrated; detail = migration cost units,
+    /// epoch = the new epoch.
+    ReshardMigrate,
+    /// Reshard phase 3 — the epoch counter advanced; detail = keys moved.
+    ReshardEpochBump,
+}
+
+/// The deterministic portion of a trace: identical across replays of the
+/// same workload at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStamp {
+    /// Event kind.
+    pub kind: TraceKind,
+    /// The reshard epoch the event belongs to.
+    pub epoch: u32,
+    /// Cumulative requests served when the event fired — the deterministic
+    /// sequence number ordering events within and across epochs.
+    pub served: u64,
+    /// Kind-specific payload (see [`TraceKind`]).
+    pub detail: u64,
+}
+
+/// One recorded event: a deterministic stamp plus advisory timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in the full event stream (monotonic from 0, counting
+    /// dropped events too).
+    pub seq: u64,
+    /// The deterministic stamp.
+    pub stamp: TraceStamp,
+    /// Wall-clock offset from ring creation. Advisory only: never
+    /// oracle-checked, varies between runs.
+    pub wall: Duration,
+}
+
+#[derive(Debug)]
+struct RingState {
+    events: VecDeque<TraceEvent>,
+    next_seq: u64,
+}
+
+/// A bounded, preallocated ring of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceRing {
+    started: Instant,
+    capacity: usize,
+    dropped: AtomicU64,
+    inner: Mutex<RingState>,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events. The backing storage is
+    /// allocated up front; recording never allocates.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            started: Instant::now(),
+            capacity,
+            dropped: AtomicU64::new(0),
+            inner: Mutex::new(RingState {
+                events: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// A ring with [`DEFAULT_TRACE_CAPACITY`].
+    pub fn with_default_capacity() -> Self {
+        TraceRing::new(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    pub fn record(&self, stamp: TraceStamp) {
+        let wall = self.started.elapsed();
+        let mut state = self.inner.lock().expect("trace ring poisoned");
+        if self.capacity == 0 {
+            state.next_seq += 1;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if state.events.len() == self.capacity {
+            state.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.events.push_back(TraceEvent { seq, stamp, wall });
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        let state = self.inner.lock().expect("trace ring poisoned");
+        state.events.iter().copied().collect()
+    }
+
+    /// The retained deterministic stamps, oldest first — the view tests
+    /// compare across replays.
+    pub fn stamps(&self) -> Vec<TraceStamp> {
+        self.recent().into_iter().map(|event| event.stamp).collect()
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        let state = self.inner.lock().expect("trace ring poisoned");
+        state.next_seq
+    }
+
+    /// Events evicted (or discarded by a zero-capacity ring).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(kind: TraceKind, served: u64) -> TraceStamp {
+        TraceStamp {
+            kind,
+            epoch: 1,
+            served,
+            detail: served * 10,
+        }
+    }
+
+    #[test]
+    fn records_in_order_with_monotonic_sequence_numbers() {
+        let ring = TraceRing::new(8);
+        for served in 0..5 {
+            ring.record(stamp(TraceKind::Drain, served));
+        }
+        let events = ring.recent();
+        assert_eq!(events.len(), 5);
+        for (index, event) in events.iter().enumerate() {
+            assert_eq!(event.seq, index as u64);
+            assert_eq!(event.stamp.served, index as u64);
+        }
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_evicts_the_oldest_and_counts_drops() {
+        let ring = TraceRing::new(3);
+        for served in 0..10 {
+            ring.record(stamp(TraceKind::Drain, served));
+        }
+        let events = ring.recent();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.stamp.served).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(events[0].seq, 7);
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 7);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything_but_keeps_counting() {
+        let ring = TraceRing::new(0);
+        ring.record(stamp(TraceKind::Drain, 1));
+        ring.record(stamp(TraceKind::SnapshotPublish, 2));
+        assert!(ring.recent().is_empty());
+        assert_eq!(ring.recorded(), 2);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn stamps_strip_the_advisory_timing() {
+        let ring = TraceRing::new(4);
+        let fence = TraceStamp {
+            kind: TraceKind::ReshardFence,
+            epoch: 0,
+            served: 100,
+            detail: 3,
+        };
+        let migrate = TraceStamp {
+            kind: TraceKind::ReshardMigrate,
+            epoch: 1,
+            served: 100,
+            detail: 42,
+        };
+        let bump = TraceStamp {
+            kind: TraceKind::ReshardEpochBump,
+            epoch: 1,
+            served: 100,
+            detail: 7,
+        };
+        ring.record(fence);
+        ring.record(migrate);
+        ring.record(bump);
+        assert_eq!(ring.stamps(), vec![fence, migrate, bump]);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let ring = TraceRing::new(10_000);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for served in 0..1_000 {
+                        ring.record(stamp(TraceKind::Drain, served));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 4_000);
+        assert_eq!(ring.recent().len(), 4_000);
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -16,36 +16,89 @@
 //!       [--workload W] [--requests N] [--seed S] [--router R]
 //!       [--threads N|auto|serial] [--layout heap|blocked]
 //!       [--reshard-every N] [--connections N] [--capacity N] [--verify]
+//!       [--metrics-dump]
 //! ```
 //!
 //! The scenario flags describe the engine the server fronts; with
 //! `--verify`, after the last connection closes the engine report is checked
 //! byte for byte against the epoch-segmented serial reference replay
 //! ([`ShardedScenario::epoch_replay`]) — which requires the clients to have
-//! replayed exactly the scenario's request stream (what `satn-load` does).
+//! replayed exactly the scenario's request stream (what `satn-load` does) —
+//! and the live metrics registry is checked counter for counter against the
+//! report (the deterministic-metrics oracle). Clients can also poll the same
+//! registry mid-run over the wire with a `Stats` frame, and
+//! `--metrics-dump` prints the final registry as Prometheus-style text plus
+//! the tracer's recent handover/drain spans on shutdown.
 //! Prints `satnd listening on ADDR` once ready; exits non-zero on any
 //! serving failure or oracle divergence.
 
 use satn_core::AlgorithmKind;
+use satn_obs::names;
 use satn_serve::{
-    ingest_channel, serve_connections, EngineReport, Parallelism, ReshardPolicy, ReshardSchedule,
-    ServeError, ShardedEngineConfig, ShardedScenario,
+    ingest_channel_with_metrics, serve_connections, EngineMetrics, EngineReport, Parallelism,
+    ReshardPolicy, ReshardSchedule, ServeError, ShardedEngineConfig, ShardedScenario,
 };
 use satn_sim::{ShardRouter, SimRunner, WorkloadSpec};
 use satn_tree::LayoutKind;
 use std::io::Write;
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "usage: satnd [--listen ADDR] [--shards N] [--levels N] [--algorithm A] \
                      [--workload W] [--requests N] [--seed S] [--router hash|range|source] \
                      [--threads N|auto|serial] [--layout heap|blocked] [--reshard-every N] \
-                     [--connections N] [--capacity N] [--verify]";
+                     [--connections N] [--capacity N] [--verify] [--metrics-dump]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
     ExitCode::FAILURE
+}
+
+/// The deterministic-metrics oracle: every counter the engine thread updates
+/// at drain boundaries must equal the corresponding [`EngineReport`] total
+/// exactly — the registry is an `AtomicU64` restatement of the replay
+/// ledger, not an approximation of it.
+fn verify_metrics(metrics: &EngineMetrics, report: &EngineReport) -> Result<(), String> {
+    let serving = report.merged.total();
+    let epoch = (report.epoch_fingerprints.len() as u64).saturating_sub(1);
+    let expectations = [
+        (
+            names::REQUESTS_SERVED,
+            metrics.requests_served.get(),
+            report.requests,
+        ),
+        (
+            names::BATCHES_DRAINED,
+            metrics.batches_drained.get(),
+            report.drains,
+        ),
+        (
+            names::ACCESS_COST,
+            metrics.access_cost.get(),
+            serving.access,
+        ),
+        (
+            names::ADJUSTMENT_COST,
+            metrics.adjustment_cost.get(),
+            serving.adjustment,
+        ),
+        (
+            names::MIGRATION_UNITS,
+            metrics.migration_units.get(),
+            report.migration.total(),
+        ),
+        (names::RESHARD_EPOCH, metrics.reshard_epoch.get(), epoch),
+    ];
+    for (name, got, want) in expectations {
+        if got != want {
+            return Err(format!(
+                "{name}: registry says {got}, the report says {want}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -63,6 +116,7 @@ fn main() -> ExitCode {
     let mut connections = 1usize;
     let mut capacity = 16usize;
     let mut verify = false;
+    let mut metrics_dump = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(argument) = args.next() {
@@ -120,6 +174,7 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             "--verify" => verify = true,
+            "--metrics-dump" => metrics_dump = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -168,7 +223,12 @@ fn main() -> ExitCode {
     println!("satnd listening on {addr} — {}", scenario.name());
     let _ = std::io::stdout().flush();
 
-    let (sender, queue) = ingest_channel(capacity);
+    // The registry and tracer outlive the engine's serving thread: the
+    // connection workers answer Stats frames from the registry mid-run, and
+    // the shutdown path dumps and oracle-checks it after the thread joins.
+    let metrics = Arc::clone(engine.metrics());
+    let tracer = Arc::clone(engine.tracer());
+    let (sender, queue) = ingest_channel_with_metrics(capacity, Arc::clone(&metrics));
     // Open the read side before the engine moves to its serving thread:
     // every connection worker answers Lookup frames lock-free from the
     // snapshots the engine publishes at each drain boundary.
@@ -260,7 +320,34 @@ fn main() -> ExitCode {
             eprintln!("satnd: ORACLE DIVERGED: {divergence}");
             return ExitCode::FAILURE;
         }
+        if let Err(divergence) = verify_metrics(&metrics, &report) {
+            eprintln!("satnd: METRICS ORACLE DIVERGED: {divergence}");
+            return ExitCode::FAILURE;
+        }
         println!("oracle ok: replay matched the serial reference byte for byte");
+        println!("metrics ok: every drain-boundary counter equals its replay total");
+    }
+
+    if metrics_dump {
+        print!("{}", metrics.snapshot().to_prometheus());
+        let events = tracer.recent();
+        println!(
+            "# trace ring: {} recorded, {} dropped, showing last {}",
+            tracer.recorded(),
+            tracer.dropped(),
+            events.len().min(16),
+        );
+        for event in events.iter().rev().take(16).rev() {
+            println!(
+                "# trace[{}] {:?} epoch={} served={} detail={} t={:.6}s",
+                event.seq,
+                event.stamp.kind,
+                event.stamp.epoch,
+                event.stamp.served,
+                event.stamp.detail,
+                event.wall.as_secs_f64(),
+            );
+        }
     }
     ExitCode::SUCCESS
 }

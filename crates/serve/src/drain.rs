@@ -14,7 +14,7 @@
 //! engines.
 
 use satn_exec::{for_each_ordered, Parallelism};
-use satn_tree::{CostSummary, ShardedCostSummary};
+use satn_tree::{CostObserver, CostSummary, ShardedCostSummary};
 
 /// The shared batch-buffer bookkeeping of the serving engines: how many
 /// requests are buffered across all shards, when the automatic drain fires,
@@ -84,7 +84,9 @@ impl DrainControl {
 /// and returns the batch's cost summary plus its outcome. Summaries merge
 /// into `accounting` in shard order (every shard's served prefix is always
 /// accounted, failed or not); the error of the first failing shard **in
-/// shard order** is returned.
+/// shard order** is returned. `observer` sees each batch summary just before
+/// it merges — on the merge thread, in shard order — so metric registries
+/// mirror the ledger exactly at every drain boundary.
 ///
 /// # Errors
 ///
@@ -93,6 +95,7 @@ pub(crate) fn drain_shards<S, E, F>(
     shards: &mut [S],
     parallelism: Parallelism,
     accounting: &mut ShardedCostSummary,
+    observer: &dyn CostObserver,
     serve: F,
 ) -> Result<(), (u32, E)>
 where
@@ -106,6 +109,7 @@ where
         parallelism,
         |_, shard| serve(shard),
         |index, (delta, outcome)| {
+            observer.on_batch(index as u32, &delta);
             accounting.merge_into_shard(index as u32, &delta);
             if let (Err(error), None) = (outcome, failure.as_ref()) {
                 failure = Some((index as u32, error));

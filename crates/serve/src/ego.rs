@@ -178,6 +178,7 @@ impl SourceShardedEngine {
             &mut self.shards,
             self.parallelism,
             &mut self.accounting,
+            &satn_tree::NullCostObserver,
             |shard| {
                 let mut delta = CostSummary::new();
                 let mut outcome = Ok(());

@@ -6,10 +6,11 @@ use crate::ingest::{IngestMessage, IngestQueue};
 use crate::snapshot::{EngineSnapshot, SnapshotHub, SnapshotReader};
 use satn_core::{AlgorithmKind, SelfAdjustingTree};
 use satn_exec::Parallelism;
+use satn_obs::{EngineMetrics, TraceKind, TraceRing, TraceStamp};
 use satn_sim::{ReshardSchedule, ShardedScenario};
 use satn_tree::{
-    snapshot, CompleteTree, CostSummary, ElementId, LayoutKind, MigrationCost, Occupancy,
-    ShardedCostSummary, TreeSnapshot,
+    snapshot, CompleteTree, CostObserver, CostSummary, ElementId, LayoutKind, MigrationCost,
+    Occupancy, ShardedCostSummary, TreeSnapshot,
 };
 use satn_workloads::shard::{
     algorithm_seed, handover, shard_epoch_seed, EpochedPartition, Partition, PolicyDriver,
@@ -18,6 +19,7 @@ use satn_workloads::shard::{
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Pending requests buffered across all shards before an automatic drain.
 pub const DEFAULT_DRAIN_THRESHOLD: usize = 4_096;
@@ -27,6 +29,27 @@ pub const DEFAULT_DRAIN_THRESHOLD: usize = 4_096;
 struct Shard {
     tree: Box<dyn SelfAdjustingTree + Send>,
     pending: Vec<ElementId>,
+}
+
+/// Mirrors the deterministic cost ledger into the engine's atomic metric
+/// registry: batch summaries land in the served/cost counters as they merge
+/// (in shard order, on the merge thread), epoch bumps land in the epoch
+/// gauge and migration counter. Pure mirror — it never feeds back into the
+/// ledger, so the oracle sees metrics equal to replay totals at every drain
+/// boundary.
+struct MetricsCostObserver<'a>(&'a EngineMetrics);
+
+impl CostObserver for MetricsCostObserver<'_> {
+    fn on_batch(&self, _shard: u32, batch: &CostSummary) {
+        self.0.requests_served.add(batch.requests());
+        self.0.access_cost.add(batch.total().access);
+        self.0.adjustment_cost.add(batch.total().adjustment);
+    }
+
+    fn on_epoch(&self, epoch: u32, migration: MigrationCost) {
+        self.0.reshard_epoch.set(epoch as u64);
+        self.0.migration_units.add(migration.total());
+    }
 }
 
 /// How the engine reshards on its own, mirroring
@@ -113,6 +136,12 @@ pub struct ShardedEngine {
     /// The current epoch's partition, shared with published snapshots
     /// (re-cloned only when the epoch changes).
     partition_cache: Option<(u32, Arc<Partition>)>,
+    /// The engine's atomic metric registry — always present (updating an
+    /// atomic costs a few nanoseconds; gating it would cost a branch in the
+    /// same places), shared with the ingest channel and the network layer.
+    metrics: Arc<EngineMetrics>,
+    /// The bounded drain/reshard/snapshot event tracer.
+    tracer: Arc<TraceRing>,
 }
 
 impl ShardedEngine {
@@ -142,6 +171,7 @@ impl ShardedEngine {
             })
             .collect();
         let accounting = ShardedCostSummary::new(partition.shards());
+        let metrics = Arc::new(EngineMetrics::new(partition.shards()));
         Ok(ShardedEngine {
             log: EpochedPartition::from_partition(partition),
             shards,
@@ -155,6 +185,8 @@ impl ShardedEngine {
             boundaries: Vec::new(),
             hub: None,
             partition_cache: None,
+            metrics,
+            tracer: Arc::new(TraceRing::with_default_capacity()),
         })
     }
 
@@ -290,6 +322,20 @@ impl ShardedEngine {
         &self.accounting
     }
 
+    /// The engine's atomic metric registry. Clone the `Arc` to poll from
+    /// other threads (the ingest channel and the network front door do);
+    /// counters mirroring the cost ledger equal serial-replay totals at
+    /// every drain boundary, timing data is advisory.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// The engine's bounded event tracer: drain, snapshot-publish, and
+    /// three-phase reshard-handover events, deterministically stamped.
+    pub fn tracer(&self) -> &Arc<TraceRing> {
+        &self.tracer
+    }
+
     /// Opens the engine's read side and hands out a lock-free
     /// [`SnapshotReader`]. The first call freezes and publishes the current
     /// state; from then on every drain boundary publishes a fresh
@@ -299,7 +345,12 @@ impl ShardedEngine {
     pub fn snapshots(&mut self) -> SnapshotReader {
         if self.hub.is_none() {
             let initial = self.freeze();
-            self.hub = Some(Arc::new(SnapshotHub::new(initial)));
+            self.hub = Some(Arc::new(SnapshotHub::new(
+                initial,
+                Arc::clone(&self.metrics),
+            )));
+            self.metrics.snapshot_publishes.inc();
+            self.metrics.snapshot_version.set(1);
         }
         SnapshotReader::new(Arc::clone(self.hub.as_ref().expect("hub just installed")))
     }
@@ -333,7 +384,16 @@ impl ShardedEngine {
             return;
         }
         let snapshot = self.freeze();
-        self.hub.as_ref().expect("checked above").publish(snapshot);
+        let served = snapshot.served();
+        let version = self.hub.as_ref().expect("checked above").publish(snapshot);
+        self.metrics.snapshot_publishes.inc();
+        self.metrics.snapshot_version.set(version);
+        self.tracer.record(TraceStamp {
+            kind: TraceKind::SnapshotPublish,
+            epoch: self.log.current_epoch(),
+            served,
+            detail: version,
+        });
     }
 
     /// Routes one request to its owning shard's batch under the current
@@ -355,6 +415,7 @@ impl ShardedEngine {
                     universe: self.log.current().universe(),
                 })?;
         self.shards[shard as usize].pending.push(local);
+        self.metrics.shard_buffered[shard as usize].inc();
         let should_drain = self.control.note_submitted();
         if let OnlineSchedule::Policy(driver) = &mut self.schedule {
             let plan = driver.observe(element, self.log.current());
@@ -398,10 +459,14 @@ impl ShardedEngine {
         if !self.control.begin_drain() {
             return Ok(());
         }
-        crate::drain::drain_shards(
+        let before = self.accounting.requests();
+        let started = Instant::now();
+        let observer = MetricsCostObserver(&self.metrics);
+        let outcome = crate::drain::drain_shards(
             &mut self.shards,
             self.parallelism,
             &mut self.accounting,
+            &observer,
             |shard| {
                 let mut delta = CostSummary::new();
                 let outcome = if shard.pending.is_empty() {
@@ -412,8 +477,23 @@ impl ShardedEngine {
                 shard.pending.clear();
                 (delta, outcome)
             },
-        )
-        .map_err(|(shard, error)| ServeError::Tree { shard, error })?;
+        );
+        // Every pending buffer was consumed (cleared even on failure), and a
+        // failed drain is still a counted drain — so the registry records the
+        // drain before the error propagates, keeping it equal to the ledger.
+        for gauge in self.metrics.shard_buffered.iter() {
+            gauge.set(0);
+        }
+        self.metrics.batches_drained.inc();
+        self.metrics.drain_latency.record(started.elapsed());
+        let served = self.accounting.requests();
+        self.tracer.record(TraceStamp {
+            kind: TraceKind::Drain,
+            epoch: self.log.current_epoch(),
+            served,
+            detail: served - before,
+        });
+        outcome.map_err(|(shard, error)| ServeError::Tree { shard, error })?;
         // The drain boundary is the read side's publication point.
         self.publish_snapshot();
         Ok(())
@@ -439,13 +519,22 @@ impl ShardedEngine {
                 reason: "the engine was built from raw trees without a rebuild recipe",
             });
         };
+        let planned_moves = plan.moves().len() as u64;
         // 1. Drain fence: the closing epoch serves everything it buffered.
         self.drain()?;
+        let closing_epoch = self.log.current_epoch();
         let old = self.log.current().clone();
         let epoch = {
             let epoch = self.log.apply(plan).map_err(ServeError::Reshard)?;
             epoch.epoch()
         };
+        let served = self.accounting.requests();
+        self.tracer.record(TraceStamp {
+            kind: TraceKind::ReshardFence,
+            epoch: closing_epoch,
+            served,
+            detail: planned_moves,
+        });
         // The fence state is the closing epoch's boundary fingerprint.
         self.capture_boundary_fingerprints();
         self.boundaries.push(self.control.submitted() as usize);
@@ -474,10 +563,23 @@ impl ShardedEngine {
                     })?;
             self.shards[shard].tree = tree;
         }
+        self.tracer.record(TraceStamp {
+            kind: TraceKind::ReshardMigrate,
+            epoch,
+            served,
+            detail: outcome.migration.total(),
+        });
         // 3. Epoch bump in the ledger, carrying the migration cost — and a
         // publication, so readers see the new epoch's placement immediately
         // rather than at the next drain.
         self.accounting.begin_epoch(outcome.migration);
+        MetricsCostObserver(&self.metrics).on_epoch(epoch, outcome.migration);
+        self.tracer.record(TraceStamp {
+            kind: TraceKind::ReshardEpochBump,
+            epoch,
+            served,
+            detail: outcome.migration.moved,
+        });
         self.publish_snapshot();
         Ok(())
     }

@@ -47,6 +47,9 @@ pub enum ServeError {
     /// A lookup was issued on an ingest handle that has no snapshot reader
     /// attached — the transport can carry writes but not reads.
     LookupUnsupported,
+    /// A stats poll was issued on an ingest handle that has no metrics
+    /// registry attached.
+    StatsUnsupported,
     /// The ingestion peer is gone: the queue consumer was dropped (channel
     /// transport) or the connection was shut down (network transport).
     Closed,
@@ -108,6 +111,9 @@ impl fmt::Display for ServeError {
             ServeError::LookupUnsupported => {
                 f.write_str("this ingest handle has no snapshot reader to serve lookups")
             }
+            ServeError::StatsUnsupported => {
+                f.write_str("this ingest handle has no metrics registry to serve stats")
+            }
             ServeError::Closed => f.write_str("the ingest peer is gone"),
             ServeError::Io(error) => write!(f, "transport: {error}"),
             ServeError::Protocol(error) => write!(f, "protocol: {error}"),
@@ -127,6 +133,7 @@ impl std::error::Error for ServeError {
             ServeError::Reshard(error) => Some(error),
             ServeError::ReshardUnsupported { .. } => None,
             ServeError::LookupUnsupported => None,
+            ServeError::StatsUnsupported => None,
             ServeError::Closed => None,
             ServeError::Io(error) => Some(error),
             ServeError::Protocol(error) => Some(error),

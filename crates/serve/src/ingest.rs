@@ -21,9 +21,11 @@
 
 use crate::error::ServeError;
 use crate::snapshot::{LookupAnswer, SnapshotReader};
+use satn_obs::{EngineMetrics, MetricsSnapshot};
 use satn_tree::ElementId;
 use satn_workloads::shard::ReshardPlan;
 use std::sync::mpsc;
+use std::sync::Arc;
 
 /// One message of the ingestion protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +101,17 @@ pub trait Ingest {
     /// attached, [`ServeError::OutOfUniverse`] for an element the engine
     /// does not hold, plus the transport errors of [`Ingest::send`].
     fn lookup(&mut self, element: ElementId) -> Result<LookupAnswer, ServeError>;
+
+    /// Polls the engine's runtime metrics — the observability verb of the
+    /// protocol. Like [`Ingest::lookup`] this never enters the write path:
+    /// in-process it freezes the shared [`EngineMetrics`] registry, over the
+    /// network it is a `Stats`/`StatsReply` frame exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::StatsUnsupported`] if this handle has no metrics
+    /// registry attached, plus the transport errors of [`Ingest::send`].
+    fn stats(&mut self) -> Result<MetricsSnapshot, ServeError>;
 }
 
 /// Replays a request stream through any [`Ingest`] transport in bursts of
@@ -144,6 +157,7 @@ pub fn replay<I: Ingest + ?Sized>(
 pub struct IngestSender {
     inner: mpsc::SyncSender<IngestMessage>,
     snapshots: Option<SnapshotReader>,
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl IngestSender {
@@ -155,13 +169,31 @@ impl IngestSender {
         self
     }
 
+    /// The attached metrics registry, if the channel was built with
+    /// [`ingest_channel_with_metrics`]. The network layer uses this to reach
+    /// the engine's registry through the sender it already holds.
+    pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
+    }
+
     /// Enqueues one protocol message, blocking while the queue is full.
     ///
     /// # Errors
     ///
     /// [`ServeError::Closed`] if the consumer has been dropped.
     pub fn send_message(&self, message: IngestMessage) -> Result<(), ServeError> {
-        self.inner.send(message).map_err(|_| ServeError::Closed)
+        // Count before the (possibly blocking) send so the gauge includes
+        // the message a blocked producer is holding at the door; undo on a
+        // closed queue, whose messages never became visible to anyone.
+        if let Some(metrics) = &self.metrics {
+            metrics.ingest_queue_depth.inc();
+        }
+        self.inner.send(message).map_err(|_| {
+            if let Some(metrics) = &self.metrics {
+                metrics.ingest_queue_depth.dec();
+            }
+            ServeError::Closed
+        })
     }
 
     /// Enqueues a single request (allocation-free on the producer side).
@@ -221,6 +253,19 @@ impl IngestSender {
             .lookup(element)
             .ok_or(ServeError::OutOfUniverse { element, universe })
     }
+
+    /// Freezes the attached metrics registry into a snapshot — never touches
+    /// the queue, never blocks on the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::StatsUnsupported`] without an attached registry.
+    pub fn stats(&self) -> Result<MetricsSnapshot, ServeError> {
+        self.metrics
+            .as_ref()
+            .map(|metrics| metrics.snapshot())
+            .ok_or(ServeError::StatsUnsupported)
+    }
 }
 
 impl Ingest for IngestSender {
@@ -243,19 +288,30 @@ impl Ingest for IngestSender {
     fn lookup(&mut self, element: ElementId) -> Result<LookupAnswer, ServeError> {
         IngestSender::lookup(self, element)
     }
+
+    fn stats(&mut self) -> Result<MetricsSnapshot, ServeError> {
+        IngestSender::stats(self)
+    }
 }
 
 /// The consumer half, owned by the serving engine.
 #[derive(Debug)]
 pub struct IngestQueue {
     inner: mpsc::Receiver<IngestMessage>,
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl IngestQueue {
     /// Blocks for the next message; `None` once every sender is dropped and
     /// the queue is empty (the shutdown signal).
     pub fn recv(&self) -> Option<IngestMessage> {
-        self.inner.recv().ok()
+        let message = self.inner.recv().ok();
+        if message.is_some() {
+            if let Some(metrics) = &self.metrics {
+                metrics.ingest_queue_depth.dec();
+            }
+        }
+        message
     }
 }
 
@@ -267,14 +323,42 @@ impl IngestQueue {
 /// Panics if `capacity` is zero (a zero-capacity rendezvous channel would
 /// deadlock single-threaded producers).
 pub fn ingest_channel(capacity: usize) -> (IngestSender, IngestQueue) {
+    build_channel(capacity, None)
+}
+
+/// [`ingest_channel`] wired into a metrics registry: senders maintain the
+/// registry's `ingest_queue_depth` gauge (incremented on enqueue, decremented
+/// on dequeue — both halves installed together, so the gauge cannot drift)
+/// and answer [`Ingest::stats`] with registry snapshots. Pass the engine's
+/// own [`ShardedEngine::metrics`](crate::ShardedEngine::metrics) `Arc` so
+/// channel and engine report into one registry.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero, like [`ingest_channel`].
+pub fn ingest_channel_with_metrics(
+    capacity: usize,
+    metrics: Arc<EngineMetrics>,
+) -> (IngestSender, IngestQueue) {
+    build_channel(capacity, Some(metrics))
+}
+
+fn build_channel(
+    capacity: usize,
+    metrics: Option<Arc<EngineMetrics>>,
+) -> (IngestSender, IngestQueue) {
     assert!(capacity > 0, "the ingest queue capacity must be positive");
     let (sender, receiver) = mpsc::sync_channel(capacity);
     (
         IngestSender {
             inner: sender,
             snapshots: None,
+            metrics: metrics.clone(),
         },
-        IngestQueue { inner: receiver },
+        IngestQueue {
+            inner: receiver,
+            metrics,
+        },
     )
 }
 
@@ -375,6 +459,35 @@ mod tests {
         let err = Ingest::lookup(&mut sender, ElementId::new(0)).unwrap_err();
         assert!(matches!(err, ServeError::LookupUnsupported));
         assert!(err.to_string().contains("snapshot reader"));
+    }
+
+    #[test]
+    fn stats_without_a_registry_are_unsupported_not_silent() {
+        let (mut sender, _queue) = ingest_channel(4);
+        let err = Ingest::stats(&mut sender).unwrap_err();
+        assert!(matches!(err, ServeError::StatsUnsupported));
+        assert!(err.to_string().contains("metrics"));
+    }
+
+    #[test]
+    fn metered_channels_track_queue_depth_and_serve_stats() {
+        use satn_obs::names;
+        let metrics = Arc::new(EngineMetrics::new(1));
+        let (mut sender, queue) = ingest_channel_with_metrics(8, Arc::clone(&metrics));
+        sender.send(ElementId::new(0)).unwrap();
+        sender.send_burst(vec![ElementId::new(1)]).unwrap();
+        assert_eq!(metrics.ingest_queue_depth.get(), 2);
+        // The sender's stats verb reads the shared registry.
+        let snapshot = Ingest::stats(&mut sender).unwrap();
+        assert_eq!(snapshot.gauge(names::INGEST_QUEUE_DEPTH), Some(2));
+        assert!(queue.recv().is_some());
+        assert_eq!(metrics.ingest_queue_depth.get(), 1);
+        assert!(queue.recv().is_some());
+        assert_eq!(metrics.ingest_queue_depth.get(), 0);
+        // A send into a dropped queue is undone in the gauge.
+        drop(queue);
+        assert!(sender.send(ElementId::new(2)).is_err());
+        assert_eq!(metrics.ingest_queue_depth.get(), 0);
     }
 
     #[test]

@@ -50,6 +50,12 @@
 //!   binary wire protocol and the server-side accept loop behind the
 //!   `satnd` binary, carrying the same protocol over TCP with per-frame
 //!   acknowledgements and end-to-end backpressure,
+//! * [`EngineMetrics`] / [`TraceRing`] — the `satn-obs` observability
+//!   layer threaded through the engine: lock-free counters and gauges
+//!   updated at drain boundaries (so every counter in a
+//!   [`MetricsSnapshot`] equals its serial-replay total), a bounded ring
+//!   of deterministic reshard-handover and drain trace stamps, and a
+//!   `Stats`/`StatsReply` wire frame pair polling it all over TCP,
 //! * [`ShardedEngineConfig`] — the builder-style engine configuration,
 //!   validating every knob at [`ShardedEngineConfig::build`],
 //! * [`EngineReport`] — per-shard cost summaries, per-epoch sub-summaries
@@ -113,7 +119,10 @@ pub use config::ShardedEngineConfig;
 pub use ego::{SourceShardedEngine, SourceShardedReport};
 pub use engine::{EngineReport, ShardReport, ShardedEngine, DEFAULT_DRAIN_THRESHOLD};
 pub use error::ServeError;
-pub use ingest::{ingest_channel, replay, Ingest, IngestMessage, IngestQueue, IngestSender};
+pub use ingest::{
+    ingest_channel, ingest_channel_with_metrics, replay, Ingest, IngestMessage, IngestQueue,
+    IngestSender,
+};
 pub use net::{serve_connections, ConnectionReport, TcpIngest, DEFAULT_WINDOW};
 pub use snapshot::{EngineSnapshot, LookupAnswer, SnapshotReader};
 pub use wire::{
@@ -123,6 +132,9 @@ pub use wire::{
 
 // Re-exported so engines can be configured without extra imports.
 pub use satn_exec::Parallelism;
+// Re-exported so stats consumers and instrumented callers need no direct
+// dependency on the observability crate.
+pub use satn_obs::{EngineMetrics, MetricsSnapshot, TraceEvent, TraceKind, TraceRing, TraceStamp};
 pub use satn_sim::{ReshardSchedule, ShardedReplay, ShardedScenario};
 pub use satn_tree::{EpochCostSummary, MigrationCost, ShardedCostSummary};
 pub use satn_workloads::shard::{
@@ -152,4 +164,9 @@ fn _assert_parallel_safe() {
     assert_send::<SnapshotReader>();
     assert_send_sync::<EngineSnapshot>();
     assert_send_sync::<LookupAnswer>();
+    // The registry and tracer are shared by the engine thread, every
+    // connection worker, and any number of stats pollers at once.
+    assert_send_sync::<EngineMetrics>();
+    assert_send_sync::<TraceRing>();
+    assert_send_sync::<MetricsSnapshot>();
 }

@@ -43,7 +43,8 @@ use crate::error::ServeError;
 use crate::ingest::{Ingest, IngestMessage, IngestSender};
 use crate::snapshot::{LookupAnswer, SnapshotReader};
 use crate::wire::{read_frame, write_frame, Frame, WireError, MAX_BURST_ELEMENTS};
-use satn_exec::{task_scope, Parallelism};
+use satn_exec::{task_scope_instrumented, Parallelism};
+use satn_obs::MetricsSnapshot;
 use satn_tree::ElementId;
 use satn_workloads::shard::ReshardPlan;
 use std::fmt;
@@ -247,6 +248,27 @@ impl Ingest for TcpIngest {
             }
         }
     }
+
+    /// Sends a `Stats` frame and blocks for its `StatsReply`. Like
+    /// [`lookup`](Ingest::lookup), a stats poll takes no window slot and
+    /// absorbs any acknowledgements for pipelined write frames that arrive
+    /// ahead of the reply.
+    fn stats(&mut self) -> Result<MetricsSnapshot, ServeError> {
+        write_frame(&mut self.writer, &Frame::Stats, &mut self.write_scratch)?;
+        loop {
+            match read_frame(&mut self.reader, &mut self.read_scratch)? {
+                Some(Frame::StatsReply(snapshot)) => return Ok(snapshot),
+                Some(Frame::Ack { seq }) => self.note_ack(seq)?,
+                Some(_) => {
+                    return Err(WireError::Malformed {
+                        reason: "expected a stats reply or acknowledgement frame",
+                    }
+                    .into())
+                }
+                None => return Err(ServeError::Closed),
+            }
+        }
+    }
 }
 
 impl fmt::Debug for TcpIngest {
@@ -295,6 +317,7 @@ fn serve_connection(
     sender: &IngestSender,
     mut reads: Option<SnapshotReader>,
 ) -> (u64, u64, Option<ServeError>) {
+    let metrics = sender.metrics().cloned();
     let mut frames = 0u64;
     let mut lookups = 0u64;
     let mut error = None;
@@ -305,11 +328,15 @@ fn serve_connection(
         let mut read_scratch = Vec::new();
         let mut write_scratch = Vec::new();
         while let Some(frame) = read_frame(&mut reader, &mut read_scratch)? {
-            match frame {
+            if let Some(metrics) = &metrics {
+                // The body sits in `read_scratch`; the length prefix adds 4.
+                metrics.note_wire_frame(frame.tag(), read_scratch.len() + 4);
+            }
+            let reply = match frame {
                 Frame::Ingest(message) => {
                     sender.send_message(message)?;
                     frames += 1;
-                    write_frame(&mut writer, &Frame::Ack { seq: frames }, &mut write_scratch)?;
+                    Frame::Ack { seq: frames }
                 }
                 Frame::Lookup { element } => {
                     let reader = reads.as_mut().ok_or(ServeError::LookupUnsupported)?;
@@ -318,14 +345,23 @@ fn serve_connection(
                         .lookup(element)
                         .ok_or(ServeError::OutOfUniverse { element, universe })?;
                     lookups += 1;
-                    write_frame(&mut writer, &Frame::Found(answer), &mut write_scratch)?;
+                    Frame::Found(answer)
                 }
-                Frame::Ack { .. } | Frame::Found(_) => {
+                Frame::Stats => {
+                    let metrics = metrics.as_ref().ok_or(ServeError::StatsUnsupported)?;
+                    Frame::StatsReply(metrics.snapshot())
+                }
+                Frame::Ack { .. } | Frame::Found(_) | Frame::StatsReply(_) => {
                     return Err(WireError::Malformed {
                         reason: "clients may not send server reply frames",
                     }
                     .into())
                 }
+            };
+            write_frame(&mut writer, &reply, &mut write_scratch)?;
+            if let Some(metrics) = &metrics {
+                // `write_scratch` holds the full encoding, prefix included.
+                metrics.note_wire_frame(reply.tag(), write_scratch.len());
             }
         }
         Ok(())
@@ -350,8 +386,9 @@ fn record_report(reports: &Mutex<Vec<ConnectionReport>>, report: ConnectionRepor
 }
 
 /// The server-side accept loop: accepts exactly `connections` connections
-/// from `listener` and serves each on the scoped [`task_scope`] pool with
-/// up to `parallelism` concurrent connection workers, forwarding every
+/// from `listener` and serves each on the scoped [`task_scope_instrumented`]
+/// pool with up to `parallelism` concurrent connection workers (feeding the
+/// engine's pool gauges when the sender carries a registry), forwarding every
 /// decoded ingest frame into `sender`'s bounded channel. When `reads` is
 /// given, each worker gets its own clone of the [`SnapshotReader`] and
 /// answers `Lookup` frames lock-free from the engine's published snapshot;
@@ -377,15 +414,27 @@ pub fn serve_connections(
     connections: usize,
 ) -> Result<Vec<ConnectionReport>, ServeError> {
     let reports: Mutex<Vec<ConnectionReport>> = Mutex::new(Vec::with_capacity(connections));
-    task_scope(parallelism, |scope| -> Result<(), ServeError> {
+    let metrics = sender.metrics();
+    let pool = metrics.map(|metrics| &metrics.pool);
+    task_scope_instrumented(parallelism, pool, |scope| -> Result<(), ServeError> {
         for connection in 0..connections as u64 {
             let (stream, _peer) = listener.accept()?;
+            if let Some(metrics) = metrics {
+                metrics.connections_total.inc();
+            }
             let sender = sender.clone();
             // Each worker reads through its own independently cached handle.
             let reads = reads.cloned();
             let reports = &reports;
             scope.spawn(move || {
+                let metrics = sender.metrics().cloned();
+                if let Some(metrics) = &metrics {
+                    metrics.connections_active.inc();
+                }
                 let (frames, lookups, error) = serve_connection(&stream, &sender, reads);
+                if let Some(metrics) = &metrics {
+                    metrics.connections_active.dec();
+                }
                 record_report(
                     reports,
                     ConnectionReport {
@@ -556,6 +605,40 @@ mod tests {
         assert_eq!(collected.len(), 2);
         assert_eq!(collected[1].frames, 7);
         assert_eq!(collected[1].lookups, 2);
+    }
+
+    #[test]
+    fn stats_polls_cross_the_wire_and_count_traffic() {
+        use crate::ingest::ingest_channel_with_metrics;
+        use satn_obs::{names, EngineMetrics};
+        use std::sync::Arc;
+
+        let (listener, addr) = loopback_listener();
+        let metrics = Arc::new(EngineMetrics::new(2));
+        let (sender, queue) = ingest_channel_with_metrics(16, Arc::clone(&metrics));
+        let server = std::thread::spawn(move || {
+            serve_connections(&listener, &sender, None, Parallelism::Serial, 1).unwrap()
+        });
+        let drainer = std::thread::spawn(move || while queue.recv().is_some() {});
+        let mut client = TcpIngest::connect(addr).unwrap();
+        client.send(ElementId::new(5)).unwrap();
+        let snapshot = Ingest::stats(&mut client).unwrap();
+        assert_eq!(snapshot.counter(names::CONNECTIONS_TOTAL), Some(1));
+        assert_eq!(snapshot.gauge(names::CONNECTIONS_ACTIVE), Some(1));
+        // One Request frame (tag 0) and one Stats frame (tag 7) arrived
+        // before the snapshot froze; the reply itself is not yet counted.
+        assert_eq!(snapshot.counter(&names::wire_frames(0)), Some(1));
+        assert_eq!(snapshot.counter(&names::wire_frames(7)), Some(1));
+        assert!(snapshot.counter(&names::wire_bytes(0)).unwrap() >= 9);
+        assert_eq!(client.finish().unwrap(), 1);
+        let reports = server.join().unwrap();
+        assert!(reports[0].is_clean(), "{:?}", reports[0].error);
+        drainer.join().unwrap();
+        // After the connection wound down the live registry shows it gone,
+        // and the server's replies (acks + the stats reply) were counted.
+        assert_eq!(metrics.connections_active.get(), 0);
+        assert_eq!(metrics.wire_frames[4].get(), 1, "one cumulative ack");
+        assert_eq!(metrics.wire_frames[8].get(), 1, "one stats reply");
     }
 
     #[test]

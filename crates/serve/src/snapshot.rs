@@ -37,6 +37,7 @@
 //! `k` requests — which is exactly what `tests/snapshot_reads.rs` asserts
 //! at every thread count.
 
+use satn_obs::EngineMetrics;
 use satn_tree::{ElementId, NodeId, TreeSnapshot};
 use satn_workloads::shard::Partition;
 use std::fmt;
@@ -175,25 +176,30 @@ pub(crate) struct SnapshotHub {
     /// The current snapshot. The mutex only guards the pointer swap and the
     /// reader's occasional re-clone — never a lookup.
     current: Mutex<Arc<EngineSnapshot>>,
+    /// The engine's registry, so readers can count answered lookups and
+    /// compare the live served counter against their snapshot's stamp.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl SnapshotHub {
-    pub(crate) fn new(initial: EngineSnapshot) -> Self {
+    pub(crate) fn new(initial: EngineSnapshot, metrics: Arc<EngineMetrics>) -> Self {
         SnapshotHub {
             version: AtomicU64::new(1),
             current: Mutex::new(Arc::new(initial)),
+            metrics,
         }
     }
 
-    /// Atomically replaces the published snapshot. Readers never block this:
-    /// the critical section is one pointer store.
-    pub(crate) fn publish(&self, snapshot: EngineSnapshot) {
+    /// Atomically replaces the published snapshot, returning the new
+    /// version. Readers never block this: the critical section is one
+    /// pointer store.
+    pub(crate) fn publish(&self, snapshot: EngineSnapshot) -> u64 {
         let mut slot = self.current.lock().unwrap_or_else(PoisonError::into_inner);
         *slot = Arc::new(snapshot);
         // Bump while still holding the lock so a reader that observes the
         // new version and then locks always finds the snapshot that (or a
         // newer one than) the version promised.
-        self.version.fetch_add(1, Ordering::Release);
+        self.version.fetch_add(1, Ordering::Release) + 1
     }
 
     fn load(&self) -> (u64, Arc<EngineSnapshot>) {
@@ -263,15 +269,35 @@ impl SnapshotReader {
     }
 
     /// Answers one lookup against the current snapshot — the lock-free read
-    /// path. `None` for elements outside the engine's universe.
+    /// path. `None` for elements outside the engine's universe. Answered
+    /// lookups count into the engine's `lookups_answered` metric (one
+    /// relaxed atomic add — the path stays lock- and allocation-free).
     pub fn lookup(&mut self, element: ElementId) -> Option<LookupAnswer> {
-        self.snapshot().lookup(element)
+        let answer = self.snapshot().lookup(element);
+        if answer.is_some() {
+            self.hub.metrics.lookups_answered.inc();
+        }
+        answer
     }
 
     /// The hub's publication count so far (monotonic; starts at 1 for the
     /// initial snapshot). Mostly useful in tests and diagnostics.
     pub fn version(&self) -> u64 {
         self.hub.version()
+    }
+
+    /// How many requests the engine has served *beyond* this reader's
+    /// current snapshot — the read side's staleness, in requests. Zero when
+    /// the snapshot is current; transiently off by an in-flight drain's
+    /// requests otherwise. Refreshes the snapshot cache first, so the figure
+    /// is the staleness *after* catching up as far as possible.
+    pub fn staleness(&mut self) -> u64 {
+        let stamped = self.snapshot().served();
+        self.hub
+            .metrics
+            .requests_served
+            .get()
+            .saturating_sub(stamped)
     }
 }
 
@@ -301,6 +327,11 @@ mod tests {
         EngineSnapshot::assemble(epoch, served, partition, trees)
     }
 
+    fn hub(initial: EngineSnapshot) -> Arc<SnapshotHub> {
+        let metrics = Arc::new(EngineMetrics::new(initial.shards()));
+        Arc::new(SnapshotHub::new(initial, metrics))
+    }
+
     #[test]
     fn lookups_route_and_localize_under_the_partition() {
         let snap = snapshot(0, 42, 3, 4);
@@ -318,7 +349,7 @@ mod tests {
 
     #[test]
     fn readers_see_publications_exactly_once_per_version() {
-        let hub = Arc::new(SnapshotHub::new(snapshot(0, 0, 3, 2)));
+        let hub = hub(snapshot(0, 0, 3, 2));
         let mut reader = SnapshotReader::new(Arc::clone(&hub));
         assert_eq!(reader.snapshot().served(), 0);
         assert_eq!(reader.version(), 1);
@@ -337,7 +368,7 @@ mod tests {
 
     #[test]
     fn cloned_readers_have_independent_caches_on_one_hub() {
-        let hub = Arc::new(SnapshotHub::new(snapshot(0, 0, 3, 2)));
+        let hub = hub(snapshot(0, 0, 3, 2));
         let mut first = SnapshotReader::new(Arc::clone(&hub));
         let mut second = first.clone();
         hub.publish(snapshot(0, 7, 3, 2));
@@ -346,8 +377,29 @@ mod tests {
     }
 
     #[test]
+    fn lookups_count_and_staleness_tracks_the_live_counter() {
+        let hub = hub(snapshot(0, 10, 3, 2));
+        let mut reader = SnapshotReader::new(Arc::clone(&hub));
+        assert_eq!(reader.lookup(ElementId::new(0)).unwrap().served, 10);
+        assert_eq!(reader.lookup(ElementId::new(1)).map(|a| a.shard), Some(0));
+        // Misses (outside the universe) are not "answered".
+        assert_eq!(reader.lookup(ElementId::new(10_000)), None);
+        assert_eq!(hub.metrics.lookups_answered.get(), 2);
+
+        // Snapshot stamped at 10, live counter at 10: no staleness.
+        hub.metrics.requests_served.add(10);
+        assert_eq!(reader.staleness(), 0);
+        // The engine races ahead of the published snapshot.
+        hub.metrics.requests_served.add(7);
+        assert_eq!(reader.staleness(), 7);
+        // A newer publication catches the reader up again.
+        hub.publish(snapshot(0, 17, 3, 2));
+        assert_eq!(reader.staleness(), 0);
+    }
+
+    #[test]
     fn concurrent_readers_never_miss_the_final_publication() {
-        let hub = Arc::new(SnapshotHub::new(snapshot(0, 0, 4, 2)));
+        let hub = hub(snapshot(0, 0, 4, 2));
         let publications = 500u64;
         std::thread::scope(|scope| {
             let readers: Vec<_> = (0..3)

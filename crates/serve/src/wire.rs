@@ -13,6 +13,8 @@
 //! | `4` | `Ack`        | acknowledged frame count (`u64`), server → client |
 //! | `5` | `Lookup`     | element id (`u32`) — snapshot read, client → server |
 //! | `6` | `Found`      | element (`u32`), shard (`u32`), node (`u32`), epoch (`u32`), served (`u64`), server → client |
+//! | `7` | `Stats`      | empty — metrics poll, client → server          |
+//! | `8` | `StatsReply` | an encoded [`MetricsSnapshot`] (see [`MetricsSnapshot::decode`]), server → client |
 //!
 //! All integers are little-endian. The codec is **canonical**: for every
 //! frame there is exactly one encoding, and decoding validates that the
@@ -41,6 +43,7 @@
 use crate::error::ServeError;
 use crate::ingest::IngestMessage;
 use crate::snapshot::LookupAnswer;
+use satn_obs::MetricsSnapshot;
 use satn_tree::{ElementId, NodeId};
 use satn_workloads::shard::ReshardPlan;
 use std::fmt;
@@ -68,6 +71,8 @@ const TAG_RESHARD: u8 = 3;
 const TAG_ACK: u8 = 4;
 const TAG_LOOKUP: u8 = 5;
 const TAG_FOUND: u8 = 6;
+const TAG_STATS: u8 = 7;
+const TAG_STATS_REPLY: u8 = 8;
 
 /// One frame of the wire protocol: an ingestion message travelling client →
 /// server, or an acknowledgement travelling server → client.
@@ -98,6 +103,30 @@ pub enum Frame {
     /// placement in the snapshot that served the read, stamped with the
     /// snapshot's epoch and write-timeline position.
     Found(LookupAnswer),
+    /// A metrics poll (client → server): freeze the engine's registry and
+    /// reply. Like [`Frame::Lookup`] it bypasses the ingest queue and is not
+    /// acknowledged — its [`Frame::StatsReply`] is the acknowledgement.
+    Stats,
+    /// The answer to a [`Frame::Stats`] (server → client): the registry
+    /// frozen at reply time, in the canonical [`MetricsSnapshot`] encoding.
+    StatsReply(MetricsSnapshot),
+}
+
+impl Frame {
+    /// The frame's wire tag, for per-tag traffic accounting.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Ingest(IngestMessage::Request(_)) => TAG_REQUEST,
+            Frame::Ingest(IngestMessage::Burst(_)) => TAG_BURST,
+            Frame::Ingest(IngestMessage::Flush) => TAG_FLUSH,
+            Frame::Ingest(IngestMessage::Reshard(_)) => TAG_RESHARD,
+            Frame::Ack { .. } => TAG_ACK,
+            Frame::Lookup { .. } => TAG_LOOKUP,
+            Frame::Found(_) => TAG_FOUND,
+            Frame::Stats => TAG_STATS,
+            Frame::StatsReply(_) => TAG_STATS_REPLY,
+        }
+    }
 }
 
 /// A malformed or out-of-contract wire frame.
@@ -233,6 +262,21 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) -> Result<(), WireError> {
                 push_u32(buf, answer.epoch);
                 buf.extend_from_slice(&answer.served.to_le_bytes());
             }
+            Frame::Stats => buf.push(TAG_STATS),
+            Frame::StatsReply(snapshot) => {
+                buf.push(TAG_STATS_REPLY);
+                snapshot.encode_into(buf);
+            }
+        }
+        // A stats reply's size depends on how many metrics the registry
+        // holds, so the cap is checked after encoding rather than predicted
+        // from a count the way bursts and plans are.
+        let body = buf.len() - start - 4;
+        if body > MAX_FRAME_BODY as usize {
+            return Err(WireError::Oversized {
+                len: u32::try_from(body).unwrap_or(u32::MAX),
+                max: MAX_FRAME_BODY,
+            });
         }
         Ok(())
     })();
@@ -315,6 +359,16 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
                 epoch,
                 served,
             })
+        }
+        TAG_STATS => Frame::Stats,
+        TAG_STATS_REPLY => {
+            // The snapshot codec validates the whole payload itself,
+            // including its own trailing-byte check.
+            let snapshot = MetricsSnapshot::decode(payload).map_err(|_| WireError::Malformed {
+                reason: "invalid metrics snapshot payload",
+            })?;
+            payload = &payload[payload.len()..];
+            Frame::StatsReply(snapshot)
         }
         other => return Err(WireError::UnknownTag(other)),
     };
@@ -427,6 +481,36 @@ mod tests {
             epoch: 2,
             served: u64::MAX,
         }));
+        roundtrip(Frame::Stats);
+        roundtrip(Frame::StatsReply(MetricsSnapshot::default()));
+        roundtrip(Frame::StatsReply(
+            satn_obs::EngineMetrics::new(4).snapshot(),
+        ));
+    }
+
+    #[test]
+    fn a_corrupt_stats_reply_is_malformed_not_a_panic() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::StatsReply(satn_obs::EngineMetrics::new(2).snapshot()),
+            &mut buf,
+        )
+        .unwrap();
+        // Flip a byte inside the counter-name section.
+        let body = &mut buf[4..];
+        body[10] ^= 0xFF;
+        assert!(matches!(
+            decode_body(body),
+            Err(WireError::Malformed {
+                reason: "invalid metrics snapshot payload"
+            })
+        ));
+        // Truncating the payload is malformed too, not a slice panic.
+        let short = &buf[4..buf.len() - 3];
+        assert!(matches!(
+            decode_body(short),
+            Err(WireError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! reproduces the original bytes — is asserted too.
 
 use proptest::prelude::*;
-use satn_serve::{decode_body, encode_frame, Frame, IngestMessage, LookupAnswer, ReshardPlan};
+use satn_serve::{
+    decode_body, encode_frame, EngineMetrics, Frame, IngestMessage, LookupAnswer, MetricsSnapshot,
+    ReshardPlan,
+};
 use satn_tree::{ElementId, NodeId};
+use std::time::Duration;
 
 /// Encodes `frame`, strips the length prefix, and decodes the body back.
 fn roundtrip(frame: &Frame) -> Frame {
@@ -90,6 +94,34 @@ proptest! {
         });
         prop_assert_eq!(roundtrip(&frame), frame);
     }
+
+    #[test]
+    fn stats_reply_frames_roundtrip(
+        shards in 1u32..9,
+        served in 0u64..1_000_000,
+        depth in 0u64..1_000,
+        samples in proptest::collection::vec(0u64..1 << 42, 0..32),
+    ) {
+        // A live registry with traffic on every section of the encoding:
+        // counters, gauges, per-shard gauges, and a sparse histogram.
+        let metrics = EngineMetrics::new(shards);
+        metrics.requests_served.add(served);
+        metrics.ingest_queue_depth.set(depth);
+        metrics.shard_buffered[(shards - 1) as usize].set(depth / 2);
+        for &nanos in &samples {
+            metrics.drain_latency.record(Duration::from_nanos(nanos));
+        }
+        let frame = Frame::StatsReply(metrics.snapshot());
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+}
+
+#[test]
+fn stats_frames_roundtrip() {
+    let frame = Frame::Stats;
+    assert_eq!(roundtrip(&frame), frame);
+    let frame = Frame::StatsReply(MetricsSnapshot::default());
+    assert_eq!(roundtrip(&frame), frame);
 }
 
 #[test]

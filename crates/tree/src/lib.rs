@@ -51,7 +51,10 @@ pub mod snapshot;
 mod swap;
 mod topology;
 
-pub use cost::{CostSummary, EpochCostSummary, MigrationCost, ServeCost, ShardedCostSummary};
+pub use cost::{
+    CostObserver, CostSummary, EpochCostSummary, MigrationCost, NullCostObserver, ServeCost,
+    ShardedCostSummary,
+};
 pub use error::TreeError;
 pub use layout::{LayoutKind, TreeLayout, BLOCK_LEVELS};
 pub use node::{Ancestors, Direction, ElementId, NodeId};

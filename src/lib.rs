@@ -21,6 +21,7 @@
 //! | [`sim`] | `satn-sim` | scenario-simulation engine: declarative grids, batched serving, invariant hooks, replay |
 //! | [`exec`] | `satn-exec` | deterministic parallel execution layer: scoped worker pool, order-preserving fan-out |
 //! | [`serve`] | `satn-serve` | sharded multi-tree serving engine: transport-agnostic ingestion, wire protocol + `satnd` TCP front door, lock-free snapshot reads, replay fingerprints |
+//! | [`obs`] | `satn-obs` | lock-free runtime metrics (atomic counters/gauges/histograms), deterministic handover tracing, wire-pollable snapshots |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -52,6 +53,7 @@ pub use satn_compress as compress;
 pub use satn_core as core;
 pub use satn_exec as exec;
 pub use satn_network as network;
+pub use satn_obs as obs;
 pub use satn_rotor as rotor;
 pub use satn_serve as serve;
 pub use satn_sim as sim;
@@ -68,6 +70,7 @@ pub use satn_core::{
 };
 pub use satn_exec::{for_each_ordered, ordered_map, ordered_map_mut, Parallelism};
 pub use satn_network::{Host, HostPair, SelfAdjustingNetwork};
+pub use satn_obs::{EngineMetrics, LatencyHistogram, MetricsSnapshot, TraceRing};
 pub use satn_rotor::{RotorState, RotorWalk};
 pub use satn_serve::{
     ingest_channel, replay, serve_connections, EngineReport, EngineSnapshot, Frame, Ingest,
