@@ -176,7 +176,7 @@ impl RandomPushAuditor {
     }
 
     /// Total credit `Σ_e 8·wLEV(e)` of the algorithm state.
-    pub fn total_credit<R: rand::Rng>(&self, algorithm: &RandomPush<R>) -> f64 {
+    pub fn total_credit<R: rand::Rng + 'static>(&self, algorithm: &RandomPush<R>) -> f64 {
         algorithm
             .occupancy()
             .iter()
@@ -192,7 +192,7 @@ impl RandomPushAuditor {
     /// # Errors
     ///
     /// Propagates serving errors (unknown elements).
-    pub fn audit<R: rand::Rng>(
+    pub fn audit<R: rand::Rng + 'static>(
         &self,
         algorithm: &mut RandomPush<R>,
         requests: &[ElementId],

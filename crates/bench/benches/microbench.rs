@@ -15,6 +15,10 @@ use satn_tree::{
     placement, CompleteTree, CostSummary, ElementId, LayoutKind, MarkScratch, MarkedRound, NodeId,
     Occupancy,
 };
+use satn_workloads::shard::{
+    carry_remap, handover, handover_touched, touched_shards, EpochedPartition, Partition,
+    ReshardPlan, ShardRouter,
+};
 use satn_workloads::synthetic;
 
 const LEVELS: u32 = 10; // 1023 nodes
@@ -260,6 +264,106 @@ fn bench_serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold vs warm reshard handover at growing universe sizes: a plan moving
+/// two elements between 2 of S fixed-size shards. The cold path rebuilds
+/// every shard's tree from its canonical placement; the warm path rebuilds
+/// only the two touched trees (carrying their exported rotor/recency state)
+/// and keeps the rest untouched — so warm cost tracks the moved-element
+/// count while cold cost tracks the universe size.
+fn bench_reshard_handover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reshard-handover");
+    group.sample_size(20);
+    let kind = AlgorithmKind::RotorPush;
+
+    // The universe grows by adding fixed-size shards (127 elements each),
+    // not by deepening a fixed shard set: a cold handover rebuilds every
+    // shard so it scales with the universe, while the warm handover only
+    // rebuilds the plan's two touched shards — constant work at any size.
+    const SHARD_LEVELS: u32 = 7;
+    for exponent in [10u32, 14, 18] {
+        let shards = 1u32 << (exponent - SHARD_LEVELS);
+        let old = Partition::new(
+            ShardRouter::Range,
+            shards * ((1 << SHARD_LEVELS) - 1),
+            shards,
+        );
+        let mut log = EpochedPartition::from_partition(old.clone());
+        let plan = ReshardPlan::new([(ElementId::new(0), 1), (ElementId::new(1), 1)]);
+        log.apply(plan).unwrap();
+        let new = log.current().clone();
+        let touched = touched_shards(&old, &new);
+
+        // Live trees with some served history, so warm carries real state.
+        let trees: Vec<_> = (0..shards)
+            .map(|shard| {
+                let tree = CompleteTree::with_levels(old.shard_levels(shard)).unwrap();
+                let mut algorithm = kind
+                    .instantiate(Occupancy::identity(tree), u64::from(shard), &[])
+                    .unwrap();
+                for step in 0..100u32 {
+                    let element = ElementId::new((step * 17 + shard) % tree.num_nodes());
+                    algorithm.serve(element).unwrap();
+                }
+                algorithm
+            })
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("cold", format!("2^{exponent}")),
+            &exponent,
+            |b, _| {
+                b.iter(|| {
+                    let occupancies: Vec<&Occupancy> =
+                        trees.iter().map(|t| t.occupancy()).collect();
+                    let outcome = handover(&old, &new, &occupancies);
+                    let rebuilt: Vec<_> = outcome
+                        .placements
+                        .into_iter()
+                        .enumerate()
+                        .map(|(shard, placement)| {
+                            let levels = (placement.len() + 1).trailing_zeros();
+                            let geometry = CompleteTree::with_levels(levels).unwrap();
+                            let occupancy = Occupancy::from_placement(geometry, placement).unwrap();
+                            kind.instantiate(occupancy, shard as u64, &[]).unwrap()
+                        })
+                        .collect();
+                    black_box(rebuilt)
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("warm", format!("2^{exponent}")),
+            &exponent,
+            |b, _| {
+                b.iter(|| {
+                    let occupancies: Vec<&Occupancy> =
+                        trees.iter().map(|t| t.occupancy()).collect();
+                    let outcome = handover_touched(&old, &new, &occupancies, &touched);
+                    let rebuilt: Vec<_> = outcome
+                        .placements
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(shard, _)| touched[*shard])
+                        .map(|(shard, placement)| {
+                            let levels = (placement.len() + 1).trailing_zeros();
+                            let geometry = CompleteTree::with_levels(levels).unwrap();
+                            let occupancy = Occupancy::from_placement(geometry, placement).unwrap();
+                            let remap = carry_remap(&old, &new, shard as u32);
+                            let state = trees[shard].export_state().carried_into(geometry, &remap);
+                            kind.instantiate_warm(occupancy, shard as u64, &[], &state)
+                                .unwrap()
+                        })
+                        .collect();
+                    black_box(rebuilt)
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
 fn bench_workload_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload-generation");
     group.sample_size(20);
@@ -303,6 +407,7 @@ criterion_group!(
     bench_layout_walks,
     bench_serve_batch_prefetch,
     bench_serve_throughput,
+    bench_reshard_handover,
     bench_workload_generation
 );
 criterion_main!(benches);

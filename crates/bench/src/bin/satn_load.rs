@@ -11,7 +11,8 @@
 //! ```text
 //! satn-load --addr ADDR [--shards N] [--levels N] [--algorithm A]
 //!           [--workload W] [--requests N] [--seed S] [--burst N]
-//!           [--window N] [--reads FRACTION] [--stats] [--out FILE]
+//!           [--window N] [--reads FRACTION] [--reshard-every N]
+//!           [--handover cold|warm] [--stats] [--out FILE]
 //! ```
 //!
 //! With `--reads FRACTION` (0 ≤ f < 1) the generator interleaves `Lookup`
@@ -21,11 +22,19 @@
 //! server's published snapshots, so their RTTs measure the lock-free read
 //! path, not the write path.
 //!
+//! With `--reshard-every N` the generator injects a `Reshard` control frame
+//! after every `N` requests sent, moving two elements of the latest burst to
+//! their next shard (the client tracks its own epoch log, so every plan names
+//! real cross-shard moves). `--handover cold|warm` picks the handover mode
+//! carried by those frames; each reshard frame's write-to-ack RTT is reported
+//! separately, so the client sees exactly what a handover costs the write
+//! path under either mode.
+//!
 //! With `--stats` the generator additionally polls the server's metrics
 //! registry over the wire (a `Stats` frame, answered off the write path)
 //! roughly every reporting interval, printing the server-side drain latency
-//! quantiles and served counts beside the client RTTs, and embeds the final
-//! server snapshot in the JSON report.
+//! quantiles, served counts, and migration ledger beside the client RTTs,
+//! and embeds the final server snapshot in the JSON report.
 //!
 //! Writes a JSON report (throughput + p50/p99/p999/max frame RTT, and the
 //! same quantiles for lookup RTTs when reads are mixed in) to `--out`, and
@@ -35,7 +44,10 @@
 use satn_bench::LatencyHistogram;
 use satn_core::AlgorithmKind;
 use satn_obs::{names, MetricsSnapshot};
-use satn_serve::{Ingest, ServeError, ShardedScenario, TcpIngest, DEFAULT_WINDOW};
+use satn_serve::{
+    EpochedPartition, HandoverMode, Ingest, ReshardPlan, ServeError, ShardedScenario, TcpIngest,
+    DEFAULT_WINDOW,
+};
 use satn_sim::WorkloadSpec;
 use satn_tree::ElementId;
 use std::collections::VecDeque;
@@ -44,7 +56,8 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: satn-load --addr ADDR [--shards N] [--levels N] [--algorithm A] \
                      [--workload W] [--requests N] [--seed S] [--burst N] [--window N] \
-                     [--reads FRACTION] [--stats] [--out FILE]";
+                     [--reads FRACTION] [--reshard-every N] [--handover cold|warm] \
+                     [--stats] [--out FILE]";
 
 /// How often `--stats` polls the server registry mid-run.
 const STATS_INTERVAL: Duration = Duration::from_millis(250);
@@ -72,9 +85,11 @@ struct LoadReport {
     frames: u64,
     requests: usize,
     lookups: u64,
+    reshards: u64,
     elapsed: f64,
     histogram: LatencyHistogram,
     lookup_histogram: LatencyHistogram,
+    reshard_histogram: LatencyHistogram,
     server: Option<MetricsSnapshot>,
 }
 
@@ -89,34 +104,47 @@ fn print_stats_line(snapshot: &MetricsSnapshot) {
         .unwrap_or((0.0, 0.0));
     println!(
         "stats: served={} drains={} drain_us p50={p50:.1} p99={p99:.1} lookups={} \
-         queue_depth={} epoch={}",
+         queue_depth={} epoch={} touched_units={} rebuilt_nodes={}",
         counter(names::REQUESTS_SERVED),
         counter(names::BATCHES_DRAINED),
         counter(names::LOOKUPS_ANSWERED),
         snapshot.gauge(names::INGEST_QUEUE_DEPTH).unwrap_or(0),
         snapshot.gauge(names::RESHARD_EPOCH).unwrap_or(0),
+        counter(names::MIGRATION_TOUCHED_UNITS),
+        counter(names::MIGRATION_REBUILT_NODES),
     );
 }
 
 /// Replays the scenario stream in bursts, timing each frame from write to
 /// acknowledgement. With `reads > 0`, lookups are interleaved after every
 /// burst (probing elements the burst just wrote) so they make up `reads`
-/// of all operations; each lookup's RTT spans write to `Found`.
+/// of all operations; each lookup's RTT spans write to `Found`. With
+/// `reshard_every > 0`, a `Reshard` frame follows every `reshard_every`-th
+/// request: the client applies each plan to its own epoch log, so every
+/// plan moves two of the latest burst's elements to their next shard.
+#[allow(clippy::too_many_arguments)]
 fn run(
     addr: &str,
     scenario: &ShardedScenario,
     burst: usize,
     window: usize,
     reads: f64,
+    reshard_every: usize,
+    handover: HandoverMode,
     stats: bool,
 ) -> Result<LoadReport, ServeError> {
     let mut client = connect_with_retry(addr)?.with_window(window);
     let requests: Vec<ElementId> = scenario.stream().collect();
     let mut histogram = LatencyHistogram::new();
     let mut lookup_histogram = LatencyHistogram::new();
-    let mut in_flight: VecDeque<Instant> = VecDeque::with_capacity(window);
+    let mut reshard_histogram = LatencyHistogram::new();
+    let mut in_flight: VecDeque<(Instant, bool)> = VecDeque::with_capacity(window);
     let mut recorded = 0u64;
     let mut lookups = 0u64;
+    let mut reshards = 0u64;
+    let mut log = EpochedPartition::from_partition(scenario.partition());
+    let shards = scenario.shards;
+    let mut sent_requests = 0usize;
     // Lookups owed so the read fraction converges on `reads`: every write
     // earns reads / (1 - reads) of a lookup.
     let mut owed = 0.0f64;
@@ -124,7 +152,28 @@ fn run(
     let mut last_poll = started;
     for chunk in requests.chunks(burst) {
         client.send_burst(chunk)?;
-        in_flight.push_back(Instant::now());
+        in_flight.push_back((Instant::now(), false));
+        sent_requests += chunk.len();
+        if reshard_every > 0 && sent_requests / reshard_every > reshards as usize {
+            // Move the burst's first two distinct elements one shard over
+            // (per the client's own epoch log, so the moves are real).
+            let mut moves = Vec::new();
+            for &element in chunk {
+                if moves.iter().any(|&(seen, _)| seen == element) {
+                    continue;
+                }
+                let from = log.current().shard_of(element).expect("routed elements");
+                moves.push((element, (from + 1) % shards));
+                if moves.len() == 2 {
+                    break;
+                }
+            }
+            let plan = ReshardPlan::new(moves);
+            log.apply(plan.clone()).expect("plans move owned elements");
+            client.reshard(&plan, handover)?;
+            in_flight.push_back((Instant::now(), true));
+            reshards += 1;
+        }
         owed += chunk.len() as f64 * reads / (1.0 - reads);
         while owed >= 1.0 {
             let probe = chunk[lookups as usize % chunk.len()];
@@ -141,15 +190,23 @@ fn run(
         // Every ack the send and lookup loops have absorbed closes one
         // frame's RTT.
         while recorded < client.acked() {
-            let sent_at = in_flight.pop_front().expect("one send per ack");
-            histogram.record(sent_at.elapsed());
+            let (sent_at, was_reshard) = in_flight.pop_front().expect("one send per ack");
+            if was_reshard {
+                reshard_histogram.record(sent_at.elapsed());
+            } else {
+                histogram.record(sent_at.elapsed());
+            }
             recorded += 1;
         }
     }
     client.drain_acks()?;
     while recorded < client.acked() {
-        let sent_at = in_flight.pop_front().expect("one send per ack");
-        histogram.record(sent_at.elapsed());
+        let (sent_at, was_reshard) = in_flight.pop_front().expect("one send per ack");
+        if was_reshard {
+            reshard_histogram.record(sent_at.elapsed());
+        } else {
+            histogram.record(sent_at.elapsed());
+        }
         recorded += 1;
     }
     // The final poll happens after every write is acknowledged — i.e.
@@ -168,9 +225,11 @@ fn run(
         frames,
         requests: requests.len(),
         lookups,
+        reshards,
         elapsed,
         histogram,
         lookup_histogram,
+        reshard_histogram,
         server,
     })
 }
@@ -181,6 +240,7 @@ fn json(
     burst: usize,
     window: usize,
     reads: f64,
+    handover: HandoverMode,
 ) -> String {
     let micros = |d: Duration| d.as_secs_f64() * 1e6;
     let quantiles = |histogram: &LatencyHistogram| {
@@ -203,32 +263,47 @@ fn json(
                 .histogram(names::DRAIN_LATENCY)
                 .cloned()
                 .unwrap_or_default();
+            let handover_latency = snapshot
+                .histogram(names::HANDOVER_LATENCY)
+                .cloned()
+                .unwrap_or_default();
             format!(
                 "{{\n    \"requests_served\": {},\n    \"batches_drained\": {},\n    \
                  \"lookups_answered\": {},\n    \"migration_units\": {},\n    \
+                 \"migration_touched_units\": {},\n    \"migration_rebuilt_nodes\": {},\n    \
                  \"reshard_epoch\": {},\n    \"drain_latency_us\": {{\n      \
+                 \"p50\": {:.1},\n      \"p99\": {:.1},\n      \"max\": {:.1}\n    }},\n    \
+                 \"handover_latency_us\": {{\n      \
                  \"p50\": {:.1},\n      \"p99\": {:.1},\n      \"max\": {:.1}\n    }}\n  }}",
                 counter(names::REQUESTS_SERVED),
                 counter(names::BATCHES_DRAINED),
                 counter(names::LOOKUPS_ANSWERED),
                 counter(names::MIGRATION_UNITS),
+                counter(names::MIGRATION_TOUCHED_UNITS),
+                counter(names::MIGRATION_REBUILT_NODES),
                 snapshot.gauge(names::RESHARD_EPOCH).unwrap_or(0),
                 micros(drain.quantile(0.50)),
                 micros(drain.quantile(0.99)),
                 micros(drain.max()),
+                micros(handover_latency.quantile(0.50)),
+                micros(handover_latency.quantile(0.99)),
+                micros(handover_latency.max()),
             )
         })
         .unwrap_or_else(|| String::from("null"));
     format!(
         "{{\n  \"scenario\": \"{}\",\n  \"requests\": {},\n  \"frames\": {},\n  \
-         \"lookups\": {},\n  \"reads\": {:.4},\n  \"burst\": {},\n  \"window\": {},\n  \
+         \"lookups\": {},\n  \"reshards\": {},\n  \"handover\": \"{}\",\n  \
+         \"reads\": {:.4},\n  \"burst\": {},\n  \"window\": {},\n  \
          \"elapsed_s\": {:.6},\n  \"throughput_req_per_s\": {:.0},\n  \
          \"throughput_ops_per_s\": {:.0},\n  \"frame_rtt_us\": {},\n  \
-         \"lookup_rtt_us\": {},\n  \"server\": {}\n}}\n",
+         \"lookup_rtt_us\": {},\n  \"reshard_rtt_us\": {},\n  \"server\": {}\n}}\n",
         scenario.name(),
         report.requests,
         report.frames,
         report.lookups,
+        report.reshards,
+        handover,
         reads,
         burst,
         window,
@@ -237,6 +312,7 @@ fn json(
         (report.requests as u64 + report.lookups) as f64 / elapsed,
         quantiles(&report.histogram),
         quantiles(&report.lookup_histogram),
+        quantiles(&report.reshard_histogram),
         server,
     )
 }
@@ -252,6 +328,8 @@ fn main() -> ExitCode {
     let mut burst = 512usize;
     let mut window = DEFAULT_WINDOW;
     let mut reads = 0.0f64;
+    let mut reshard_every = 0usize;
+    let mut handover = HandoverMode::Cold;
     let mut stats = false;
     let mut out = None;
 
@@ -298,6 +376,14 @@ fn main() -> ExitCode {
                 Some(value) if (0.0..1.0).contains(&value) => reads = value,
                 _ => return usage(),
             },
+            "--reshard-every" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) if value > 0 => reshard_every = value,
+                _ => return usage(),
+            },
+            "--handover" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => handover = value,
+                None => return usage(),
+            },
             "--stats" => stats = true,
             "--out" => match args.next() {
                 Some(value) => out = Some(value),
@@ -315,7 +401,16 @@ fn main() -> ExitCode {
     };
 
     let scenario = ShardedScenario::new(algorithm, workload, shards, levels, requests, seed);
-    let report = match run(&addr, &scenario, burst, window, reads, stats) {
+    let report = match run(
+        &addr,
+        &scenario,
+        burst,
+        window,
+        reads,
+        reshard_every,
+        handover,
+        stats,
+    ) {
         Ok(report) => report,
         Err(error) => {
             eprintln!("satn-load: {error}");
@@ -323,7 +418,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let rendered = json(&report, &scenario, burst, window, reads);
+    let rendered = json(&report, &scenario, burst, window, reads, handover);
     print!("{rendered}");
     if let Some(path) = out {
         if let Err(error) = std::fs::write(&path, &rendered) {

@@ -6,12 +6,15 @@
 //! chained through the deterministic handover). With `--reshard-every N` the
 //! engines also reshard mid-stream under the load-adaptive `MoveHottest`
 //! policy, so the full drain-fence → migrate → epoch-bump handover path is
-//! exercised on every push. Also runs the ego-tree-per-source mode against a
-//! serial `SelfAdjustingNetwork` replay. Exits non-zero on any divergence.
+//! exercised on every push; `--handover warm` runs those handovers in
+//! warm-carry mode (untouched shards keep their live trees, touched shards
+//! carry rotor/recency state), verified against the warm replay. Also runs
+//! the ego-tree-per-source mode against a serial `SelfAdjustingNetwork`
+//! replay. Exits non-zero on any divergence.
 //!
 //! ```text
 //! serve-smoke [--shards N] [--threads N|auto|serial] [--requests N] [--seed S]
-//!             [--reshard-every N] [--layout heap|blocked]
+//!             [--reshard-every N] [--handover cold|warm] [--layout heap|blocked]
 //! ```
 
 use rand::rngs::StdRng;
@@ -19,8 +22,8 @@ use rand::{Rng, SeedableRng};
 use satn_core::AlgorithmKind;
 use satn_network::{Host, HostPair, SelfAdjustingNetwork};
 use satn_serve::{
-    ingest_channel, replay, Parallelism, ReshardPolicy, ReshardSchedule, ShardedEngineConfig,
-    SourceShardedEngine,
+    ingest_channel, replay, HandoverMode, Parallelism, ReshardPolicy, ReshardSchedule,
+    ShardedEngineConfig, SourceShardedEngine,
 };
 use satn_sim::{ShardRouter, ShardedScenario, SimRunner, WorkloadSpec};
 use satn_tree::{ElementId, LayoutKind};
@@ -28,7 +31,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: serve-smoke [--shards N] [--threads N|auto|serial] [--requests N] \
-                     [--seed S] [--reshard-every N] [--layout heap|blocked]";
+                     [--seed S] [--reshard-every N] [--handover cold|warm] \
+                     [--layout heap|blocked]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -153,6 +157,7 @@ fn main() -> ExitCode {
     let mut seed = 2022u64;
     let mut parallelism = Parallelism::Auto;
     let mut reshard_every = 0usize;
+    let mut handover = HandoverMode::Cold;
     let mut layout = LayoutKind::default();
     let mut args = std::env::args().skip(1);
     while let Some(argument) = args.next() {
@@ -176,6 +181,10 @@ fn main() -> ExitCode {
             "--reshard-every" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(value) if value > 0 => reshard_every = value,
                 _ => return usage(),
+            },
+            "--handover" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => handover = value,
+                None => return usage(),
             },
             "--layout" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(value) => layout = value,
@@ -204,7 +213,7 @@ fn main() -> ExitCode {
         requests,
         parallelism.threads(),
         if reshard_every > 0 {
-            format!(", resharding every {reshard_every}")
+            format!(", resharding every {reshard_every} ({handover} handover)")
         } else {
             String::new()
         }
@@ -230,6 +239,7 @@ fn main() -> ExitCode {
                     every: reshard_every,
                     max_moves: 16,
                 });
+                scenario.handover = handover;
             }
             let Some(elapsed) = run_and_verify(&scenario, parallelism) else {
                 return ExitCode::FAILURE;

@@ -3,6 +3,7 @@
 use crate::ops::{exchange_elements, exchange_elements_unchecked};
 use crate::recency::RecencyTracker;
 use crate::traits::SelfAdjustingTree;
+use crate::warm::WarmState;
 use satn_tree::{
     CostSummary, ElementId, MarkScratch, MarkedRound, Occupancy, ServeCost, TreeError,
 };
@@ -40,6 +41,21 @@ impl MaxPush {
     /// Creates a Max-Push network starting from the given occupancy.
     pub fn new(occupancy: Occupancy) -> Self {
         let recency = RecencyTracker::new(occupancy.num_elements());
+        MaxPush::with_recency(occupancy, recency)
+    }
+
+    /// Creates a Max-Push network with an explicit recency tracker (used by
+    /// warm reshard handovers to resume the MRU order mid-stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker covers a different element count.
+    pub fn with_recency(occupancy: Occupancy, recency: RecencyTracker) -> Self {
+        assert_eq!(
+            recency.num_elements(),
+            occupancy.num_elements(),
+            "occupancy and recency tracker must cover the same elements"
+        );
         MaxPush {
             occupancy,
             recency,
@@ -110,6 +126,13 @@ impl SelfAdjustingTree for MaxPush {
         let cost = cost?;
         self.recency.touch(element);
         Ok(cost)
+    }
+
+    fn export_state(&self) -> WarmState {
+        WarmState {
+            recency: Some(self.recency.clone()),
+            ..WarmState::default()
+        }
     }
 
     /// The batched fast path: same victim selection and exchange sequence as

@@ -3,6 +3,7 @@
 use crate::ops::exchange_elements;
 use crate::recency::RecencyTracker;
 use crate::traits::SelfAdjustingTree;
+use crate::warm::WarmState;
 use satn_tree::{ElementId, MarkScratch, MarkedRound, Occupancy, ServeCost, TreeError};
 
 /// The Move-Half algorithm (Algorithm 1 of the paper).
@@ -26,6 +27,21 @@ impl MoveHalf {
     /// Creates a Move-Half network starting from the given occupancy.
     pub fn new(occupancy: Occupancy) -> Self {
         let recency = RecencyTracker::new(occupancy.num_elements());
+        MoveHalf::with_recency(occupancy, recency)
+    }
+
+    /// Creates a Move-Half network with an explicit recency tracker (used by
+    /// warm reshard handovers to resume the working-set order mid-stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker covers a different element count.
+    pub fn with_recency(occupancy: Occupancy, recency: RecencyTracker) -> Self {
+        assert_eq!(
+            recency.num_elements(),
+            occupancy.num_elements(),
+            "occupancy and recency tracker must cover the same elements"
+        );
         MoveHalf {
             occupancy,
             recency,
@@ -77,6 +93,13 @@ impl SelfAdjustingTree for MoveHalf {
         };
         self.recency.touch(element);
         Ok(cost)
+    }
+
+    fn export_state(&self) -> WarmState {
+        WarmState {
+            recency: Some(self.recency.clone()),
+            ..WarmState::default()
+        }
     }
 }
 

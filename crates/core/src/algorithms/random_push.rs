@@ -3,9 +3,11 @@
 
 use crate::pushdown::augmented_push_down;
 use crate::traits::SelfAdjustingTree;
+use crate::warm::WarmState;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use satn_tree::{ElementId, MarkedRound, NodeId, Occupancy, ServeCost, TreeError};
+use std::any::Any;
 
 /// The randomized Random-Push algorithm.
 ///
@@ -43,7 +45,7 @@ impl<R: Rng> RandomPush<R> {
     }
 }
 
-impl<R: Rng> SelfAdjustingTree for RandomPush<R> {
+impl<R: Rng + 'static> SelfAdjustingTree for RandomPush<R> {
     fn name(&self) -> &'static str {
         "random-push"
     }
@@ -63,6 +65,16 @@ impl<R: Rng> SelfAdjustingTree for RandomPush<R> {
             augmented_push_down(&mut round, u, v)?;
         }
         Ok(round.finish())
+    }
+
+    /// Exports the generator position when the instance runs on the standard
+    /// [`StdRng`]; an injected custom generator (whose state the workspace
+    /// cannot name) exports the cold state and reseeds on warm import.
+    fn export_state(&self) -> WarmState {
+        WarmState {
+            rng: (&self.rng as &dyn Any).downcast_ref::<StdRng>().cloned(),
+            ..WarmState::default()
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::ops::relocate_unchecked;
 use crate::pushdown::augmented_push_down;
 use crate::traits::SelfAdjustingTree;
+use crate::warm::WarmState;
 use satn_rotor::RotorState;
 use satn_tree::{
     CostSummary, ElementId, MarkScratch, MarkedRound, NodeId, Occupancy, ServeCost, TreeError,
@@ -145,6 +146,13 @@ impl SelfAdjustingTree for RotorPush {
 
     fn rotors(&self) -> Option<&RotorState> {
         Some(&self.rotors)
+    }
+
+    fn export_state(&self) -> WarmState {
+        WarmState {
+            rotors: Some(self.rotors.clone()),
+            ..WarmState::default()
+        }
     }
 
     /// The allocation-free batched fast path: performs exactly the swap

@@ -49,6 +49,7 @@ pub mod pushdown;
 mod recency;
 mod suite;
 mod traits;
+mod warm;
 
 pub use algorithms::ablation;
 pub use algorithms::{
@@ -57,6 +58,7 @@ pub use algorithms::{
 pub use recency::RecencyTracker;
 pub use suite::{AlgorithmKind, ParseAlgorithmError};
 pub use traits::SelfAdjustingTree;
+pub use warm::WarmState;
 
 #[cfg(test)]
 mod proptests {

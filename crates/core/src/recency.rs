@@ -34,6 +34,22 @@ impl RecencyTracker {
         self.last_access.len() as u32
     }
 
+    /// Reconstitutes a tracker from explicit parts: one last-access time per
+    /// element plus the logical clock. Used by the warm reshard handover to
+    /// carry recency state across an element remap (entries of elements that
+    /// just arrived are 0, exactly like never-accessed elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any last-access time is ahead of the clock.
+    pub fn from_parts(last_access: Vec<u64>, clock: u64) -> Self {
+        assert!(
+            last_access.iter().all(|&t| t <= clock),
+            "a last-access time cannot be ahead of the clock"
+        );
+        RecencyTracker { last_access, clock }
+    }
+
     /// Records an access to `element` at the next time step.
     ///
     /// # Panics

@@ -4,7 +4,12 @@
 use crate::algorithms::{
     MaxPush, MoveHalf, MoveToFront, RandomPush, RotorPush, StaticOblivious, StaticOpt,
 };
+use crate::recency::RecencyTracker;
 use crate::traits::SelfAdjustingTree;
+use crate::warm::WarmState;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use satn_rotor::RotorState;
 use satn_tree::{ElementId, Occupancy, TreeError};
 use std::fmt;
 use std::str::FromStr;
@@ -122,6 +127,73 @@ impl AlgorithmKind {
             AlgorithmKind::MoveToFront => Box::new(MoveToFront::new(initial)),
         })
     }
+
+    /// Builds an instance resuming from an exported [`WarmState`] — the
+    /// import half of the warm reshard handover.
+    ///
+    /// Every carried component the algorithm maintains is adopted verbatim
+    /// (the caller is expected to have fitted the state to `initial`'s
+    /// topology via [`WarmState::carried_into`]; rotors are defensively
+    /// refitted here, which is a no-op for a matching tree). Components the
+    /// state does not carry fall back to the same cold-start values
+    /// [`AlgorithmKind::instantiate`] would use — in particular `seed` seeds
+    /// [`RandomPush`] only when no generator is carried. Algorithms without
+    /// internal state (and the offline [`StaticOpt`], which recomputes its
+    /// placement from `sequence`) ignore the state entirely, so
+    /// `instantiate_warm` with a cold state is exactly `instantiate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::ElementOutOfRange`] under the same conditions as
+    /// [`AlgorithmKind::instantiate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a carried recency tracker does not cover `initial`'s
+    /// element count.
+    pub fn instantiate_warm(
+        self,
+        initial: Occupancy,
+        seed: u64,
+        sequence: &[ElementId],
+        state: &WarmState,
+    ) -> Result<Box<dyn SelfAdjustingTree + Send>, TreeError> {
+        Ok(match self {
+            AlgorithmKind::RotorPush => {
+                let tree = initial.tree();
+                let rotors = state
+                    .rotors
+                    .as_ref()
+                    .map(|rotors| rotors.carried_into(tree))
+                    .unwrap_or_else(|| RotorState::new(tree));
+                Box::new(RotorPush::with_rotor_state(initial, rotors))
+            }
+            AlgorithmKind::RandomPush => {
+                let rng = state
+                    .rng
+                    .clone()
+                    .unwrap_or_else(|| StdRng::seed_from_u64(seed));
+                Box::new(RandomPush::with_rng(initial, rng))
+            }
+            AlgorithmKind::MoveHalf => {
+                let recency = state
+                    .recency
+                    .clone()
+                    .unwrap_or_else(|| RecencyTracker::new(initial.num_elements()));
+                Box::new(MoveHalf::with_recency(initial, recency))
+            }
+            AlgorithmKind::MaxPush => {
+                let recency = state
+                    .recency
+                    .clone()
+                    .unwrap_or_else(|| RecencyTracker::new(initial.num_elements()));
+                Box::new(MaxPush::with_recency(initial, recency))
+            }
+            AlgorithmKind::StaticOblivious
+            | AlgorithmKind::StaticOpt
+            | AlgorithmKind::MoveToFront => return self.instantiate(initial, seed, sequence),
+        })
+    }
 }
 
 impl fmt::Display for AlgorithmKind {
@@ -209,6 +281,60 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, TreeError::ElementOutOfRange { .. }));
+    }
+
+    #[test]
+    fn export_then_instantiate_warm_resumes_the_exact_run() {
+        let tree = CompleteTree::with_levels(5).unwrap();
+        let prefix: Vec<ElementId> = (0..40u32).map(|i| ElementId::new((i * 13) % 31)).collect();
+        let suffix: Vec<ElementId> = (0..40u32)
+            .map(|i| ElementId::new((i * 7 + 3) % 31))
+            .collect();
+        for kind in AlgorithmKind::SELF_ADJUSTING {
+            let mut original = kind
+                .instantiate(Occupancy::identity(tree), 11, &[])
+                .unwrap();
+            original.serve_sequence(&prefix).unwrap();
+            // Reconstituting from the occupancy + warm state must continue
+            // exactly like the original instance.
+            let mut resumed = kind
+                .instantiate_warm(
+                    original.occupancy().clone(),
+                    999, // a different seed: must be ignored when state is carried
+                    &[],
+                    &original.export_state(),
+                )
+                .unwrap();
+            let original_costs = original.serve_sequence(&suffix).unwrap();
+            let resumed_costs = resumed.serve_sequence(&suffix).unwrap();
+            assert_eq!(original_costs, resumed_costs, "{kind}");
+            assert_eq!(original.occupancy(), resumed.occupancy(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn instantiate_warm_with_a_cold_state_equals_instantiate() {
+        let tree = CompleteTree::with_levels(4).unwrap();
+        let requests: Vec<ElementId> = (0..30u32).map(|i| ElementId::new((i * 5) % 15)).collect();
+        for kind in AlgorithmKind::EVALUATED {
+            let mut cold = kind
+                .instantiate(Occupancy::identity(tree), 7, &requests)
+                .unwrap();
+            let mut warm = kind
+                .instantiate_warm(
+                    Occupancy::identity(tree),
+                    7,
+                    &requests,
+                    &crate::WarmState::default(),
+                )
+                .unwrap();
+            assert_eq!(
+                cold.serve_sequence(&requests).unwrap(),
+                warm.serve_sequence(&requests).unwrap(),
+                "{kind}"
+            );
+            assert_eq!(cold.occupancy(), warm.occupancy(), "{kind}");
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The common interface of all self-adjusting single-source tree networks.
 
+use crate::warm::WarmState;
 use satn_rotor::RotorState;
 use satn_tree::{CompleteTree, CostSummary, ElementId, Occupancy, ServeCost, TreeError};
 
@@ -47,6 +48,16 @@ pub trait SelfAdjustingTree {
     /// concrete accessor returns `&RotorState` directly.)
     fn rotors(&self) -> Option<&RotorState> {
         None
+    }
+
+    /// Exports the algorithm's carry-able internal state (rotor pointers,
+    /// recency metadata, generator position) as a [`WarmState`] value, so a
+    /// warm reshard handover can reconstitute an equivalent instance via
+    /// [`AlgorithmKind::instantiate_warm`](crate::AlgorithmKind::instantiate_warm)
+    /// instead of reseeding from scratch. Algorithms whose only state is the
+    /// occupancy itself return the cold (empty) state.
+    fn export_state(&self) -> WarmState {
+        WarmState::default()
     }
 
     /// Serves a batch of requests, recording every per-request cost into
@@ -131,6 +142,10 @@ impl<T: SelfAdjustingTree + ?Sized> SelfAdjustingTree for Box<T> {
 
     fn rotors(&self) -> Option<&RotorState> {
         (**self).rotors()
+    }
+
+    fn export_state(&self) -> WarmState {
+        (**self).export_state()
     }
 
     fn serve_batch(

@@ -15,7 +15,8 @@
 //! only from the engine thread at drain boundaries, so a snapshot taken at a
 //! drain boundary equals the serial-replay totals exactly — that is the
 //! oracle `satnd --verify` and the serve-side tests assert. Timing data (the
-//! drain-latency histogram) and transport-side counters are advisory.
+//! drain- and handover-latency histograms) and transport-side counters are
+//! advisory.
 
 use crate::histogram::{AtomicHistogram, LatencyHistogram, NUM_BUCKETS};
 use crate::metrics::{Counter, Gauge, TaskGauges};
@@ -43,6 +44,17 @@ pub mod names {
     /// Accumulated migration cost units over all reshard handovers
     /// (counter; oracle-checked).
     pub const MIGRATION_UNITS: &str = "satn_migration_units_total";
+    /// The touched term of the migration ledger: delete/re-insert cost
+    /// units spent on shards a reshard plan actually touched (counter;
+    /// oracle-checked). Scales with moved elements, never with universe
+    /// size.
+    pub const MIGRATION_TOUCHED_UNITS: &str = "satn_migration_touched_units_total";
+    /// The rebuilt term of the migration ledger: tree nodes reconstructed
+    /// across all handovers (counter; oracle-checked). Under a cold
+    /// handover every shard's nodes count; under a warm handover only the
+    /// touched shards' do — the difference is exactly the work warm
+    /// handovers skip.
+    pub const MIGRATION_REBUILT_NODES: &str = "satn_migration_rebuilt_nodes_total";
     /// Snapshots published to the read side (counter).
     pub const SNAPSHOT_PUBLISHES: &str = "satn_snapshot_publishes_total";
     /// Lookups answered from published snapshots (counter).
@@ -65,6 +77,9 @@ pub mod names {
     pub const POOL_RUNNING: &str = "satn_pool_tasks_running";
     /// Drain wall-clock latency in nanoseconds (histogram; advisory).
     pub const DRAIN_LATENCY: &str = "satn_drain_latency_nanos";
+    /// Reshard-handover wall-clock latency in nanoseconds, one sample per
+    /// completed handover, drain fence excluded (histogram; advisory).
+    pub const HANDOVER_LATENCY: &str = "satn_handover_latency_nanos";
 
     /// The labelled per-shard buffered-requests gauge name.
     pub fn shard_buffered(shard: u32) -> String {
@@ -98,6 +113,13 @@ pub struct EngineMetrics {
     pub adjustment_cost: Counter,
     /// Accumulated migration cost units over all reshard handovers.
     pub migration_units: Counter,
+    /// Migration cost units spent on touched shards (the moved-element
+    /// delete/re-insert work; equals the migration total, split out so the
+    /// ledger separates moving work from rebuilding work).
+    pub migration_touched_units: Counter,
+    /// Tree nodes reconstructed across all handovers (every shard under a
+    /// cold handover, only touched shards under a warm one).
+    pub migration_rebuilt_nodes: Counter,
     /// Snapshots published through the hub.
     pub snapshot_publishes: Counter,
     /// Lookups answered from published snapshots (all readers combined).
@@ -122,6 +144,9 @@ pub struct EngineMetrics {
     pub pool: TaskGauges,
     /// Wall-clock latency of each drain (advisory: never oracle-checked).
     pub drain_latency: AtomicHistogram,
+    /// Wall-clock latency of each reshard handover, drain fence excluded
+    /// (advisory: never oracle-checked).
+    pub handover_latency: AtomicHistogram,
 }
 
 impl EngineMetrics {
@@ -133,6 +158,8 @@ impl EngineMetrics {
             access_cost: Counter::new(),
             adjustment_cost: Counter::new(),
             migration_units: Counter::new(),
+            migration_touched_units: Counter::new(),
+            migration_rebuilt_nodes: Counter::new(),
             snapshot_publishes: Counter::new(),
             lookups_answered: Counter::new(),
             connections_total: Counter::new(),
@@ -145,6 +172,7 @@ impl EngineMetrics {
             wire_bytes: std::array::from_fn(|_| Counter::new()),
             pool: TaskGauges::new(),
             drain_latency: AtomicHistogram::new(),
+            handover_latency: AtomicHistogram::new(),
         }
     }
 
@@ -188,6 +216,14 @@ impl EngineMetrics {
                 self.migration_units.get(),
             ),
             (
+                names::MIGRATION_TOUCHED_UNITS.to_owned(),
+                self.migration_touched_units.get(),
+            ),
+            (
+                names::MIGRATION_REBUILT_NODES.to_owned(),
+                self.migration_rebuilt_nodes.get(),
+            ),
+            (
                 names::SNAPSHOT_PUBLISHES.to_owned(),
                 self.snapshot_publishes.get(),
             ),
@@ -227,10 +263,16 @@ impl EngineMetrics {
         for (shard, gauge) in self.shard_buffered.iter().enumerate() {
             gauges.push((names::shard_buffered(shard as u32), gauge.get()));
         }
-        let histograms = vec![(
-            names::DRAIN_LATENCY.to_owned(),
-            self.drain_latency.snapshot(),
-        )];
+        let histograms = vec![
+            (
+                names::DRAIN_LATENCY.to_owned(),
+                self.drain_latency.snapshot(),
+            ),
+            (
+                names::HANDOVER_LATENCY.to_owned(),
+                self.handover_latency.snapshot(),
+            ),
+        ];
         MetricsSnapshot {
             counters,
             gauges,

@@ -11,10 +11,11 @@
 //!
 //! Reshard handovers appear as three-phase spans:
 //! [`TraceKind::ReshardFence`] (the epoch being closed, detail = planned
-//! moves) → [`TraceKind::ReshardMigrate`] (the new epoch, detail = total
-//! migration cost units) → [`TraceKind::ReshardEpochBump`] (detail = keys
-//! actually moved). Matching the three by their shared served-count locates
-//! one handover in a trace dump.
+//! moves) → [`TraceKind::ReshardMigrate`] (the new epoch, detail = number
+//! of shards the plan touched) → [`TraceKind::ReshardEpochBump`] (detail =
+//! keys actually moved). Matching the three by their shared served-count
+//! locates one handover in a trace dump; the migration's cost units live in
+//! the metric registry, not here.
 //!
 //! The ring holds the most recent [`TraceRing::capacity`] events; older
 //! events are dropped and counted, never reallocated over. Recording takes
@@ -40,8 +41,8 @@ pub enum TraceKind {
     /// Reshard phase 1 — the outgoing epoch is fenced; detail = planned
     /// moves, epoch = the epoch being closed.
     ReshardFence,
-    /// Reshard phase 2 — keys migrated; detail = migration cost units,
-    /// epoch = the new epoch.
+    /// Reshard phase 2 — keys migrated; detail = number of shards the plan
+    /// touched (sources and destinations), epoch = the new epoch.
     ReshardMigrate,
     /// Reshard phase 3 — the epoch counter advanced; detail = keys moved.
     ReshardEpochBump,

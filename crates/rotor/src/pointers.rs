@@ -153,6 +153,24 @@ impl RotorState {
     pub fn pointers(&self) -> &[Direction] {
         &self.pointers
     }
+
+    /// Carries this rotor configuration onto a (possibly resized) tree: the
+    /// shared heap-order node prefix keeps its pointers, nodes that exist
+    /// only in the new tree start at `Left` (the cold-start direction), and
+    /// pointers of nodes beyond the new size are dropped.
+    ///
+    /// This is the warm-handover transfer rule: heap order is
+    /// topology-stable for complete trees (node `i`'s children are always
+    /// `2i + 1` and `2i + 2`), so a prefix copy preserves every surviving
+    /// node's rotor exactly. Rotor walks remain deterministic and
+    /// well-behaved from *any* initial pointer configuration (Angel &
+    /// Holroyd), so the carried state is always a valid starting point.
+    pub fn carried_into(&self, tree: CompleteTree) -> RotorState {
+        let mut carried = RotorState::new(tree);
+        let shared = self.pointers.len().min(carried.pointers.len());
+        carried.pointers[..shared].copy_from_slice(&self.pointers[..shared]);
+        carried
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +271,21 @@ mod tests {
     fn pointers_snapshot_has_one_entry_per_node() {
         let s = state(4);
         assert_eq!(s.pointers().len(), 15);
+    }
+
+    #[test]
+    fn carried_into_prefix_copies_and_defaults_new_nodes() {
+        let mut s = state(3);
+        s.flip(3); // toggles the left spine: nodes 0, 1, 3 point right
+                   // Same size: an exact copy.
+        let same = s.carried_into(CompleteTree::with_levels(3).unwrap());
+        assert_eq!(same, s);
+        // Grown: the old prefix survives, new nodes start Left.
+        let grown = s.carried_into(CompleteTree::with_levels(4).unwrap());
+        assert_eq!(grown.pointers()[..7], *s.pointers());
+        assert!(grown.pointers()[7..].iter().all(|&p| p == Direction::Left));
+        // Shrunk: only the surviving prefix is kept.
+        let shrunk = s.carried_into(CompleteTree::with_levels(2).unwrap());
+        assert_eq!(*shrunk.pointers(), s.pointers()[..3]);
     }
 }

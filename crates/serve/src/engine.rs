@@ -13,8 +13,8 @@ use satn_tree::{
     Occupancy, ShardedCostSummary, TreeSnapshot,
 };
 use satn_workloads::shard::{
-    algorithm_seed, handover, shard_epoch_seed, EpochedPartition, Partition, PolicyDriver,
-    ReshardEvent, ReshardPlan,
+    algorithm_seed, carry_remap, handover, handover_touched, shard_epoch_seed, touched_shards,
+    EpochedPartition, HandoverMode, Partition, PolicyDriver, ReshardEvent, ReshardPlan,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -123,6 +123,12 @@ pub struct ShardedEngine {
     /// [`satn_tree::LayoutKind`]). Pure performance knob: every fingerprint
     /// and cost is layout-invariant.
     layout: LayoutKind,
+    /// How scheduled and explicit reshards hand state across the epoch
+    /// boundary: `Cold` rebuilds every shard tree from scratch, `Warm`
+    /// carries rotor/recency/RNG state and skips untouched shards entirely
+    /// (their live trees survive verbatim). `Reshard` ingest frames carry
+    /// their own mode and override this default.
+    handover: HandoverMode,
     schedule: OnlineSchedule,
     /// Per completed epoch, the per-shard fingerprints at its closing drain
     /// fence (the final epoch's fingerprints are appended by `finish`).
@@ -180,6 +186,7 @@ impl ShardedEngine {
             control: DrainControl::new(DEFAULT_DRAIN_THRESHOLD),
             rebuild: None,
             layout: LayoutKind::default(),
+            handover: HandoverMode::Cold,
             schedule: OnlineSchedule::External,
             epoch_fingerprints: Vec::new(),
             boundaries: Vec::new(),
@@ -235,6 +242,7 @@ impl ShardedEngine {
         let mut engine = ShardedEngine::assemble(partition, trees, parallelism)?;
         engine.rebuild = (!offline).then_some((scenario.algorithm, scenario.seed));
         engine.layout = scenario.layout;
+        engine.handover = scenario.handover;
         engine.schedule = schedule;
         Ok(engine)
     }
@@ -264,6 +272,19 @@ impl ShardedEngine {
     /// is rebuilt under (the pre-built trees keep their own).
     pub(crate) fn set_rebuild_layout(&mut self, layout: LayoutKind) {
         self.layout = layout;
+    }
+
+    /// The setter behind
+    /// [`ShardedEngineConfig::handover`](crate::ShardedEngineConfig::handover):
+    /// the default [`HandoverMode`] for scheduled and explicit reshards
+    /// (`Reshard` ingest frames carry their own mode).
+    pub(crate) fn set_handover(&mut self, mode: HandoverMode) {
+        self.handover = mode;
+    }
+
+    /// The engine's default [`HandoverMode`].
+    pub fn handover(&self) -> HandoverMode {
+        self.handover
     }
 
     /// The validated setter behind
@@ -499,21 +520,51 @@ impl ShardedEngine {
         Ok(())
     }
 
-    /// Reshards the engine with the deterministic handover protocol: drain
-    /// fence (every buffered request is served under the closing epoch, and
-    /// the closing epoch's fingerprints are recorded), element migration via
-    /// the canonical delete/re-insert order of
-    /// [`satn_workloads::shard::handover`] (every shard tree is rebuilt
-    /// fresh from the post-handover placement with its `(shard, epoch)`
-    /// derived seed), and the epoch bump (partition log + accounting).
+    /// Reshards the engine with the deterministic handover protocol under
+    /// the engine's default [`HandoverMode`]: drain fence (every buffered
+    /// request is served under the closing epoch, and the closing epoch's
+    /// fingerprints are recorded), element migration via the canonical
+    /// delete/re-insert order of [`satn_workloads::shard::handover`], and
+    /// the epoch bump (partition log + accounting).
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedEngine::reshard_with`].
+    pub fn reshard(&mut self, plan: ReshardPlan) -> Result<(), ServeError> {
+        let mode = self.handover;
+        self.reshard_with(plan, mode)
+    }
+
+    /// [`ShardedEngine::reshard`] with an explicit [`HandoverMode`] (the
+    /// mode a `Reshard` ingest frame carried, overriding the engine's
+    /// default).
+    ///
+    /// Under [`HandoverMode::Cold`] every shard tree is rebuilt fresh from
+    /// the post-handover placement with its `(shard, epoch)` derived seed.
+    /// Under [`HandoverMode::Warm`] only the shards the plan touches (move
+    /// sources and destinations, [`satn_workloads::shard::touched_shards`])
+    /// are rebuilt — each re-instantiated warm, carrying its predecessor's
+    /// rotor/recency/RNG state across the boundary
+    /// ([`satn_core::WarmState`]) — while every untouched shard keeps its
+    /// live tree verbatim, paying zero handover work. Both modes produce
+    /// the same placements and the same migration cost; the rotor-walk
+    /// determinism results of Angel & Holroyd make the warm trees exactly
+    /// as deterministic as cold ones, so the warm serial reference replay
+    /// ([`ShardedScenario::epoch_replay`] with a warm scenario) stays a
+    /// byte-exact oracle.
     ///
     /// # Errors
     ///
     /// [`ServeError::ReshardUnsupported`] if the engine has no rebuild
     /// recipe, [`ServeError::Reshard`] if the plan does not fit the
-    /// partition (the engine is unchanged beyond the drain fence), or a
-    /// drain/rebuild error.
-    pub fn reshard(&mut self, plan: ReshardPlan) -> Result<(), ServeError> {
+    /// partition (the engine is unchanged beyond the drain fence),
+    /// [`ServeError::Handover`] if the handover produced a placement no
+    /// shard tree can be rebuilt from, or a drain/rebuild error.
+    pub fn reshard_with(
+        &mut self,
+        plan: ReshardPlan,
+        mode: HandoverMode,
+    ) -> Result<(), ServeError> {
         let Some((kind, base_seed)) = self.rebuild else {
             return Err(ServeError::ReshardUnsupported {
                 reason: "the engine was built from raw trees without a rebuild recipe",
@@ -522,6 +573,9 @@ impl ShardedEngine {
         let planned_moves = plan.moves().len() as u64;
         // 1. Drain fence: the closing epoch serves everything it buffered.
         self.drain()?;
+        // The handover clock starts after the fence: it measures the
+        // migration and rebuild work itself, not the backlog drained first.
+        let started = Instant::now();
         let closing_epoch = self.log.current_epoch();
         let old = self.log.current().clone();
         let epoch = {
@@ -538,42 +592,77 @@ impl ShardedEngine {
         // The fence state is the closing epoch's boundary fingerprint.
         self.capture_boundary_fingerprints();
         self.boundaries.push(self.control.submitted() as usize);
-        // 2. Migrate: canonical delete/re-insert, every tree rebuilt fresh
-        // from the post-handover placement.
+        // 2. Migrate: canonical delete/re-insert. Cold mode materializes
+        // (and rebuilds from) every shard's placement; warm mode only the
+        // touched shards' — an untouched shard's placement already equals
+        // its live occupancy bit for bit, so the empty entry means "keep
+        // the live tree".
+        let touched = touched_shards(&old, self.log.current());
         let outcome = {
             let occupancies: Vec<&Occupancy> = self
                 .shards
                 .iter()
                 .map(|shard| shard.tree.occupancy())
                 .collect();
-            handover(&old, self.log.current(), &occupancies)
+            match mode {
+                HandoverMode::Cold => handover(&old, self.log.current(), &occupancies),
+                HandoverMode::Warm => {
+                    handover_touched(&old, self.log.current(), &occupancies, &touched)
+                }
+            }
         };
+        let mut rebuilt_nodes = 0u64;
         for (shard, placement) in outcome.placements.into_iter().enumerate() {
+            if mode == HandoverMode::Warm && !touched[shard] {
+                continue;
+            }
             let levels = (placement.len() + 1).trailing_zeros();
-            let tree = CompleteTree::with_levels(levels)
-                .expect("handover placements have complete-tree sizes");
-            let occupancy = Occupancy::from_placement_with_layout(tree, placement, self.layout)
-                .expect("handover placements are bijections");
+            let geometry =
+                CompleteTree::with_levels(levels).map_err(|error| ServeError::Handover {
+                    shard: shard as u32,
+                    reason: format!("{} slots: {error}", placement.len()),
+                })?;
+            let occupancy = Occupancy::from_placement_with_layout(geometry, placement, self.layout)
+                .map_err(|error| ServeError::Handover {
+                    shard: shard as u32,
+                    reason: error.to_string(),
+                })?;
             let seed = algorithm_seed(shard_epoch_seed(base_seed, shard as u32, epoch));
-            let tree =
-                kind.instantiate(occupancy, seed, &[])
-                    .map_err(|error| ServeError::Tree {
-                        shard: shard as u32,
-                        error,
-                    })?;
+            let tree = match mode {
+                HandoverMode::Cold => kind.instantiate(occupancy, seed, &[]),
+                HandoverMode::Warm => {
+                    let remap = carry_remap(&old, self.log.current(), shard as u32);
+                    let state = self.shards[shard]
+                        .tree
+                        .export_state()
+                        .carried_into(geometry, &remap);
+                    kind.instantiate_warm(occupancy, seed, &[], &state)
+                }
+            }
+            .map_err(|error| ServeError::Tree {
+                shard: shard as u32,
+                error,
+            })?;
+            rebuilt_nodes += (1u64 << levels) - 1;
             self.shards[shard].tree = tree;
         }
+        let touched_count = touched.iter().filter(|&&t| t).count() as u64;
         self.tracer.record(TraceStamp {
             kind: TraceKind::ReshardMigrate,
             epoch,
             served,
-            detail: outcome.migration.total(),
+            detail: touched_count,
         });
         // 3. Epoch bump in the ledger, carrying the migration cost — and a
         // publication, so readers see the new epoch's placement immediately
         // rather than at the next drain.
         self.accounting.begin_epoch(outcome.migration);
         MetricsCostObserver(&self.metrics).on_epoch(epoch, outcome.migration);
+        self.metrics
+            .migration_touched_units
+            .add(outcome.migration.total());
+        self.metrics.migration_rebuilt_nodes.add(rebuilt_nodes);
+        self.metrics.handover_latency.record(started.elapsed());
         self.tracer.record(TraceStamp {
             kind: TraceKind::ReshardEpochBump,
             epoch,
@@ -616,7 +705,7 @@ impl ShardedEngine {
                 Some(IngestMessage::Request(element)) => self.submit(element)?,
                 Some(IngestMessage::Burst(burst)) => self.submit_burst(&burst)?,
                 Some(IngestMessage::Flush) => self.drain()?,
-                Some(IngestMessage::Reshard(plan)) => self.reshard(plan)?,
+                Some(IngestMessage::Reshard(plan, mode)) => self.reshard_with(plan, mode)?,
                 None => return self.drain(),
             }
         }
@@ -956,6 +1045,108 @@ mod tests {
         assert_eq!(engine.epoch(), 1);
         assert_eq!(engine.partition().shard_of(ElementId::new(0)), Some(1));
         assert_eq!(engine.accounting().migration_total().moved, 1);
+    }
+
+    #[test]
+    fn warm_handover_keeps_untouched_shard_trees_verbatim() {
+        let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Range);
+        let mut engine = engine(&sharded, Parallelism::Serial);
+        for element in sharded.stream() {
+            engine.submit(element).unwrap();
+        }
+        engine.drain().unwrap();
+        let addresses = |engine: &ShardedEngine| -> Vec<*const u8> {
+            engine
+                .shards
+                .iter()
+                .map(|shard| &*shard.tree as *const dyn SelfAdjustingTree as *const u8)
+                .collect()
+        };
+        let before = addresses(&engine);
+        // The plan touches shards 0 (source) and 1 (destination) only.
+        engine
+            .reshard_with(
+                ReshardPlan::new([(ElementId::new(0), 1)]),
+                HandoverMode::Warm,
+            )
+            .unwrap();
+        let after = addresses(&engine);
+        // Untouched shards keep the exact same live tree object — zero
+        // per-shard handover work, not merely an equal rebuild.
+        assert_eq!(
+            before[2], after[2],
+            "shard 2 was rebuilt despite being untouched"
+        );
+        assert_eq!(
+            before[3], after[3],
+            "shard 3 was rebuilt despite being untouched"
+        );
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.partition().shard_of(ElementId::new(0)), Some(1));
+        // The engine still serves and finishes cleanly on the carried trees.
+        for element in sharded.stream() {
+            engine.submit(element).unwrap();
+        }
+        let report = engine.finish().unwrap();
+        assert_eq!(report.requests, 6_000);
+    }
+
+    #[test]
+    fn warm_engines_match_the_warm_serial_reference_replay() {
+        for algorithm in [
+            AlgorithmKind::RotorPush,
+            AlgorithmKind::MaxPush,
+            AlgorithmKind::RandomPush,
+        ] {
+            let mut sharded = scenario(algorithm, ShardRouter::Hash);
+            sharded.handover = HandoverMode::Warm;
+            sharded.reshard = satn_sim::ReshardSchedule::Manual(vec![
+                ReshardEvent {
+                    at: 1_000,
+                    plan: ReshardPlan::new([(ElementId::new(0), 1), (ElementId::new(5), 2)]),
+                },
+                ReshardEvent {
+                    at: 2_000,
+                    plan: ReshardPlan::new([(ElementId::new(0), 3)]),
+                },
+            ]);
+            let replay = sharded.epoch_replay(&SimRunner::new()).unwrap();
+            for parallelism in [Parallelism::Serial, Parallelism::Threads(2)] {
+                let mut engine = ShardedEngineConfig::from_scenario(&sharded)
+                    .parallelism(parallelism)
+                    .drain_threshold(313)
+                    .build()
+                    .unwrap();
+                for element in sharded.stream() {
+                    engine.submit(element).unwrap();
+                }
+                let report = engine.finish().unwrap();
+                report.verify_against(&replay).unwrap_or_else(|divergence| {
+                    panic!("{algorithm:?} at {parallelism:?}: {divergence}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_trace_detail_counts_touched_shards() {
+        let sharded = scenario(AlgorithmKind::RotorPush, ShardRouter::Range);
+        for mode in [HandoverMode::Cold, HandoverMode::Warm] {
+            let mut engine = engine(&sharded, Parallelism::Serial);
+            engine
+                .reshard_with(ReshardPlan::new([(ElementId::new(0), 1)]), mode)
+                .unwrap();
+            let migrate = engine
+                .tracer()
+                .stamps()
+                .into_iter()
+                .find(|stamp| stamp.kind == TraceKind::ReshardMigrate)
+                .expect("a reshard records a migrate span");
+            assert_eq!(
+                migrate.detail, 2,
+                "{mode} migrate detail must be the touched-shard count, not migration cost"
+            );
+        }
     }
 
     #[test]

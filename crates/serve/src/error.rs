@@ -36,6 +36,18 @@ pub enum ServeError {
     },
     /// A reshard plan does not fit the engine's partition.
     Reshard(ReshardError),
+    /// The handover protocol produced a placement the engine could not
+    /// rebuild a shard tree from — a non-complete-tree size or a placement
+    /// that is not a bijection. The protocol derives placements
+    /// deterministically, so this indicates an internal inconsistency; it
+    /// surfaces as an error rather than a panic because reshard plans
+    /// arrive over the wire and must never take the server down.
+    Handover {
+        /// The shard whose placement was unusable.
+        shard: u32,
+        /// What was wrong with the placement.
+        reason: String,
+    },
     /// The engine cannot reshard: it was assembled without rebuild
     /// information (raw trees instead of a scenario) or its algorithm is
     /// offline (Static-Opt computes its layout from the whole future
@@ -105,6 +117,12 @@ impl fmt::Display for ServeError {
             ServeError::Tree { shard, error } => write!(f, "shard {shard}: {error}"),
             ServeError::Network { shard, error } => write!(f, "shard {shard}: {error}"),
             ServeError::Reshard(error) => error.fmt(f),
+            ServeError::Handover { shard, reason } => {
+                write!(
+                    f,
+                    "shard {shard}: handover produced an unusable placement: {reason}"
+                )
+            }
             ServeError::ReshardUnsupported { reason } => {
                 write!(f, "the engine cannot reshard: {reason}")
             }
@@ -131,6 +149,7 @@ impl std::error::Error for ServeError {
             ServeError::Tree { error, .. } => Some(error),
             ServeError::Network { error, .. } => Some(error),
             ServeError::Reshard(error) => Some(error),
+            ServeError::Handover { .. } => None,
             ServeError::ReshardUnsupported { .. } => None,
             ServeError::LookupUnsupported => None,
             ServeError::StatsUnsupported => None,

@@ -23,7 +23,7 @@ use crate::error::ServeError;
 use crate::snapshot::{LookupAnswer, SnapshotReader};
 use satn_obs::{EngineMetrics, MetricsSnapshot};
 use satn_tree::ElementId;
-use satn_workloads::shard::ReshardPlan;
+use satn_workloads::shard::{HandoverMode, ReshardPlan};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -39,8 +39,10 @@ pub enum IngestMessage {
     /// A reshard control frame: the engine performs the full deterministic
     /// handover — drain fence, element migration, epoch bump — before
     /// reading further input, so resharding composes with in-flight bursts
-    /// exactly like a flush does.
-    Reshard(ReshardPlan),
+    /// exactly like a flush does. The [`HandoverMode`] selects cold
+    /// (rebuild every shard tree fresh) or warm (carry exported
+    /// rotor/recency state, leave untouched shards' trees alone).
+    Reshard(ReshardPlan, HandoverMode),
 }
 
 /// The transport-agnostic producer half of the ingestion protocol.
@@ -80,13 +82,14 @@ pub trait Ingest {
     /// Same contract as [`Ingest::send`].
     fn flush(&mut self) -> Result<(), ServeError>;
 
-    /// Requests a reshard: every request submitted before this call is
-    /// served under the old epoch, every request after it under the new one.
+    /// Requests a reshard in the given [`HandoverMode`]: every request
+    /// submitted before this call is served under the old epoch, every
+    /// request after it under the new one.
     ///
     /// # Errors
     ///
     /// Same contract as [`Ingest::send`].
-    fn reshard(&mut self, plan: &ReshardPlan) -> Result<(), ServeError>;
+    fn reshard(&mut self, plan: &ReshardPlan, mode: HandoverMode) -> Result<(), ServeError>;
 
     /// Looks up an element's current placement — the **read phase** of the
     /// protocol. Lookups never enter the write path: they are answered from
@@ -225,15 +228,16 @@ impl IngestSender {
         self.send_message(IngestMessage::Flush)
     }
 
-    /// Asks the engine to reshard: every request enqueued before this frame
-    /// is served under the old epoch (the handover starts with a drain
-    /// fence), every request after it under the new one.
+    /// Asks the engine to reshard in the given [`HandoverMode`]: every
+    /// request enqueued before this frame is served under the old epoch
+    /// (the handover starts with a drain fence), every request after it
+    /// under the new one.
     ///
     /// # Errors
     ///
     /// [`ServeError::Closed`] if the consumer has been dropped.
-    pub fn reshard(&self, plan: ReshardPlan) -> Result<(), ServeError> {
-        self.send_message(IngestMessage::Reshard(plan))
+    pub fn reshard(&self, plan: ReshardPlan, mode: HandoverMode) -> Result<(), ServeError> {
+        self.send_message(IngestMessage::Reshard(plan, mode))
     }
 
     /// Answers a lookup from the attached [`SnapshotReader`] — never touches
@@ -281,8 +285,8 @@ impl Ingest for IngestSender {
         IngestSender::flush(self)
     }
 
-    fn reshard(&mut self, plan: &ReshardPlan) -> Result<(), ServeError> {
-        IngestSender::reshard(self, plan.clone())
+    fn reshard(&mut self, plan: &ReshardPlan, mode: HandoverMode) -> Result<(), ServeError> {
+        IngestSender::reshard(self, plan.clone(), mode)
     }
 
     fn lookup(&mut self, element: ElementId) -> Result<LookupAnswer, ServeError> {
@@ -432,7 +436,9 @@ mod tests {
             .send_burst(&[ElementId::new(8), ElementId::new(9)])
             .unwrap();
         ingest.flush().unwrap();
-        ingest.reshard(&ReshardPlan::empty()).unwrap();
+        ingest
+            .reshard(&ReshardPlan::empty(), HandoverMode::Warm)
+            .unwrap();
         drop(sender);
         assert_eq!(
             queue.recv(),
@@ -448,7 +454,10 @@ mod tests {
         assert_eq!(queue.recv(), Some(IngestMessage::Flush));
         assert_eq!(
             queue.recv(),
-            Some(IngestMessage::Reshard(ReshardPlan::empty()))
+            Some(IngestMessage::Reshard(
+                ReshardPlan::empty(),
+                HandoverMode::Warm
+            ))
         );
         assert_eq!(queue.recv(), None);
     }

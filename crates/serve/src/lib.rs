@@ -138,8 +138,8 @@ pub use satn_obs::{EngineMetrics, MetricsSnapshot, TraceEvent, TraceKind, TraceR
 pub use satn_sim::{ReshardSchedule, ShardedReplay, ShardedScenario};
 pub use satn_tree::{EpochCostSummary, MigrationCost, ShardedCostSummary};
 pub use satn_workloads::shard::{
-    EpochedPartition, Partition, ReshardError, ReshardEvent, ReshardPlan, ReshardPolicy,
-    ShardRouter,
+    EpochedPartition, HandoverMode, ParseHandoverError, Partition, ReshardError, ReshardEvent,
+    ReshardPlan, ReshardPolicy, ShardRouter,
 };
 
 // Engines cross thread boundaries wholesale in server settings (built on one

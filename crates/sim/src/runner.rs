@@ -4,7 +4,7 @@
 
 use crate::observer::{InvariantViolation, Observer, StepRecord};
 use crate::scenario::{Checkpoints, Scenario, ScenarioGrid};
-use satn_core::SelfAdjustingTree;
+use satn_core::{SelfAdjustingTree, WarmState};
 use satn_exec::{ordered_map, Parallelism};
 use satn_tree::{CostSummary, ElementId, TreeError};
 use std::fmt;
@@ -59,6 +59,12 @@ pub struct ScenarioResult {
     /// `(requests served, snapshot text)` pairs — the replay fingerprint of
     /// the run.
     pub checkpoints: Vec<(u64, String)>,
+    /// The algorithm's exported warm state at the end of the run — rotor
+    /// pointers, recency metadata, generator state. A follow-on scenario
+    /// carrying this state (see [`Scenario`]'s `warm` field) resumes the
+    /// algorithm exactly where this run left it, which is how the warm
+    /// reshard-handover oracle chains epochs.
+    pub final_warm: WarmState,
 }
 
 impl ScenarioResult {
@@ -192,6 +198,7 @@ impl SimRunner {
         Ok(ScenarioResult {
             summary,
             checkpoints,
+            final_warm: network.export_state(),
         })
     }
 

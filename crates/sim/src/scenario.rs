@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use satn_core::{AlgorithmKind, SelfAdjustingTree};
+use satn_core::{AlgorithmKind, SelfAdjustingTree, WarmState};
 use satn_tree::{placement, CompleteTree, ElementId, LayoutKind, Occupancy, TreeError};
 use satn_workloads::stream::{
     CombinedStream, HotBlockStream, MarkovBurstyStream, RoundRobinPathStream,
@@ -359,6 +359,13 @@ pub struct Scenario {
     /// The physical storage layout of the tree's occupancy. Pure
     /// performance knob: every fingerprint and cost is layout-invariant.
     pub layout: LayoutKind,
+    /// The imported warm state the algorithm resumes from, or `None` for a
+    /// cold start. This is how warm-handover replays hand a shard's carried
+    /// rotor/recency/generator state to the next epoch's standalone
+    /// scenario: like [`InitialPlacement::Fixed`], the state is part of the
+    /// scenario value, so the scenario stays self-contained and
+    /// reproducible.
+    pub warm: Option<WarmState>,
 }
 
 impl Scenario {
@@ -380,6 +387,7 @@ impl Scenario {
             checkpoints: Checkpoints::final_only(),
             initial: InitialPlacement::Random,
             layout: LayoutKind::default(),
+            warm: None,
         }
     }
 
@@ -481,8 +489,19 @@ impl Scenario {
         &self,
         sequence: &[ElementId],
     ) -> Result<Box<dyn SelfAdjustingTree + Send>, TreeError> {
-        self.algorithm
-            .instantiate(self.initial_occupancy(), self.algorithm_seed(), sequence)
+        match &self.warm {
+            Some(state) => self.algorithm.instantiate_warm(
+                self.initial_occupancy(),
+                self.algorithm_seed(),
+                sequence,
+                state,
+            ),
+            None => self.algorithm.instantiate(
+                self.initial_occupancy(),
+                self.algorithm_seed(),
+                sequence,
+            ),
+        }
     }
 
     /// The materialized request sequence, if the scenario's algorithm needs
@@ -561,6 +580,7 @@ impl ScenarioGrid {
                     checkpoints: self.checkpoints,
                     initial: self.initial.clone(),
                     layout: self.layout,
+                    warm: None,
                 })
             })
         })

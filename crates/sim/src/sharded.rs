@@ -13,11 +13,11 @@
 
 use crate::runner::{ScenarioResult, SimError, SimRunner};
 use crate::scenario::{Checkpoints, InitialPlacement, Scenario, WorkloadSpec};
-use satn_core::AlgorithmKind;
-use satn_tree::{snapshot, ElementId, LayoutKind, Occupancy, ShardedCostSummary};
+use satn_core::{AlgorithmKind, WarmState};
+use satn_tree::{snapshot, CompleteTree, ElementId, LayoutKind, Occupancy, ShardedCostSummary};
 use satn_workloads::shard::{
-    derive_schedule, handover, shard_epoch_seed, EpochedPartition, Partition, ReshardEvent,
-    ReshardPolicy, ShardRouter,
+    carry_remap, derive_schedule, handover, handover_touched, shard_epoch_seed, touched_shards,
+    EpochedPartition, HandoverMode, Partition, ReshardEvent, ReshardPolicy, ShardRouter,
 };
 use satn_workloads::Workload;
 
@@ -73,6 +73,11 @@ pub struct ShardedScenario {
     /// Storage layout of every shard tree's occupancy (performance knob;
     /// all fingerprints are layout-invariant).
     pub layout: LayoutKind,
+    /// How shard trees cross epoch boundaries: [`HandoverMode::Cold`]
+    /// reseeds every tree fresh per epoch, [`HandoverMode::Warm`] carries
+    /// each tree's exported rotor/recency/generator state through the
+    /// handover remap so the algorithm resumes exactly where it stopped.
+    pub handover: HandoverMode,
 }
 
 impl ShardedScenario {
@@ -97,6 +102,7 @@ impl ShardedScenario {
             initial: InitialPlacement::Random,
             reshard: ReshardSchedule::Static,
             layout: LayoutKind::default(),
+            handover: HandoverMode::Cold,
         }
     }
 
@@ -137,6 +143,10 @@ impl ShardedScenario {
             ReshardSchedule::Static => String::new(),
             ReshardSchedule::Manual(events) => format!("/reshard-manual({})", events.len()),
             ReshardSchedule::Policy(policy) => format!("/reshard-every-{}", policy.every()),
+        };
+        let reshard = match self.handover {
+            HandoverMode::Cold => reshard,
+            HandoverMode::Warm => format!("{reshard}/warm"),
         };
         format!(
             "sharded/{}/{}/{}/S{}xL{}/s{}{}",
@@ -202,7 +212,7 @@ impl ShardedScenario {
     pub fn shard_scenarios(&self) -> Vec<Scenario> {
         let partition = self.partition();
         let split = partition.split_stream(self.stream());
-        self.epoch_scenarios(0, &partition, split, None)
+        self.epoch_scenarios(0, &partition, split, None, None)
     }
 
     /// The epoch log and boundary positions of this scenario's reshard
@@ -248,13 +258,16 @@ impl ShardedScenario {
     /// localized subsequence on a tree sized by the epoch's partition,
     /// seeded with [`ShardedScenario::shard_epoch_seed`]. Epoch 0 starts
     /// from the scenario's initial placement; later epochs start from the
-    /// explicit post-handover placements.
+    /// explicit post-handover placements — plus, under
+    /// [`HandoverMode::Warm`], the per-shard warm states carried through the
+    /// handover remap.
     fn epoch_scenarios(
         &self,
         epoch: u32,
         partition: &Partition,
         split: Vec<Vec<ElementId>>,
         placements: Option<Vec<Vec<ElementId>>>,
+        warm: Option<Vec<WarmState>>,
     ) -> Vec<Scenario> {
         split
             .into_iter()
@@ -282,6 +295,7 @@ impl ShardedScenario {
                     checkpoints: Checkpoints::final_only(),
                     initial,
                     layout: self.layout,
+                    warm: warm.as_ref().map(|states| states[shard as usize].clone()),
                 }
             })
             .collect()
@@ -322,20 +336,58 @@ impl ShardedScenario {
         let mut scenarios = Vec::with_capacity(log.len());
         let mut results: Vec<Vec<ScenarioResult>> = Vec::with_capacity(log.len());
         let mut occupancies: Vec<Occupancy> = Vec::new();
+        let mut warm_states: Vec<WarmState> = Vec::new();
         for (split, epoch) in splits.into_iter().zip(log.epochs()) {
             let partition = epoch.partition();
-            let placements = if epoch.epoch() == 0 {
-                None
+            let (placements, warm) = if epoch.epoch() == 0 {
+                (None, None)
             } else {
                 let previous = log.epoch(epoch.epoch() - 1).partition();
                 let refs: Vec<&Occupancy> = occupancies.iter().collect();
-                let outcome = handover(previous, partition, &refs);
-                accounting.begin_epoch(outcome.migration);
-                Some(outcome.placements)
+                let (placements, warm) = match self.handover {
+                    HandoverMode::Cold => {
+                        let outcome = handover(previous, partition, &refs);
+                        accounting.begin_epoch(outcome.migration);
+                        (outcome.placements, None)
+                    }
+                    HandoverMode::Warm => {
+                        let touched = touched_shards(previous, partition);
+                        let mut outcome = handover_touched(previous, partition, &refs, &touched);
+                        accounting.begin_epoch(outcome.migration);
+                        // An untouched shard keeps its live tree verbatim —
+                        // including padding elements wherever push-downs
+                        // drifted them — because the warm engine never
+                        // rebuilds it. The replay therefore seeds those
+                        // shards from the live occupancy, not from the
+                        // canonical placement a full handover would produce
+                        // (which re-packs padding into free nodes).
+                        for (shard, placement) in outcome.placements.iter_mut().enumerate() {
+                            if !touched[shard] {
+                                *placement = occupancies[shard].placement_in_heap_order();
+                            }
+                        }
+                        // Carry every shard's exported state through the
+                        // handover remap onto the epoch's (possibly resized)
+                        // tree; untouched shards carry under the identity
+                        // remap, i.e. verbatim.
+                        let warm = (0..self.shards)
+                            .map(|shard| {
+                                let remap = carry_remap(previous, partition, shard);
+                                let tree = CompleteTree::with_levels(partition.shard_levels(shard))
+                                    .expect("partitions produce valid shard depths");
+                                warm_states[shard as usize].carried_into(tree, &remap)
+                            })
+                            .collect();
+                        (outcome.placements, Some(warm))
+                    }
+                };
+                (Some(placements), warm)
             };
-            let epoch_scenarios = self.epoch_scenarios(epoch.epoch(), partition, split, placements);
+            let epoch_scenarios =
+                self.epoch_scenarios(epoch.epoch(), partition, split, placements, warm);
             let mut epoch_results = Vec::with_capacity(epoch_scenarios.len());
             occupancies.clear();
+            warm_states.clear();
             for (shard, scenario) in epoch_scenarios.iter().enumerate() {
                 let result = runner.run(scenario)?;
                 accounting.merge_into_shard(shard as u32, &result.summary);
@@ -343,6 +395,7 @@ impl ShardedScenario {
                     snapshot::occupancy_from_str(result.final_snapshot())
                         .expect("replay fingerprints are valid snapshots"),
                 );
+                warm_states.push(result.final_warm.clone());
                 epoch_results.push(result);
             }
             scenarios.push(epoch_scenarios);
@@ -389,7 +442,7 @@ impl ShardedScenario {
         );
         let partition = self.partition();
         let split = partition.split_stream(self.stream().take(prefix));
-        self.epoch_scenarios(0, &partition, split, None)
+        self.epoch_scenarios(0, &partition, split, None, None)
             .iter()
             .map(|scenario| {
                 runner
@@ -646,6 +699,59 @@ mod tests {
         // The whole derivation is deterministic.
         let again = sharded.epoch_replay(&runner).unwrap();
         assert_eq!(replay, again);
+    }
+
+    #[test]
+    fn warm_epoch_replay_carries_state_and_stays_standalone() {
+        for algorithm in [
+            AlgorithmKind::RotorPush,
+            AlgorithmKind::MaxPush,
+            AlgorithmKind::RandomPush,
+        ] {
+            let mut sharded = scenario(ShardRouter::Range);
+            sharded.algorithm = algorithm;
+            // Moving two elements grows shard 3 past its nominal capacity,
+            // so the carried states cross both an identity remap (shards 1
+            // and 2) and a genuine resize (shard 3).
+            sharded.reshard = ReshardSchedule::Manual(vec![ReshardEvent {
+                at: 800,
+                plan: ReshardPlan::new([(ElementId::new(0), 3), (ElementId::new(1), 3)]),
+            }]);
+            sharded.handover = HandoverMode::Warm;
+            let runner = SimRunner::new();
+            let replay = sharded.epoch_replay(&runner).unwrap();
+            assert_eq!(replay.epochs(), 2, "{algorithm}");
+            // Epoch-1 scenarios carry warm state and stay standalone: an
+            // independent run of the scenario value reproduces the replay.
+            for (shard, reference) in replay.scenarios[1].iter().enumerate() {
+                assert!(reference.warm.is_some(), "{algorithm} shard {shard}");
+                let rerun = runner.run(reference).unwrap();
+                assert_eq!(
+                    &rerun, &replay.results[1][shard],
+                    "{algorithm} epoch 1 shard {shard} is not standalone"
+                );
+            }
+            // The whole warm derivation is deterministic.
+            assert_eq!(replay, sharded.epoch_replay(&runner).unwrap());
+            // The mode only matters at boundaries: epoch 0 matches the cold
+            // replay byte for byte.
+            let mut cold = sharded.clone();
+            cold.handover = HandoverMode::Cold;
+            let cold_replay = cold.epoch_replay(&runner).unwrap();
+            assert_eq!(replay.results[0], cold_replay.results[0], "{algorithm}");
+            assert_eq!(
+                replay.accounting.migration_total(),
+                cold_replay.accounting.migration_total(),
+                "warm handover prices the same migration work"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_mode_shows_up_in_the_name() {
+        let mut sharded = scenario(ShardRouter::Hash);
+        sharded.handover = HandoverMode::Warm;
+        assert!(sharded.name().ends_with("/warm"));
     }
 
     #[test]

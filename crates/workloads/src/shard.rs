@@ -662,6 +662,135 @@ impl EpochedPartition {
     }
 }
 
+/// How a reshard handover reconstitutes the per-shard trees.
+///
+/// The placements are identical either way — the handover protocol is a
+/// pure function of `(old, new, occupancies)` — the modes differ only in
+/// how much work reaches them and which internal state the new trees start
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HandoverMode {
+    /// Every shard tree is rebuilt from scratch from the post-handover
+    /// placement, its internal state reseeded per `(shard, epoch)`:
+    /// O(total elements) per handover regardless of how little the plan
+    /// moves.
+    #[default]
+    Cold,
+    /// Untouched shards keep their live trees verbatim (zero work); touched
+    /// shards carry their exported warm state (rotor pointers, recency,
+    /// generator position) across the canonical delete/re-insert: the
+    /// handover cost scales with the moved elements, not the universe.
+    Warm,
+}
+
+impl HandoverMode {
+    /// Both modes, in a stable order (cold first — the historical default).
+    pub const ALL: [HandoverMode; 2] = [HandoverMode::Cold, HandoverMode::Warm];
+
+    /// A short stable label used in reports, flags, and scenario names.
+    pub fn label(self) -> &'static str {
+        match self {
+            HandoverMode::Cold => "cold",
+            HandoverMode::Warm => "warm",
+        }
+    }
+}
+
+impl fmt::Display for HandoverMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unknown handover mode name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHandoverError {
+    input: String,
+}
+
+impl fmt::Display for ParseHandoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown handover mode {:?} (expected \"cold\" or \"warm\")",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseHandoverError {}
+
+impl FromStr for HandoverMode {
+    type Err = ParseHandoverError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cold" => Ok(HandoverMode::Cold),
+            "warm" => Ok(HandoverMode::Warm),
+            _ => Err(ParseHandoverError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// The shards a reshard actually touches: `touched[s]` is `true` iff some
+/// element leaves or enters shard `s` between the two partitions. An
+/// untouched shard's owned set, tree size, and every real element's node
+/// are all unchanged across the handover, which is what lets a warm
+/// handover skip it entirely and keep the live tree.
+///
+/// # Panics
+///
+/// Panics if the partitions disagree on universe or shard count.
+pub fn touched_shards(old: &Partition, new: &Partition) -> Vec<bool> {
+    assert_eq!(
+        old.shards(),
+        new.shards(),
+        "shard count changed mid-handover"
+    );
+    let mut touched = vec![false; old.shards() as usize];
+    for (_, from, to) in old.diff(new) {
+        touched[from as usize] = true;
+        touched[to as usize] = true;
+    }
+    touched
+}
+
+/// The warm-state element remap of one shard across a handover:
+/// `remap[new_local]` is the element's local id *before* the handover, or
+/// `None` for elements that just arrived and for padding ids. The vector
+/// covers the shard's full new tree (one entry per node), ready for
+/// `WarmState::carried_into`. For an untouched shard the remap is the
+/// identity on its owned prefix.
+///
+/// # Panics
+///
+/// Panics if the partitions disagree on universe or shard count, or the
+/// shard is out of range.
+pub fn carry_remap(old: &Partition, new: &Partition, shard: u32) -> Vec<Option<u32>> {
+    assert_eq!(
+        old.universe(),
+        new.universe(),
+        "universe changed mid-handover"
+    );
+    assert_eq!(
+        old.shards(),
+        new.shards(),
+        "shard count changed mid-handover"
+    );
+    let new_nodes = ((1u64 << new.shard_levels(shard)) - 1) as usize;
+    let mut remap = Vec::with_capacity(new_nodes);
+    for &global in new.owned(shard) {
+        remap.push(match old.localize(global) {
+            Some((old_shard, old_local)) if old_shard == shard => Some(old_local.index()),
+            _ => None,
+        });
+    }
+    remap.resize(new_nodes, None);
+    remap
+}
+
 /// The outcome of a deterministic handover: the next epoch's initial
 /// placements plus the migration cost of the moved elements.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -701,6 +830,48 @@ pub struct Handover {
 /// Panics if the partitions disagree on universe or shard count, or if an
 /// occupancy is smaller than its shard's owned set.
 pub fn handover(old: &Partition, new: &Partition, occupancies: &[&Occupancy]) -> Handover {
+    handover_filtered(old, new, occupancies, None)
+}
+
+/// The incremental variant of [`handover`]: computes placements only for the
+/// shards marked in `touched` (see [`touched_shards`]); an untouched shard's
+/// entry in `placements` is left empty, signalling "keep the live tree".
+/// Note that keeping the live tree is *not* byte-identical to the full
+/// handover's placement: the full handover re-packs padding ids into free
+/// nodes in canonical order, while the live tree keeps padding wherever
+/// push-downs drifted it. A warm replay must therefore seed untouched
+/// shards from the live occupancy (real elements agree either way; only
+/// padding differs).
+///
+/// The migration cost is identical to the full handover's: every moved
+/// element's source and destination shard is touched by definition, so no
+/// priced work is skipped.
+///
+/// # Panics
+///
+/// Panics under the conditions of [`handover`], or if `touched` does not
+/// have one entry per shard, or if a shard whose owned set changed is
+/// marked untouched.
+pub fn handover_touched(
+    old: &Partition,
+    new: &Partition,
+    occupancies: &[&Occupancy],
+    touched: &[bool],
+) -> Handover {
+    assert_eq!(
+        touched.len(),
+        old.shards() as usize,
+        "one touched flag per shard is required"
+    );
+    handover_filtered(old, new, occupancies, Some(touched))
+}
+
+fn handover_filtered(
+    old: &Partition,
+    new: &Partition,
+    occupancies: &[&Occupancy],
+    touched: Option<&[bool]>,
+) -> Handover {
     assert_eq!(
         old.universe(),
         new.universe(),
@@ -729,6 +900,17 @@ pub fn handover(old: &Partition, new: &Partition, occupancies: &[&Occupancy]) ->
     let shards = old.shards();
     let mut placements = Vec::with_capacity(shards as usize);
     for shard in 0..shards {
+        if let Some(touched) = touched {
+            if !touched[shard as usize] {
+                assert_eq!(
+                    old.owned(shard),
+                    new.owned(shard),
+                    "shard {shard} marked untouched but its owned set changed"
+                );
+                placements.push(Vec::new());
+                continue;
+            }
+        }
         let occupancy = occupancies[shard as usize];
         let old_owned = old.owned(shard);
         let new_owned = new.owned(shard);
@@ -1260,6 +1442,77 @@ mod tests {
             let tree = CompleteTree::with_levels(levels).unwrap();
             Occupancy::from_placement(tree, placement).unwrap();
         }
+    }
+
+    #[test]
+    fn touched_shards_follow_the_diff_and_gate_the_incremental_handover() {
+        use satn_tree::CompleteTree;
+
+        let old = Partition::new(ShardRouter::Range, 21, 3); // 7 each, 3 levels
+        let plan = ReshardPlan::new([(ElementId::new(0), 1)]);
+        let new = old.apply(&plan).unwrap();
+
+        let touched = touched_shards(&old, &new);
+        assert_eq!(touched, vec![true, true, false]);
+        assert!(touched_shards(&old, &old).iter().all(|&t| !t));
+
+        let tree = CompleteTree::with_levels(3).unwrap();
+        let occupancies: Vec<Occupancy> = (0..3).map(|_| Occupancy::identity(tree)).collect();
+        let refs: Vec<&Occupancy> = occupancies.iter().collect();
+        let full = handover(&old, &new, &refs);
+        let incremental = handover_touched(&old, &new, &refs, &touched);
+
+        // Identical migration cost, identical placements on touched shards,
+        // and an explicit keep-the-live-tree marker on the untouched one.
+        assert_eq!(incremental.migration, full.migration);
+        assert_eq!(incremental.placements[0], full.placements[0]);
+        assert_eq!(incremental.placements[1], full.placements[1]);
+        assert!(incremental.placements[2].is_empty());
+    }
+
+    #[test]
+    fn carry_remap_is_identity_on_untouched_shards_and_tracks_moves() {
+        let old = Partition::new(ShardRouter::Range, 21, 3); // 0-6 | 7-13 | 14-20
+        let plan = ReshardPlan::new([(ElementId::new(0), 1)]);
+        let new = old.apply(&plan).unwrap();
+
+        // Untouched shard 2: identity on the owned prefix, None on padding.
+        let remap = carry_remap(&old, &new, 2);
+        assert_eq!(remap.len(), 7);
+        for (local, slot) in remap.iter().enumerate() {
+            assert_eq!(*slot, Some(local as u32));
+        }
+
+        // Source shard 0: lost global 0 (old local 0); survivors shift down.
+        let remap = carry_remap(&old, &new, 0);
+        assert_eq!(remap.len(), 7); // 6 owned + 1 padding, still 3 levels
+        assert_eq!(
+            &remap[..6],
+            &[Some(1), Some(2), Some(3), Some(4), Some(5), Some(6)]
+        );
+        assert_eq!(remap[6], None);
+
+        // Destination shard 1: global 0 arrives as new local 0 (None); the
+        // old elements 7..=13 (old locals 0..=6) become new locals 1..=7.
+        // 8 owned elements need 4 levels = 15 nodes.
+        let remap = carry_remap(&old, &new, 1);
+        assert_eq!(remap.len(), 15);
+        assert_eq!(remap[0], None);
+        for local in 1..8 {
+            assert_eq!(remap[local], Some(local as u32 - 1));
+        }
+        assert!(remap[8..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn handover_mode_labels_roundtrip() {
+        for mode in HandoverMode::ALL {
+            let parsed: HandoverMode = mode.label().parse().unwrap();
+            assert_eq!(parsed, mode);
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        assert_eq!(HandoverMode::default(), HandoverMode::Cold);
+        assert!("lukewarm".parse::<HandoverMode>().is_err());
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub mod rngs {
     /// Not the same stream as rand's `StdRng` (ChaCha12); seedable,
     /// portable, and of high statistical quality, which is all the
     /// experiments require.
-    #[derive(Clone, Debug)]
+    #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct StdRng {
         s: [u64; 4],
     }
